@@ -1,0 +1,53 @@
+// Command dohoverhead regenerates the paper's Figures 3, 4 and 5: total
+// bytes and packets per DNS resolution for UDP and DoH (persistent and
+// per-query connections) against Cloudflare-like and Google-like
+// deployments, and the per-layer breakdown of the DoH cost into HTTP body,
+// HTTP headers, HTTP/2 management, TLS and TCP.
+//
+// Usage:
+//
+//	dohoverhead [-domains 500] [-seed N] [-fig3] [-fig4] [-fig5] [-raw]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dohcost/internal/core"
+)
+
+func main() {
+	domains := flag.Int("domains", 500, "names to resolve per scenario")
+	seed := flag.Int64("seed", 2019, "simulation seed")
+	fig3 := flag.Bool("fig3", false, "only bytes per resolution")
+	fig4 := flag.Bool("fig4", false, "only packets per resolution")
+	fig5 := flag.Bool("fig5", false, "only the layer breakdown")
+	raw := flag.Bool("raw", false, "dump every resolution's cost as TSV")
+	flag.Parse()
+
+	res, err := core.RunOverhead(core.OverheadConfig{Domains: *domains, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dohoverhead:", err)
+		os.Exit(1)
+	}
+	all := !*fig3 && !*fig4 && !*fig5
+	if all || *fig3 || *fig4 {
+		fmt.Print(core.RenderFig3Fig4(res))
+		fmt.Println()
+	}
+	if all || *fig5 {
+		fmt.Print(core.RenderFig5(res))
+	}
+	if *raw {
+		fmt.Println("\nscenario\tbytes\tpackets\tbody\thdr\tmgmt\ttls\ttcp")
+		for _, s := range res.Scenarios {
+			for _, c := range s.Costs {
+				wc := c.WireCost()
+				bd := c.Breakdown()
+				fmt.Printf("%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+					s.Scenario, wc.Bytes, wc.Packets, bd.Body, bd.Hdr, bd.Mgmt, bd.TLS, bd.TCP)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Command dohpageload regenerates the paper's Figure 1 (DNS queries per
+// page across the ranking) and Figure 6 (cumulative DNS resolution time and
+// onload time per page load for local/cloud resolvers over legacy DNS and
+// DoH, from the local vantage and from simulated PlanetLab nodes).
+//
+// Usage:
+//
+//	dohpageload [-fig1] [-fig1pages 100000] [-pages 200] [-loads 3]
+//	            [-planetlab 0] [-workers 16] [-seed N] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dohcost/internal/core"
+	"dohcost/internal/stats"
+)
+
+func main() {
+	fig1Only := flag.Bool("fig1", false, "only Figure 1 (no page loads)")
+	fig1Pages := flag.Int("fig1pages", 100000, "ranking depth for Figure 1")
+	pages := flag.Int("pages", 200, "pages for the Figure 6 load study (paper: 1000)")
+	loads := flag.Int("loads", 3, "loads per page, cold cache")
+	planetlab := flag.Int("planetlab", 0, "simulated PlanetLab nodes (paper: 39)")
+	workers := flag.Int("workers", 16, "parallel browser instances")
+	seed := flag.Int64("seed", 2019, "simulation seed")
+	plot := flag.Bool("plot", false, "render ASCII CDF plots")
+	flag.Parse()
+
+	f1 := core.RunFig1(core.Fig1Config{Pages: *fig1Pages, Seed: *seed})
+	fmt.Print(core.RenderFig1(f1))
+	if *fig1Only {
+		return
+	}
+	fmt.Println()
+
+	start := time.Now()
+	res, err := core.RunFig6(core.Fig6Config{
+		Pages: *pages, Loads: *loads, Seed: *seed, Workers: *workers, PlanetLab: *planetlab,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dohpageload:", err)
+		os.Exit(1)
+	}
+	fmt.Print(core.RenderFig6(res))
+	fmt.Printf("(%d page loads in %v)\n", (*pages)*(*loads)*len(core.Fig6Configs), time.Since(start).Round(time.Second))
+
+	if *plot {
+		dns := map[string][]float64{}
+		load := map[string][]float64{}
+		for _, s := range res.Local {
+			dns[s.Config] = s.DNSms
+			load[s.Config] = s.Loadms
+		}
+		fmt.Println("\nCDF of cumulative DNS time (ms):")
+		fmt.Print(stats.ASCIICDF(dns, 72, 16, "ms"))
+		fmt.Println("\nCDF of onload time (ms):")
+		fmt.Print(stats.ASCIICDF(load, 72, 16, "ms"))
+	}
+}

@@ -1,0 +1,92 @@
+// Command dohresolve is a dig-like lookup tool against the study's
+// simulated environment: resolve one name over a chosen transport and print
+// the response, timing, and wire cost.
+//
+// Usage:
+//
+//	dohresolve [-transport udp|dot|doh|doh1] [-server local|cloudflare|google]
+//	           [-type A] [-n 1] name
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dohcost"
+)
+
+func main() {
+	transport := flag.String("transport", "doh", "udp, dot, doh (HTTP/2) or doh1 (HTTP/1.1)")
+	server := flag.String("server", "cloudflare", "local, cloudflare or google")
+	qtype := flag.String("type", "A", "query type (A, AAAA, CNAME, TXT, CAA)")
+	count := flag.Int("n", 1, "repeat the query to observe connection reuse")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dohresolve [flags] name")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+
+	env, err := dohcost.NewEnvironment(dohcost.EnvironmentConfig{Seed: time.Now().UnixNano()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dohresolve:", err)
+		os.Exit(1)
+	}
+	defer env.Close()
+
+	host := map[string]dohcost.ResolverHost{
+		"local": dohcost.Local, "cloudflare": dohcost.Cloudflare, "google": dohcost.Google,
+	}[strings.ToLower(*server)]
+	if host == "" {
+		fmt.Fprintln(os.Stderr, "dohresolve: unknown -server", *server)
+		os.Exit(2)
+	}
+
+	var costs []dohcost.Cost
+	opts := dohcost.Options{Persistent: true, Recorder: dohcost.CostFunc(func(c dohcost.Cost) { costs = append(costs, c) })}
+	var r dohcost.Resolver
+	switch strings.ToLower(*transport) {
+	case "udp":
+		r, err = env.UDP(host, opts)
+	case "dot":
+		r, err = env.DoT(host, opts)
+	case "doh":
+		r, err = env.DoH(host, opts)
+	case "doh1":
+		opts.HTTP1 = true
+		r, err = env.DoH(host, opts)
+	default:
+		fmt.Fprintln(os.Stderr, "dohresolve: unknown -transport", *transport)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dohresolve:", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+
+	t, ok := dohcost.ParseType(strings.ToUpper(*qtype))
+	if !ok {
+		fmt.Fprintln(os.Stderr, "dohresolve: unknown -type", *qtype)
+		os.Exit(2)
+	}
+	for i := 0; i < *count; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		start := time.Now()
+		resp, err := r.Exchange(ctx, dohcost.NewQuery(name, t))
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dohresolve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf(";; query %d via %s/%s took %v\n", i+1, *transport, host, time.Since(start).Round(time.Microsecond))
+		fmt.Print(resp.String())
+		if len(costs) > i {
+			fmt.Printf(";; wire cost: %s (setup included: %v)\n\n", costs[i].WireCost(), costs[i].IncludesSetup)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command dohserver runs a standalone multi-transport DNS deployment on the
+// simulated network and drives a smoke query over each transport — the
+// quickest way to see the whole stack (UDP, TCP, DoT, DoH over HTTP/1.1 and
+// HTTP/2) answer end to end.
+//
+// Usage:
+//
+//	dohserver [-host resolver.example] [-addr 192.0.2.1] [-queries 5]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"dohcost/internal/dnsserver"
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/dnswire"
+	"dohcost/internal/netsim"
+	"dohcost/internal/tlsx"
+)
+
+func main() {
+	host := flag.String("host", "resolver.example", "simulated server host name")
+	addr := flag.String("addr", "192.0.2.1", "address every A query resolves to")
+	queries := flag.Int("queries", 5, "smoke queries per transport")
+	flag.Parse()
+
+	ip, err := netip.ParseAddr(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dohserver: bad -addr:", err)
+		os.Exit(1)
+	}
+
+	n := netsim.New(time.Now().UnixNano())
+	chain, err := tlsx.GenerateChain(tlsx.CloudflareLike(*host))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dohserver:", err)
+		os.Exit(1)
+	}
+	srv := &dnsserver.Server{
+		Handler:   dnsserver.Static(ip, 300),
+		Chain:     chain,
+		Endpoints: []dnsserver.Endpoint{{Path: "/dns-query", Wire: true, JSON: true}},
+	}
+	run, err := srv.Start(n, *host)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dohserver:", err)
+		os.Exit(1)
+	}
+	defer run.Close()
+	fmt.Printf("deployment up at %s: udp/tcp :53, dot :853, doh :443 (/dns-query, wire+json)\n\n", *host)
+
+	pc, err := n.ListenPacket("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dohserver:", err)
+		os.Exit(1)
+	}
+	clients := []struct {
+		name string
+		r    dnstransport.Resolver
+	}{
+		{"udp", dnstransport.NewUDPClient(pc, netsim.Addr(*host+":53"))},
+		{"tcp", dnstransport.NewTCPClient(func() (net.Conn, error) { return n.Dial("client", *host+":53") })},
+		{"dot", dnstransport.NewDoTClient(func() (net.Conn, error) { return n.Dial("client", *host+":853") }, chain.ClientConfig(*host))},
+		{"doh-h1", &dnstransport.DoHClient{
+			Dial: func() (net.Conn, error) { return n.Dial("client", *host+":443") },
+			TLS:  chain.ClientConfig(*host), Mode: dnstransport.ModeH1, Persistent: true,
+		}},
+		{"doh-h2", &dnstransport.DoHClient{
+			Dial: func() (net.Conn, error) { return n.Dial("client", *host+":443") },
+			TLS:  chain.ClientConfig(*host), Mode: dnstransport.ModeH2, Persistent: true,
+		}},
+	}
+	for _, c := range clients {
+		defer c.r.Close()
+		var total time.Duration
+		for i := 0; i < *queries; i++ {
+			q := dnswire.NewQuery(0, dnswire.Name(fmt.Sprintf("smoke%d.example.", i)), dnswire.TypeA)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			start := time.Now()
+			resp, err := c.r.Exchange(ctx, q)
+			cancel()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dohserver: %s query %d: %v\n", c.name, i, err)
+				os.Exit(1)
+			}
+			if len(resp.Answers) != 1 {
+				fmt.Fprintf(os.Stderr, "dohserver: %s query %d: unexpected answers %v\n", c.name, i, resp.Answers)
+				os.Exit(1)
+			}
+			total += time.Since(start)
+		}
+		fmt.Printf("%-7s %d/%d ok, avg %v\n", c.name, *queries, *queries, (total / time.Duration(*queries)).Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,201 @@
+// Package dohcost reproduces "An Empirical Study of the Cost of
+// DNS-over-HTTPS" (Boettger et al., IMC '19) as a runnable Go system: every
+// DNS transport the paper compares (UDP, TCP, DNS-over-TLS, DNS-over-HTTPS
+// on HTTP/1.1 and HTTP/2), the resolver deployments they talked to, a
+// simulated network to carry it all hermetically, and one experiment runner
+// per table and figure in the paper.
+//
+// This package is the facade: it wires the substrate packages together for
+// the common workflows. Construct an Environment (a simulated client +
+// local/Cloudflare-like/Google-like resolver topology), obtain Resolvers
+// over any transport, exchange queries, and run the paper's experiments.
+//
+//	env, err := dohcost.NewEnvironment(dohcost.EnvironmentConfig{Seed: 1})
+//	defer env.Close()
+//	r, err := env.DoH(dohcost.Cloudflare, dohcost.Options{Persistent: true})
+//	resp, err := r.Exchange(ctx, dohcost.NewQuery("example.com", dohcost.TypeA))
+//
+// The experiment entry points mirror the paper's artefacts: RunFigure1,
+// RunTables (Tables 1–2), RunFigure2 (head-of-line blocking), RunOverhead
+// (Figures 3–5), and RunFigure6 (page-load study). Each returns a result
+// with a Render function producing the rows the paper reports.
+package dohcost
+
+import (
+	"dohcost/internal/core"
+	"dohcost/internal/dnscache"
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/dnswire"
+)
+
+// Re-exported fundamental types. The facade aliases rather than wraps so
+// the full substrate capability stays reachable.
+type (
+	// Resolver is a DNS client over some transport.
+	Resolver = dnstransport.Resolver
+	// Cost is the measured wire cost of one exchange.
+	Cost = dnstransport.Cost
+	// CostRecorder receives per-exchange costs.
+	CostRecorder = dnstransport.CostRecorder
+	// CostFunc adapts a function to CostRecorder.
+	CostFunc = dnstransport.CostFunc
+	// Message is a DNS message in unpacked form.
+	Message = dnswire.Message
+	// Name is a domain name in presentation form.
+	Name = dnswire.Name
+	// Type is a DNS RR type.
+	Type = dnswire.Type
+)
+
+// Common query types.
+const (
+	TypeA     = dnswire.TypeA
+	TypeAAAA  = dnswire.TypeAAAA
+	TypeCNAME = dnswire.TypeCNAME
+	TypeTXT   = dnswire.TypeTXT
+	TypeCAA   = dnswire.TypeCAA
+)
+
+// ResolverHost identifies one of the environment's resolver deployments.
+type ResolverHost string
+
+// The environment's resolvers: the university-local resolver and the two
+// cloud deployments with Cloudflare-like and Google-like certificates.
+const (
+	Local      ResolverHost = core.LocalHost
+	Cloudflare ResolverHost = core.CFHost
+	Google     ResolverHost = core.GOHost
+)
+
+// Options tunes a resolver handle.
+type Options struct {
+	// Persistent keeps connections across exchanges (stream transports).
+	Persistent bool
+	// HTTP1 selects pipelined HTTP/1.1 instead of HTTP/2 for DoH.
+	HTTP1 bool
+	// Recorder receives per-exchange wire costs when set.
+	Recorder CostRecorder
+}
+
+// EnvironmentConfig configures the simulated study network.
+type EnvironmentConfig = core.TopologyConfig
+
+// Environment is the standard study topology, ready to hand out resolvers.
+type Environment struct {
+	topo *core.Topology
+}
+
+// NewEnvironment builds and starts the simulated network.
+func NewEnvironment(cfg EnvironmentConfig) (*Environment, error) {
+	topo, err := core.NewTopology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Environment{topo: topo}, nil
+}
+
+// Close stops all deployments.
+func (e *Environment) Close() { e.topo.Close() }
+
+// UDP returns a classic RFC 1035 resolver toward host.
+func (e *Environment) UDP(host ResolverHost, opts Options) (Resolver, error) {
+	c, err := e.topo.UDPResolver(core.ClientHost, string(host))
+	if err != nil {
+		return nil, err
+	}
+	c.Recorder = opts.Recorder
+	return c, nil
+}
+
+// DoT returns a DNS-over-TLS resolver toward host (RFC 7858).
+func (e *Environment) DoT(host ResolverHost, opts Options) (Resolver, error) {
+	c, err := e.topo.DoTResolver(core.ClientHost, string(host))
+	if err != nil {
+		return nil, err
+	}
+	c.Persistent = opts.Persistent
+	c.Recorder = opts.Recorder
+	return c, nil
+}
+
+// DoH returns a DNS-over-HTTPS resolver toward host (RFC 8484).
+func (e *Environment) DoH(host ResolverHost, opts Options) (Resolver, error) {
+	mode := dnstransport.ModeH2
+	if opts.HTTP1 {
+		mode = dnstransport.ModeH1
+	}
+	c, err := e.topo.DoHResolver(core.ClientHost, string(host), mode, opts.Persistent)
+	if err != nil {
+		return nil, err
+	}
+	c.Recorder = opts.Recorder
+	return c, nil
+}
+
+// NewQuery builds a recursion-desired query with EDNS(0), accepting names
+// with or without the trailing dot.
+func NewQuery(name string, t Type) *Message {
+	return dnswire.NewQuery(0, dnswire.Name(name).Canonical(), t)
+}
+
+// ParseType maps an RR type mnemonic ("A", "AAAA", …) to its Type.
+func ParseType(s string) (Type, bool) { return dnswire.ParseType(s) }
+
+// WithCache wraps any resolver with a TTL-respecting, singleflight-
+// coalescing cache — the production-mode counterpart of the paper's
+// deliberately cold-cache methodology. Closing the returned resolver closes
+// the upstream.
+func WithCache(upstream Resolver) Resolver { return dnscache.New(upstream) }
+
+// Experiment results and runners, re-exported from the study core.
+type (
+	// Figure1Result is the queries-per-page survey (Figure 1).
+	Figure1Result = core.Fig1Result
+	// Figure2Result is the head-of-line-blocking comparison (Figure 2).
+	Figure2Result = core.Fig2Result
+	// OverheadResult covers byte/packet/layer costs (Figures 3–5).
+	OverheadResult = core.OverheadResult
+	// Figure6Result is the page-load study (Figure 6).
+	Figure6Result = core.Fig6Result
+	// TablesResult is the landscape survey (Tables 1–2).
+	TablesResult = core.TableResult
+)
+
+// RunFigure1 regenerates Figure 1 (and the §4 corpus statistics).
+func RunFigure1(pages int, seed int64) *Figure1Result {
+	return core.RunFig1(core.Fig1Config{Pages: pages, Seed: seed})
+}
+
+// RunTables regenerates Tables 1 and 2 by deploying and probing the nine
+// providers.
+func RunTables(seed int64) (*TablesResult, error) { return core.RunTables(seed) }
+
+// RunFigure2 regenerates Figure 2. A zero config runs the paper's
+// parameters (100 queries, 10 qps, 1-in-25 delayed 1 s), which takes about
+// 80 seconds of real time across the eight runs.
+func RunFigure2(cfg core.Fig2Config) (*Figure2Result, error) { return core.RunFig2(cfg) }
+
+// RunOverhead regenerates Figures 3, 4 and 5 over a sample of the synthetic
+// Alexa corpus.
+func RunOverhead(domains int, seed int64) (*OverheadResult, error) {
+	return core.RunOverhead(core.OverheadConfig{Domains: domains, Seed: seed})
+}
+
+// RunFigure6 regenerates Figure 6.
+func RunFigure6(cfg core.Fig6Config) (*Figure6Result, error) { return core.RunFig6(cfg) }
+
+// Render functions, re-exported for the cmd tools and examples.
+var (
+	RenderFigure1  = core.RenderFig1
+	RenderFigure2  = core.RenderFig2
+	RenderFig3Fig4 = core.RenderFig3Fig4
+	RenderFig5     = core.RenderFig5
+	RenderFigure6  = core.RenderFig6
+	RenderTables   = core.RenderTables
+)
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
+
+// String implements fmt.Stringer for ResolverHost.
+func (h ResolverHost) String() string { return string(h) }

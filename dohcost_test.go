@@ -1,0 +1,74 @@
+package dohcost
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFacadeResolvers(t *testing.T) {
+	env, err := NewEnvironment(EnvironmentConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	var costs []Cost
+	rec := CostFunc(func(c Cost) { costs = append(costs, c) })
+
+	udp, err := env.UDP(Local, Options{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+	dot, err := env.DoT(Cloudflare, Options{Persistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dot.Close()
+	dohH2, err := env.DoH(Google, Options{Persistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dohH2.Close()
+	dohH1, err := env.DoH(Cloudflare, Options{Persistent: true, HTTP1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dohH1.Close()
+
+	for name, r := range map[string]Resolver{"udp": udp, "dot": dot, "doh2": dohH2, "doh1": dohH1} {
+		resp, err := r.Exchange(context.Background(), NewQuery("www.example.com", TypeA))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(resp.Answers) != 1 {
+			t.Errorf("%s: answers = %v", name, resp.Answers)
+		}
+	}
+	if len(costs) != 1 {
+		t.Errorf("recorded %d costs for the UDP resolver, want 1", len(costs))
+	}
+	if costs[0].WireCost().Packets != 2 {
+		t.Errorf("udp packets = %d", costs[0].WireCost().Packets)
+	}
+}
+
+func TestFacadeNewQueryCanonicalizes(t *testing.T) {
+	q := NewQuery("Example.COM", TypeAAAA)
+	if q.Question1().Name != "example.com." {
+		t.Errorf("name = %v", q.Question1().Name)
+	}
+	if q.EDNS == nil {
+		t.Error("query missing EDNS")
+	}
+}
+
+func TestFacadeFigure1(t *testing.T) {
+	r := RunFigure1(1000, 4)
+	if r.CDF.Len() != 1000 {
+		t.Errorf("samples = %d", r.CDF.Len())
+	}
+	if RenderFigure1(r) == "" {
+		t.Error("empty render")
+	}
+}

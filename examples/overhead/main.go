@@ -1,0 +1,58 @@
+// Overhead dissection: resolve a handful of names over DoH against both
+// provider deployments and print where every byte went — the per-layer
+// stack of the paper's Figure 5, live.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dohcost"
+)
+
+func main() {
+	env, err := dohcost.NewEnvironment(dohcost.EnvironmentConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+
+	for _, provider := range []dohcost.ResolverHost{dohcost.Cloudflare, dohcost.Google} {
+		fmt.Printf("=== %s (persistent HTTP/2 connection) ===\n", provider)
+		var costs []dohcost.Cost
+		r, err := env.DoH(provider, dohcost.Options{
+			Persistent: true,
+			Recorder:   dohcost.CostFunc(func(c dohcost.Cost) { costs = append(costs, c) }),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := []string{"a.example.com", "b.example.com", "c.example.com", "d.example.com"}
+		for _, name := range names {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if _, err := r.Exchange(ctx, dohcost.NewQuery(name, dohcost.TypeA)); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			cancel()
+		}
+		r.Close()
+
+		fmt.Printf("%-4s %-22s %10s | %6s %6s %6s %6s %6s\n",
+			"q#", "", "total", "body", "hdr", "mgmt", "tls", "tcp")
+		for i, c := range costs {
+			bd := c.Breakdown()
+			note := "steady state"
+			if c.IncludesSetup {
+				note = "includes TCP+TLS setup"
+			}
+			fmt.Printf("%-4d %-22s %9dB | %6d %6d %6d %6d %6d\n",
+				i+1, note, bd.Total(), bd.Body, bd.Hdr, bd.Mgmt, bd.TLS, bd.TCP)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the first exchange carries the certificate chain in its TLS layer; the")
+	fmt.Println("Google-like deployment's chain is ~1.1KB larger (3101 vs 1960 bytes),")
+	fmt.Println("and its RFC 8467 response padding keeps even warm exchanges bigger.")
+}

@@ -1,0 +1,38 @@
+// Page-load demo: a miniature of the paper's Figure 6. Load a slice of the
+// synthetic top sites while resolving through legacy DNS and DoH, and
+// compare cumulative DNS time (inflates with DoH) against onload time
+// (barely moves) — the study's headline result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dohcost"
+	"dohcost/internal/core"
+	"dohcost/internal/stats"
+)
+
+func main() {
+	fmt.Println("loading 30 pages x 2 loads under five resolver configurations…")
+	res, err := dohcost.RunFigure6(core.Fig6Config{
+		Pages:   30,
+		Loads:   2,
+		Seed:    11,
+		Workers: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(dohcost.RenderFigure6(res))
+
+	udp := res.Series("U/CF")
+	doh := res.Series("H/CF")
+	dnsDelta := stats.NewCDF(doh.DNSms).Quantile(0.5) / stats.NewCDF(udp.DNSms).Quantile(0.5)
+	loadDelta := stats.NewCDF(doh.Loadms).Quantile(0.5) / stats.NewCDF(udp.Loadms).Quantile(0.5)
+	fmt.Printf("switching U/CF -> H/CF: median cumulative DNS x%.2f, median onload x%.2f\n",
+		dnsDelta, loadDelta)
+	fmt.Println("DoH costs resolution time, but the browser hides it: pages load at the")
+	fmt.Println("same speed — \"improved security … with only marginal performance impact\".")
+}

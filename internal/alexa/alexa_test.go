@@ -1,0 +1,105 @@
+package alexa
+
+import (
+	"testing"
+
+	"dohcost/internal/stats"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Pages: 200, Seed: 7})
+	b := Generate(Config{Pages: 200, Seed: 7})
+	if a.TotalQueries != b.TotalQueries || a.UniqueDomains != b.UniqueDomains {
+		t.Fatal("same seed produced different corpora")
+	}
+	for i := range a.Pages {
+		if a.Pages[i].URL != b.Pages[i].URL || len(a.Pages[i].Domains) != len(b.Pages[i].Domains) {
+			t.Fatalf("page %d differs", i)
+		}
+	}
+	c := Generate(Config{Pages: 200, Seed: 8})
+	if c.TotalQueries == a.TotalQueries {
+		t.Log("different seeds produced equal query totals (possible but unlikely)")
+	}
+}
+
+func TestFigure1Anchors(t *testing.T) {
+	// The paper's Figure 1 reads: about 50% of pages need ≥ 20 queries,
+	// and the tail reaches ~250 but no further.
+	w := Generate(Config{Pages: 20000, Seed: 1})
+	cdf := stats.NewCDF(w.QueriesPerPage())
+	median := cdf.Quantile(0.5)
+	if median < 14 || median > 26 {
+		t.Errorf("median queries/page = %.1f, want ≈ 20", median)
+	}
+	if max := cdf.Quantile(1); max > 250 {
+		t.Errorf("max queries/page = %.0f, want ≤ 250", max)
+	}
+	if p10 := cdf.Quantile(0.10); p10 < 1 || p10 > 10 {
+		t.Errorf("p10 = %.1f, want small-but-positive head", p10)
+	}
+	if p95 := cdf.Quantile(0.95); p95 < 50 {
+		t.Errorf("p95 = %.1f, want a heavy tail", p95)
+	}
+}
+
+func TestSection4Anchors(t *testing.T) {
+	// §4: 100k pages → 2,178,235 queries and 281,414 unique names;
+	// top-15 names ≈ 25% of queries. Check at 20k pages that the scaled
+	// anchors hold within tolerance (the generator is scale-invariant in
+	// queries/page and top-share; unique names scale slightly sublinearly).
+	w := Generate(Config{Pages: 20000, Seed: 3})
+	avg := float64(w.TotalQueries) / float64(len(w.Pages))
+	if avg < 18 || avg > 26 {
+		t.Errorf("avg queries/page = %.2f, want ≈ 21.8", avg)
+	}
+	share := w.TopShare(15)
+	if share < 0.17 || share > 0.33 {
+		t.Errorf("top-15 share = %.2f, want ≈ 0.25", share)
+	}
+	uniqueRatio := float64(w.UniqueDomains) / float64(w.TotalQueries)
+	// Paper: 281,414 / 2,178,235 ≈ 0.129.
+	if uniqueRatio < 0.08 || uniqueRatio > 0.20 {
+		t.Errorf("unique/total = %.3f, want ≈ 0.13", uniqueRatio)
+	}
+}
+
+func TestPageStructure(t *testing.T) {
+	w := Generate(Config{Pages: 50, Seed: 2})
+	for _, p := range w.Pages {
+		if len(p.Domains) < 1 {
+			t.Fatalf("page %d has no domains", p.Rank)
+		}
+		if p.Domains[0] != "www.site"+p.URL[len("https://www.site"):len("https://www.site")+6]+".example" {
+			// Own domain must come first; spot-check format loosely.
+			if p.Domains[0][:8] != "www.site" {
+				t.Errorf("page %d first domain = %s", p.Rank, p.Domains[0])
+			}
+		}
+	}
+	if w.Pages[0].Rank != 1 || w.Pages[49].Rank != 50 {
+		t.Error("ranks not sequential")
+	}
+}
+
+func TestAllDomainsUnique(t *testing.T) {
+	w := Generate(Config{Pages: 300, Seed: 5})
+	all := w.AllDomains()
+	if len(all) != w.UniqueDomains {
+		t.Errorf("AllDomains = %d, UniqueDomains = %d", len(all), w.UniqueDomains)
+	}
+	seen := map[string]bool{}
+	for _, d := range all {
+		if seen[d] {
+			t.Fatalf("duplicate domain %s", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestTopShareMonotone(t *testing.T) {
+	w := Generate(Config{Pages: 2000, Seed: 9})
+	if w.TopShare(5) > w.TopShare(15) || w.TopShare(15) > w.TopShare(50) {
+		t.Error("top-share not monotone in k")
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dohcost/internal/alexa"
+	"dohcost/internal/stats"
+)
+
+// Fig1Config parameterizes the queries-per-page survey. The paper crawls
+// the Alexa top 100k; the default is scaled down and the cmd flag restores
+// full size.
+type Fig1Config struct {
+	Pages int
+	Seed  int64
+}
+
+// Fig1Result is the Figure 1 CDF plus the §4 corpus statistics.
+type Fig1Result struct {
+	Config        Fig1Config
+	CDF           *stats.CDF
+	TotalQueries  int
+	UniqueDomains int
+	Top15Share    float64
+}
+
+// RunFig1 generates the corpus and summarizes it.
+func RunFig1(cfg Fig1Config) *Fig1Result {
+	if cfg.Pages == 0 {
+		cfg.Pages = 10000
+	}
+	w := alexa.Generate(alexa.Config{Pages: cfg.Pages, Seed: cfg.Seed})
+	return &Fig1Result{
+		Config:        cfg,
+		CDF:           stats.NewCDF(w.QueriesPerPage()),
+		TotalQueries:  w.TotalQueries,
+		UniqueDomains: w.UniqueDomains,
+		Top15Share:    w.TopShare(15),
+	}
+}
+
+// RenderFig1 prints the CDF's anchor quantiles and the corpus statistics
+// the paper reports in §1 and §4.
+func RenderFig1(r *Fig1Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 1 — DNS queries per page across the top %d pages\n\n", r.Config.Pages)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		fmt.Fprintf(&sb, "  p%-3.0f  %6.0f queries\n", p*100, r.CDF.Quantile(p))
+	}
+	fmt.Fprintf(&sb, "\n  share of pages needing >= 20 queries: %.0f%% (paper: ~50%%)\n",
+		(1-r.CDF.At(19.999))*100)
+	fmt.Fprintf(&sb, "  total queries: %d   unique names: %d (paper: 2,178,235 / 281,414 at 100k pages)\n",
+		r.TotalQueries, r.UniqueDomains)
+	fmt.Fprintf(&sb, "  top-15 domains' query share: %.1f%% (paper: ~25%%)\n", r.Top15Share*100)
+	return sb.String()
+}

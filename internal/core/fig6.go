@@ -1,0 +1,238 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dohcost/internal/alexa"
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/stats"
+	"dohcost/internal/webload"
+)
+
+// Fig6Configs lists the resolver configurations of Figure 6 in legend
+// order: legacy UDP against the local, Cloudflare and Google resolvers, and
+// DoH against the two cloud providers.
+var Fig6Configs = []string{"U/LO", "U/CF", "U/GO", "H/CF", "H/GO"}
+
+// Fig6Config parameterizes the page-load study. Paper defaults: top-1k
+// pages, three loads each, cold caches.
+type Fig6Config struct {
+	Pages   int
+	Loads   int
+	Seed    int64
+	Workers int
+	// PlanetLab selects how many simulated PlanetLab vantage points to
+	// run the reduced experiment from (0 disables; the paper had 39).
+	PlanetLab int
+	// PagesPerNode bounds the PlanetLab panel's per-node page sample.
+	PagesPerNode int
+}
+
+func (c Fig6Config) withDefaults() Fig6Config {
+	if c.Pages == 0 {
+		c.Pages = 200
+	}
+	if c.Loads == 0 {
+		c.Loads = 3
+	}
+	if c.Workers == 0 {
+		c.Workers = 16
+	}
+	if c.PagesPerNode == 0 {
+		c.PagesPerNode = 10
+	}
+	return c
+}
+
+// Fig6Series is one CDF line: cumulative DNS times and onload times in
+// milliseconds, one sample per page load.
+type Fig6Series struct {
+	Config string
+	DNSms  []float64
+	Loadms []float64
+}
+
+// Fig6Result carries the local panels and, when enabled, the PlanetLab
+// panels.
+type Fig6Result struct {
+	Config    Fig6Config
+	Local     []Fig6Series
+	PlanetLab []Fig6Series
+}
+
+// RunFig6 executes the page-load study.
+func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	cfg = cfg.withDefaults()
+	corpus := alexa.Generate(alexa.Config{Pages: cfg.Pages, Seed: cfg.Seed})
+
+	res := &Fig6Result{Config: cfg}
+	for _, rc := range Fig6Configs {
+		series, err := runFig6Series(cfg, rc, corpus.Pages, webload.VantageLocal(), 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("core: fig6 %s: %w", rc, err)
+		}
+		res.Local = append(res.Local, *series)
+	}
+
+	for node := 0; node < cfg.PlanetLab; node++ {
+		pages := corpus.Pages
+		if len(pages) > cfg.PagesPerNode {
+			pages = pages[node*cfg.PagesPerNode%len(pages):]
+			if len(pages) > cfg.PagesPerNode {
+				pages = pages[:cfg.PagesPerNode]
+			}
+		}
+		// Resolver paths from PlanetLab are several times longer and more
+		// variable than from the university network.
+		rttScale := 4.0 + float64(node%7)
+		for ci, rc := range Fig6Configs {
+			series, err := runFig6Series(cfg, rc, pages, webload.VantagePlanetLab(node), rttScale)
+			if err != nil {
+				return nil, fmt.Errorf("core: fig6 planetlab %d %s: %w", node, rc, err)
+			}
+			if node == 0 {
+				res.PlanetLab = append(res.PlanetLab, Fig6Series{Config: rc})
+			}
+			res.PlanetLab[ci].DNSms = append(res.PlanetLab[ci].DNSms, series.DNSms...)
+			res.PlanetLab[ci].Loadms = append(res.PlanetLab[ci].Loadms, series.Loadms...)
+		}
+	}
+	return res, nil
+}
+
+func runFig6Series(cfg Fig6Config, rc string, pages []alexa.Page, vantage webload.Vantage, rttScale float64) (*Fig6Series, error) {
+	topo, err := NewTopology(TopologyConfig{
+		Seed:     cfg.Seed,
+		LocalRTT: time.Duration(float64(400*time.Microsecond) * rttScale),
+		CFRTT:    time.Duration(float64(6*time.Millisecond) * rttScale),
+		GORTT:    time.Duration(float64(9*time.Millisecond) * rttScale),
+		// The local resolver recurses its own cache misses; the cloud
+		// resolvers' shared caches are hot. This asymmetry is what makes
+		// the paper's cloud UDP resolution *faster* than the local
+		// resolver despite the longer path.
+		LocalRecursion: RecursionSpec{MissRate: 0.35, MissMin: 8 * time.Millisecond, MissMax: 45 * time.Millisecond},
+		CloudRecursion: RecursionSpec{MissRate: 0.05, MissMin: 4 * time.Millisecond, MissMax: 20 * time.Millisecond},
+		DoHProcessing:  2 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer topo.Close()
+
+	newResolver := func() (dnstransport.Resolver, error) {
+		switch rc {
+		case "U/LO":
+			return topo.UDPResolver(ClientHost, LocalHost)
+		case "U/CF":
+			return topo.UDPResolver(ClientHost, CFHost)
+		case "U/GO":
+			return topo.UDPResolver(ClientHost, GOHost)
+		case "H/CF":
+			return topo.DoHResolver(ClientHost, CFHost, dnstransport.ModeH2, true)
+		case "H/GO":
+			return topo.DoHResolver(ClientHost, GOHost, dnstransport.ModeH2, true)
+		}
+		return nil, fmt.Errorf("unknown config %q", rc)
+	}
+
+	type job struct{ page alexa.Page }
+	jobs := make(chan job)
+	series := &Fig6Series{Config: rc}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+
+	workers := cfg.Workers
+	if workers > len(pages) {
+		workers = len(pages)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each worker is one browser instance with its own resolver
+			// connection, like one Browsertime run.
+			resolver, err := newResolver()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer resolver.Close()
+			browser := webload.NewBrowser(resolver, vantage)
+			for j := range jobs {
+				for load := 0; load < cfg.Loads; load++ {
+					r, err := browser.Load(context.Background(), j.page)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					mu.Lock()
+					series.DNSms = append(series.DNSms, float64(r.CumulativeDNS)/float64(time.Millisecond))
+					series.Loadms = append(series.Loadms, float64(r.OnLoad)/float64(time.Millisecond))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, p := range pages {
+		jobs <- job{page: p}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return series, nil
+}
+
+// RenderFig6 prints quantiles for both metrics across configurations.
+func RenderFig6(r *Fig6Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6 — cumulative DNS time and page load (onload) time, %d pages x %d loads\n\n",
+		r.Config.Pages, r.Config.Loads)
+	render := func(title string, series []Fig6Series) {
+		if len(series) == 0 {
+			return
+		}
+		fmt.Fprintf(&sb, "%s\n%-6s | %9s %9s %9s | %9s %9s %9s\n", title,
+			"conf", "DNS p25", "DNS med", "DNS p75", "load p25", "load med", "load p75")
+		fmt.Fprintln(&sb, strings.Repeat("-", 72))
+		for _, s := range series {
+			d := stats.NewCDF(s.DNSms)
+			l := stats.NewCDF(s.Loadms)
+			fmt.Fprintf(&sb, "%-6s | %8.0fms %8.0fms %8.0fms | %8.0fms %8.0fms %8.0fms\n",
+				s.Config,
+				d.Quantile(0.25), d.Quantile(0.5), d.Quantile(0.75),
+				l.Quantile(0.25), l.Quantile(0.5), l.Quantile(0.75))
+		}
+		sb.WriteByte('\n')
+	}
+	render("local vantage", r.Local)
+	render("planetlab vantage (aggregated)", r.PlanetLab)
+	return sb.String()
+}
+
+// Series returns the named local series, or nil.
+func (r *Fig6Result) Series(config string) *Fig6Series {
+	for i := range r.Local {
+		if r.Local[i].Config == config {
+			return &r.Local[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"dohcost/internal/alexa"
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/dnswire"
+	"dohcost/internal/meter"
+	"dohcost/internal/stats"
+)
+
+// OverheadScenarios lists Figure 3/4's x axis in paper order: UDP,
+// non-persistent DoH, persistent DoH, each against the Cloudflare-like and
+// Google-like deployments.
+var OverheadScenarios = []string{"U/CF", "U/GO", "H/CF", "H/GO", "HP/CF", "HP/GO"}
+
+// OverheadConfig parameterizes the §4 overhead measurements.
+type OverheadConfig struct {
+	// Domains is how many names from the synthetic Alexa corpus each
+	// scenario resolves (the paper used the full 281k unique names; the
+	// default keeps the runtime reasonable while the flag allows more).
+	Domains int
+	Seed    int64
+}
+
+func (c OverheadConfig) withDefaults() OverheadConfig {
+	if c.Domains == 0 {
+		c.Domains = 200
+	}
+	return c
+}
+
+// ScenarioCosts is one box of Figures 3–5: every resolution's cost under
+// one scenario.
+type ScenarioCosts struct {
+	Scenario string
+	Costs    []dnstransport.Cost
+}
+
+// Bytes extracts the Figure 3 sample set.
+func (s ScenarioCosts) Bytes() []float64 {
+	out := make([]float64, len(s.Costs))
+	for i, c := range s.Costs {
+		out[i] = float64(c.WireCost().Bytes)
+	}
+	return out
+}
+
+// Packets extracts the Figure 4 sample set.
+func (s ScenarioCosts) Packets() []float64 {
+	out := make([]float64, len(s.Costs))
+	for i, c := range s.Costs {
+		out[i] = float64(c.WireCost().Packets)
+	}
+	return out
+}
+
+// Breakdowns extracts the Figure 5 layer stacks (DoH scenarios only).
+func (s ScenarioCosts) Breakdowns() []meter.Breakdown {
+	out := make([]meter.Breakdown, len(s.Costs))
+	for i, c := range s.Costs {
+		out[i] = c.Breakdown()
+	}
+	return out
+}
+
+// OverheadResult covers Figures 3, 4 and 5 from one run.
+type OverheadResult struct {
+	Config    OverheadConfig
+	Scenarios []ScenarioCosts
+}
+
+// Scenario returns one scenario's costs by name.
+func (r *OverheadResult) Scenario(name string) *ScenarioCosts {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Scenario == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// RunOverhead measures every scenario over the same domain sample.
+func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
+	cfg = cfg.withDefaults()
+	corpus := alexa.Generate(alexa.Config{Pages: cfg.Domains/15 + 20, Seed: cfg.Seed})
+	domains := corpus.AllDomains()
+	if len(domains) > cfg.Domains {
+		domains = domains[:cfg.Domains]
+	}
+
+	topo, err := NewTopology(TopologyConfig{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer topo.Close()
+
+	res := &OverheadResult{Config: cfg}
+	for _, scenario := range OverheadScenarios {
+		costs, err := runOverheadScenario(topo, scenario, domains)
+		if err != nil {
+			return nil, fmt.Errorf("core: overhead %s: %w", scenario, err)
+		}
+		res.Scenarios = append(res.Scenarios, ScenarioCosts{Scenario: scenario, Costs: costs})
+	}
+	return res, nil
+}
+
+func runOverheadScenario(topo *Topology, scenario string, domains []string) ([]dnstransport.Cost, error) {
+	host := CFHost
+	if strings.HasSuffix(scenario, "/GO") {
+		host = GOHost
+	}
+	var costs []dnstransport.Cost
+	rec := dnstransport.CostFunc(func(c dnstransport.Cost) { costs = append(costs, c) })
+
+	var resolver dnstransport.Resolver
+	var err error
+	switch {
+	case strings.HasPrefix(scenario, "U/"):
+		udp, uerr := topo.UDPResolver(ClientHost, host)
+		if uerr != nil {
+			return nil, uerr
+		}
+		udp.Recorder = rec
+		resolver = udp
+	case strings.HasPrefix(scenario, "HP/"):
+		doh, derr := topo.DoHResolver(ClientHost, host, dnstransport.ModeH2, true)
+		if derr != nil {
+			return nil, derr
+		}
+		doh.Recorder = rec
+		resolver = doh
+	case strings.HasPrefix(scenario, "H/"):
+		doh, derr := topo.DoHResolver(ClientHost, host, dnstransport.ModeH2, false)
+		if derr != nil {
+			return nil, derr
+		}
+		doh.Recorder = rec
+		resolver = doh
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", scenario)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer resolver.Close()
+
+	for _, d := range domains {
+		q := dnswire.NewQuery(0, dnswire.Name(d+"."), dnswire.TypeA)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		_, err := resolver.Exchange(ctx, q)
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("resolving %s: %w", d, err)
+		}
+	}
+	return costs, nil
+}
+
+// paperFig34 holds the medians the paper reports, for side-by-side output.
+var paperFig34 = map[string]meter.WireCost{
+	"U/CF":  {Bytes: 182, Packets: 2},
+	"U/GO":  {Bytes: 182, Packets: 2},
+	"H/CF":  {Bytes: 5737, Packets: 27},
+	"H/GO":  {Bytes: 6941, Packets: 31},
+	"HP/CF": {Bytes: 864, Packets: 8},
+	"HP/GO": {Bytes: 1203, Packets: 11},
+}
+
+// RenderFig3Fig4 prints the per-scenario byte and packet distributions next
+// to the paper's medians.
+func RenderFig3Fig4(r *OverheadResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figures 3 & 4 — per-resolution cost over %d domains\n\n", r.Config.Domains)
+	fmt.Fprintf(&sb, "%-6s | %10s %10s %10s | %10s | %7s %7s %7s | %7s\n",
+		"scen", "min B", "med B", "max B", "paper B", "min pkt", "med pkt", "max pkt", "paper")
+	fmt.Fprintln(&sb, strings.Repeat("-", 100))
+	for _, s := range r.Scenarios {
+		b := stats.Summarize(s.Bytes())
+		p := stats.Summarize(s.Packets())
+		paper := paperFig34[s.Scenario]
+		fmt.Fprintf(&sb, "%-6s | %10.0f %10.0f %10.0f | %10d | %7.0f %7.0f %7.0f | %7d\n",
+			s.Scenario, b.Min, b.Median, b.Max, paper.Bytes, p.Min, p.Median, p.Max, paper.Packets)
+	}
+	return sb.String()
+}
+
+// Fig5Scenarios lists the four panels of Figure 5.
+var Fig5Scenarios = []string{"H/CF", "HP/CF", "H/GO", "HP/GO"}
+
+// RenderFig5 prints the per-layer medians (and maxima) per DoH scenario.
+func RenderFig5(r *OverheadResult) string {
+	var sb strings.Builder
+	fmt.Fprintln(&sb, "Figure 5 — per-layer overhead per DoH resolution (median / max bytes)")
+	fmt.Fprintln(&sb)
+	fmt.Fprintf(&sb, "%-6s | %15s %15s %15s %15s %15s\n", "scen", "Body", "Hdr", "Mgmt", "TLS", "TCP")
+	fmt.Fprintln(&sb, strings.Repeat("-", 90))
+	for _, name := range Fig5Scenarios {
+		s := r.Scenario(name)
+		if s == nil {
+			continue
+		}
+		var body, hdr, mgmt, tlsb, tcp []float64
+		for _, bd := range s.Breakdowns() {
+			body = append(body, float64(bd.Body))
+			hdr = append(hdr, float64(bd.Hdr))
+			mgmt = append(mgmt, float64(bd.Mgmt))
+			tlsb = append(tlsb, float64(bd.TLS))
+			tcp = append(tcp, float64(bd.TCP))
+		}
+		cell := func(v []float64) string {
+			s := stats.Summarize(v)
+			return fmt.Sprintf("%6.0f / %6.0f", s.Median, s.Max)
+		}
+		fmt.Fprintf(&sb, "%-6s | %15s %15s %15s %15s %15s\n",
+			name, cell(body), cell(hdr), cell(mgmt), cell(tlsb), cell(tcp))
+	}
+	return sb.String()
+}

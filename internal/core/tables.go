@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"dohcost/internal/landscape"
+	"dohcost/internal/netsim"
+)
+
+// TableResult carries the landscape survey outputs: Table 1 straight from
+// the provider registry, Table 2 from live probing, and any disagreement
+// between the probe and the configured ground truth (there should be none —
+// a non-empty diff means the prober or a server stack is wrong).
+type TableResult struct {
+	Providers []landscape.Provider
+	Probed    []landscape.Features
+	Diffs     []string
+}
+
+// RunTables deploys the Table 1 providers on a simulated network and probes
+// them.
+func RunTables(seed int64) (*TableResult, error) {
+	n := netsim.New(seed)
+	providers := landscape.DefaultProviders()
+	dep, err := landscape.Deploy(n, providers)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+
+	probed, err := landscape.NewProber(dep).ProbeAll()
+	if err != nil {
+		return nil, err
+	}
+	return &TableResult{
+		Providers: providers,
+		Probed:    probed,
+		Diffs:     landscape.Diff(landscape.ExpectedTable2(providers), probed),
+	}, nil
+}
+
+// RenderTables prints both tables and the verification verdict.
+func RenderTables(r *TableResult) string {
+	out := "Table 1 — compared DoH resolvers\n\n"
+	out += landscape.RenderTable1(r.Providers)
+	out += "\nTable 2 — probed resolver features\n\n"
+	out += landscape.RenderTable2(r.Probed)
+	if len(r.Diffs) == 0 {
+		out += "\nprobe verification: all features match deployed ground truth\n"
+	} else {
+		out += fmt.Sprintf("\nprobe verification: %d mismatches!\n", len(r.Diffs))
+		for _, d := range r.Diffs {
+			out += "  " + d + "\n"
+		}
+	}
+	return out
+}

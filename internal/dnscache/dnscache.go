@@ -1,0 +1,268 @@
+// Package dnscache provides a TTL-respecting, size-bounded cache that wraps
+// any Resolver, plus in-flight query coalescing (singleflight): concurrent
+// identical queries share one upstream exchange.
+//
+// The paper deliberately cleared caches between page loads to measure worst
+// cases; this package is the production counterpart — and the knob for the
+// cache ablation, which shows how quickly a warm cache erases the DoH
+// resolution-time penalty (almost 25% of the paper's 2.18M crawl queries
+// went to just fifteen names).
+package dnscache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/dnswire"
+)
+
+// key identifies a cacheable question.
+type key struct {
+	name  dnswire.Name
+	qtype dnswire.Type
+	class dnswire.Class
+}
+
+// entry is one cached response.
+type entry struct {
+	key     key
+	resp    *dnswire.Message
+	expires time.Time
+	elem    *list.Element
+}
+
+// Stats counts cache effectiveness.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Coalesced int64 // queries answered by joining an in-flight exchange
+	Evictions int64
+}
+
+// Cache is a caching resolver. Safe for concurrent use.
+type Cache struct {
+	upstream dnstransport.Resolver
+
+	// MaxEntries bounds the cache (LRU eviction); 0 means 4096.
+	maxEntries int
+	// MinTTL/MaxTTL clamp record TTLs (resolver-style cache policy).
+	minTTL, maxTTL time.Duration
+	// now is the clock, replaceable in tests.
+	now func() time.Time
+
+	mu      sync.Mutex
+	entries map[key]*entry
+	lru     *list.List // front = most recent
+	flights map[key]*flight
+	stats   Stats
+}
+
+// flight is one in-progress upstream exchange shared by coalesced callers.
+type flight struct {
+	done chan struct{}
+	resp *dnswire.Message
+	err  error
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithMaxEntries bounds the cache size.
+func WithMaxEntries(n int) Option { return func(c *Cache) { c.maxEntries = n } }
+
+// WithTTLBounds clamps cached TTLs.
+func WithTTLBounds(min, max time.Duration) Option {
+	return func(c *Cache) { c.minTTL, c.maxTTL = min, max }
+}
+
+// withClock replaces the clock (tests).
+func withClock(now func() time.Time) Option { return func(c *Cache) { c.now = now } }
+
+// New wraps upstream with a cache.
+func New(upstream dnstransport.Resolver, opts ...Option) *Cache {
+	c := &Cache{
+		upstream:   upstream,
+		maxEntries: 4096,
+		maxTTL:     24 * time.Hour,
+		now:        time.Now,
+		entries:    make(map[key]*entry),
+		lru:        list.New(),
+		flights:    make(map[key]*flight),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Close implements Resolver; it closes the upstream.
+func (c *Cache) Close() error { return c.upstream.Close() }
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the number of live entries (expired ones may linger until
+// touched).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Flush drops everything.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[key]*entry)
+	c.lru.Init()
+}
+
+// Exchange implements Resolver. Cache hits are answered with the stored
+// response re-stamped with the query's ID and decayed TTLs; misses go
+// upstream, coalescing concurrent identical questions into one exchange.
+func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	qq := q.Question1()
+	if len(q.Questions) != 1 || qq.Type == dnswire.TypeANY {
+		// Uncacheable shapes pass straight through.
+		return c.upstream.Exchange(ctx, q)
+	}
+	k := key{name: qq.Name.Canonical(), qtype: qq.Type, class: qq.Class}
+
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		now := c.now()
+		if now.Before(e.expires) {
+			c.lru.MoveToFront(e.elem)
+			c.stats.Hits++
+			resp := cloneResponse(e.resp, q.ID, e.expires.Sub(now))
+			c.mu.Unlock()
+			return resp, nil
+		}
+		c.removeLocked(e)
+	}
+	// Miss: join or start a flight.
+	if f, ok := c.flights[k]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.err
+			}
+			return cloneResponse(f.resp, q.ID, 0), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	resp, err := c.upstream.Exchange(ctx, q)
+	f.resp, f.err = resp, err
+
+	c.mu.Lock()
+	delete(c.flights, k)
+	if err == nil && cacheable(resp) {
+		ttl := c.clampTTL(minTTLOf(resp))
+		e := &entry{key: k, resp: resp, expires: c.now().Add(ttl)}
+		e.elem = c.lru.PushFront(e)
+		c.entries[k] = e
+		for len(c.entries) > c.maxEntries {
+			oldest := c.lru.Back()
+			if oldest == nil {
+				break
+			}
+			c.removeLocked(oldest.Value.(*entry))
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		return nil, err
+	}
+	return cloneResponse(resp, q.ID, 0), nil
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+}
+
+func (c *Cache) clampTTL(ttl time.Duration) time.Duration {
+	if ttl < c.minTTL {
+		ttl = c.minTTL
+	}
+	if c.maxTTL > 0 && ttl > c.maxTTL {
+		ttl = c.maxTTL
+	}
+	return ttl
+}
+
+// cacheable accepts positive answers and NXDOMAIN/NODATA (negative caching
+// per RFC 2308, using the answer TTLs or a conservative floor).
+func cacheable(resp *dnswire.Message) bool {
+	if resp == nil || resp.Truncated {
+		return false
+	}
+	switch resp.RCode {
+	case dnswire.RCodeSuccess, dnswire.RCodeNameError:
+		return true
+	}
+	return false
+}
+
+// minTTLOf returns the smallest record TTL, or a negative-cache floor for
+// answerless responses.
+func minTTLOf(resp *dnswire.Message) time.Duration {
+	const negativeTTL = 30 * time.Second
+	min := time.Duration(-1)
+	for _, section := range [][]dnswire.ResourceRecord{resp.Answers, resp.Authorities} {
+		for _, rr := range section {
+			ttl := time.Duration(rr.TTL) * time.Second
+			if min < 0 || ttl < min {
+				min = ttl
+			}
+		}
+	}
+	if min < 0 {
+		return negativeTTL
+	}
+	return min
+}
+
+// cloneResponse copies resp, restamps the transaction ID, and decays TTLs
+// by the entry's age (remaining > 0 selects decay toward `remaining`).
+func cloneResponse(resp *dnswire.Message, id uint16, remaining time.Duration) *dnswire.Message {
+	cp := *resp
+	cp.ID = id
+	decay := func(rrs []dnswire.ResourceRecord) []dnswire.ResourceRecord {
+		if remaining <= 0 {
+			return append([]dnswire.ResourceRecord(nil), rrs...)
+		}
+		out := make([]dnswire.ResourceRecord, len(rrs))
+		copy(out, rrs)
+		rem := uint32(remaining / time.Second)
+		for i := range out {
+			if out[i].TTL > rem {
+				out[i].TTL = rem
+			}
+		}
+		return out
+	}
+	cp.Answers = decay(resp.Answers)
+	cp.Authorities = decay(resp.Authorities)
+	cp.Additionals = decay(resp.Additionals)
+	return &cp
+}
+
+var _ dnstransport.Resolver = (*Cache)(nil)

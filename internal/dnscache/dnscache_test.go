@@ -1,0 +1,228 @@
+package dnscache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dohcost/internal/dnswire"
+)
+
+// countingUpstream answers with a fixed TTL and counts exchanges.
+type countingUpstream struct {
+	calls atomic.Int64
+	ttl   uint32
+	rcode dnswire.RCode
+	delay time.Duration
+	fail  bool
+}
+
+func (u *countingUpstream) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	u.calls.Add(1)
+	if u.delay > 0 {
+		select {
+		case <-time.After(u.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if u.fail {
+		return nil, errors.New("synthetic upstream failure")
+	}
+	r := q.Reply()
+	r.RCode = u.rcode
+	if u.rcode == dnswire.RCodeSuccess {
+		r.Answers = append(r.Answers, dnswire.ResourceRecord{
+			Name: q.Question1().Name, Class: dnswire.ClassINET, TTL: u.ttl,
+			Data: &dnswire.TXT{Strings: []string{"cached?"}},
+		})
+	}
+	return r, nil
+}
+
+func (u *countingUpstream) Close() error { return nil }
+
+func TestCacheHitAvoidsUpstream(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	c := New(up)
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := c.Exchange(context.Background(), dnswire.NewQuery(uint16(i), "hit.example.", dnswire.TypeA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != uint16(i) {
+			t.Errorf("response ID = %d, want %d (restamped)", resp.ID, i)
+		}
+		if len(resp.Answers) != 1 {
+			t.Fatalf("answers = %v", resp.Answers)
+		}
+	}
+	if got := up.calls.Load(); got != 1 {
+		t.Errorf("upstream calls = %d, want 1", got)
+	}
+	s := c.Stats()
+	if s.Hits != 4 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheKeyIncludesType(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	c := New(up)
+	defer c.Close()
+	c.Exchange(context.Background(), dnswire.NewQuery(1, "x.example.", dnswire.TypeA))
+	c.Exchange(context.Background(), dnswire.NewQuery(2, "x.example.", dnswire.TypeAAAA))
+	c.Exchange(context.Background(), dnswire.NewQuery(3, "X.EXAMPLE.", dnswire.TypeA)) // case-folded hit
+	if got := up.calls.Load(); got != 2 {
+		t.Errorf("upstream calls = %d, want 2 (A and AAAA)", got)
+	}
+}
+
+func TestCacheExpiry(t *testing.T) {
+	now := time.Now()
+	clock := func() time.Time { return now }
+	up := &countingUpstream{ttl: 10}
+	c := New(up, withClock(func() time.Time { return clock() }))
+	defer c.Close()
+
+	c.Exchange(context.Background(), dnswire.NewQuery(1, "exp.example.", dnswire.TypeA))
+	now = now.Add(5 * time.Second)
+	resp, _ := c.Exchange(context.Background(), dnswire.NewQuery(2, "exp.example.", dnswire.TypeA))
+	if up.calls.Load() != 1 {
+		t.Fatal("entry expired too early")
+	}
+	// TTL decays with age.
+	if resp.Answers[0].TTL != 5 {
+		t.Errorf("decayed TTL = %d, want 5", resp.Answers[0].TTL)
+	}
+	now = now.Add(6 * time.Second) // past the 10s TTL
+	c.Exchange(context.Background(), dnswire.NewQuery(3, "exp.example.", dnswire.TypeA))
+	if up.calls.Load() != 2 {
+		t.Error("expired entry served")
+	}
+}
+
+func TestTTLClamping(t *testing.T) {
+	now := time.Now()
+	up := &countingUpstream{ttl: 1} // 1-second records
+	c := New(up,
+		withClock(func() time.Time { return now }),
+		WithTTLBounds(60*time.Second, time.Hour))
+	defer c.Close()
+	c.Exchange(context.Background(), dnswire.NewQuery(1, "clamp.example.", dnswire.TypeA))
+	now = now.Add(30 * time.Second) // beyond record TTL, inside MinTTL
+	c.Exchange(context.Background(), dnswire.NewQuery(2, "clamp.example.", dnswire.TypeA))
+	if up.calls.Load() != 1 {
+		t.Error("MinTTL clamp not applied")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	c := New(up, WithMaxEntries(3))
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		c.Exchange(context.Background(), dnswire.NewQuery(1, dnswire.Name(fmt.Sprintf("n%d.example.", i)), dnswire.TypeA))
+	}
+	if c.Len() != 3 {
+		t.Errorf("entries = %d, want 3", c.Len())
+	}
+	if s := c.Stats(); s.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", s.Evictions)
+	}
+	// Oldest (n0, n1) evicted; n4 hot.
+	c.Exchange(context.Background(), dnswire.NewQuery(2, "n4.example.", dnswire.TypeA))
+	before := up.calls.Load()
+	c.Exchange(context.Background(), dnswire.NewQuery(3, "n0.example.", dnswire.TypeA))
+	if up.calls.Load() != before+1 {
+		t.Error("evicted entry still served")
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	up := &countingUpstream{rcode: dnswire.RCodeNameError}
+	c := New(up)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := c.Exchange(context.Background(), dnswire.NewQuery(uint16(i), "nx.example.", dnswire.TypeA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.RCode != dnswire.RCodeNameError {
+			t.Errorf("rcode = %v", resp.RCode)
+		}
+	}
+	if up.calls.Load() != 1 {
+		t.Errorf("NXDOMAIN not negatively cached: %d upstream calls", up.calls.Load())
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	up := &countingUpstream{fail: true}
+	c := New(up)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Exchange(context.Background(), dnswire.NewQuery(uint16(i), "err.example.", dnswire.TypeA)); err == nil {
+			t.Fatal("error swallowed")
+		}
+	}
+	if up.calls.Load() != 3 {
+		t.Errorf("failures cached: %d upstream calls", up.calls.Load())
+	}
+}
+
+func TestSingleflightCoalescing(t *testing.T) {
+	up := &countingUpstream{ttl: 300, delay: 50 * time.Millisecond}
+	c := New(up)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.Exchange(context.Background(), dnswire.NewQuery(uint16(i), "co.example.", dnswire.TypeA))
+			if err != nil || len(resp.Answers) != 1 {
+				t.Errorf("coalesced query %d: %v %v", i, resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := up.calls.Load(); got != 1 {
+		t.Errorf("upstream calls = %d, want 1 (singleflight)", got)
+	}
+	if s := c.Stats(); s.Coalesced != 9 {
+		t.Errorf("coalesced = %d, want 9", s.Coalesced)
+	}
+}
+
+func TestFlushEmptiesCache(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	c := New(up)
+	defer c.Close()
+	c.Exchange(context.Background(), dnswire.NewQuery(1, "f.example.", dnswire.TypeA))
+	c.Flush()
+	if c.Len() != 0 {
+		t.Error("flush left entries")
+	}
+	c.Exchange(context.Background(), dnswire.NewQuery(2, "f.example.", dnswire.TypeA))
+	if up.calls.Load() != 2 {
+		t.Error("flush did not force a refetch")
+	}
+}
+
+func TestCachedResponseIsACopy(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	c := New(up)
+	defer c.Close()
+	r1, _ := c.Exchange(context.Background(), dnswire.NewQuery(1, "cp.example.", dnswire.TypeA))
+	r1.Answers[0].TTL = 9999 // mutate the caller's copy
+	r2, _ := c.Exchange(context.Background(), dnswire.NewQuery(2, "cp.example.", dnswire.TypeA))
+	if r2.Answers[0].TTL == 9999 {
+		t.Error("cache shares answer slices with callers")
+	}
+}

@@ -1,0 +1,133 @@
+package dnsjson
+
+import (
+	"net/netip"
+	"net/url"
+	"strings"
+	"testing"
+
+	"dohcost/internal/dnswire"
+)
+
+func sampleResponse() *dnswire.Message {
+	q := dnswire.NewQuery(1, "www.example.com.", dnswire.TypeA)
+	r := q.Reply()
+	r.Answers = []dnswire.ResourceRecord{
+		{Name: "www.example.com.", Class: dnswire.ClassINET, TTL: 300,
+			Data: &dnswire.CNAME{Target: "cdn.example.net."}},
+		{Name: "cdn.example.net.", Class: dnswire.ClassINET, TTL: 60,
+			Data: &dnswire.A{Addr: netip.MustParseAddr("192.0.2.7")}},
+	}
+	r.Authorities = []dnswire.ResourceRecord{
+		{Name: "example.net.", Class: dnswire.ClassINET, TTL: 3600,
+			Data: &dnswire.NS{Host: "ns1.example.net."}},
+	}
+	return r
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := sampleResponse()
+	data, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"Status":0`) {
+		t.Errorf("json = %s", data)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RCode != dnswire.RCodeSuccess || !got.Response {
+		t.Errorf("header = %+v", got)
+	}
+	if len(got.Answers) != 2 {
+		t.Fatalf("answers = %v", got.Answers)
+	}
+	cname, ok := got.Answers[0].Data.(*dnswire.CNAME)
+	if !ok || cname.Target != "cdn.example.net." {
+		t.Errorf("answer[0] = %v", got.Answers[0])
+	}
+	a, ok := got.Answers[1].Data.(*dnswire.A)
+	if !ok || a.Addr != netip.MustParseAddr("192.0.2.7") {
+		t.Errorf("answer[1] = %v", got.Answers[1])
+	}
+	if len(got.Authorities) != 1 {
+		t.Errorf("authorities = %v", got.Authorities)
+	}
+}
+
+func TestEncodeVariousTypes(t *testing.T) {
+	r := sampleResponse()
+	r.Answers = append(r.Answers,
+		dnswire.ResourceRecord{Name: "example.net.", Class: dnswire.ClassINET, TTL: 60,
+			Data: &dnswire.AAAA{Addr: netip.MustParseAddr("2001:db8::1")}},
+		dnswire.ResourceRecord{Name: "example.net.", Class: dnswire.ClassINET, TTL: 60,
+			Data: &dnswire.MX{Preference: 10, Host: "mx.example.net."}},
+		dnswire.ResourceRecord{Name: "example.net.", Class: dnswire.ClassINET, TTL: 60,
+			Data: &dnswire.TXT{Strings: []string{"v=spf1 -all"}}},
+		dnswire.ResourceRecord{Name: "example.net.", Class: dnswire.ClassINET, TTL: 60,
+			Data: &dnswire.CAA{Flags: 0, Tag: "issue", Value: "pki.goog"}},
+	)
+	data, err := Encode(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 6 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	mx := got.Answers[3].Data.(*dnswire.MX)
+	if mx.Preference != 10 || mx.Host != "mx.example.net." {
+		t.Errorf("mx = %v", mx)
+	}
+	txt := got.Answers[4].Data.(*dnswire.TXT)
+	if len(txt.Strings) != 1 || txt.Strings[0] != "v=spf1 -all" {
+		t.Errorf("txt = %v", txt)
+	}
+	caa := got.Answers[5].Data.(*dnswire.CAA)
+	if caa.Tag != "issue" || caa.Value != "pki.goog" {
+		t.Errorf("caa = %v", caa)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{nonsense")); err == nil {
+		t.Error("bad json accepted")
+	}
+	if _, err := Decode([]byte(`{"Answer":[{"name":"x","type":1,"data":"not-an-ip"}]}`)); err == nil {
+		t.Error("bad A data accepted")
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	v := url.Values{}
+	v.Set("name", "example.com")
+	v.Set("type", "AAAA")
+	q, err := ParseQuery(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Question1().Name != "example.com." || q.Question1().Type != dnswire.TypeAAAA {
+		t.Errorf("question = %v", q.Question1())
+	}
+	v.Set("type", "257")
+	q, err = ParseQuery(v)
+	if err != nil || q.Question1().Type != dnswire.TypeCAA {
+		t.Errorf("numeric type = %v, %v", q.Question1(), err)
+	}
+	v.Set("do", "true")
+	q, _ = ParseQuery(v)
+	if !q.EDNS.DO {
+		t.Error("do flag ignored")
+	}
+	if _, err := ParseQuery(url.Values{}); err == nil {
+		t.Error("missing name accepted")
+	}
+	if _, err := ParseQuery(url.Values{"name": {"x"}, "type": {"WAT"}}); err == nil {
+		t.Error("bad type accepted")
+	}
+}

@@ -1,0 +1,188 @@
+package dnsserver
+
+import (
+	"encoding/base64"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"dohcost/internal/dnsjson"
+	"dohcost/internal/dnswire"
+	"dohcost/internal/h1"
+	"dohcost/internal/h2"
+	"dohcost/internal/hpack"
+)
+
+// MIME types a DoH endpoint may speak.
+const (
+	ContentTypeWire = "application/dns-message"
+	ContentTypeJSON = dnsjson.ContentType
+)
+
+// Endpoint is one DoH URL path and the content types it accepts, modelling
+// the per-provider diversity Table 1 documents (Google's /resolve speaks
+// only JSON while /dns-query speaks only wireformat; Cloudflare serves both
+// on one path; CleanBrowsing uses /doh/family-filter; and so on).
+type Endpoint struct {
+	Path string
+	Wire bool // application/dns-message (RFC 8484)
+	JSON bool // application/dns-json
+}
+
+// DefaultEndpoints is the RFC-style single wireformat endpoint.
+var DefaultEndpoints = []Endpoint{{Path: "/dns-query", Wire: true}}
+
+// DoH adapts a DNS Handler to HTTP, implementing both this repository's
+// HTTP/1.1 and HTTP/2 server handler interfaces.
+type DoH struct {
+	Handler   Handler
+	Endpoints []Endpoint
+	// AltSvc, when non-empty, is attached to successful responses as an
+	// Alt-Svc header; providers with HTTP/3 advertise QUIC this way, which
+	// is what the landscape prober looks for.
+	AltSvc string
+	// Processing models the extra per-request latency of the HTTPS
+	// frontend (TLS record handling, HTTP parsing, routing) relative to a
+	// raw UDP socket — the "added overhead for encryption and transport"
+	// the paper cites for DoH's slower resolution times. Zero for
+	// controlled transport experiments.
+	Processing time.Duration
+}
+
+var (
+	_ h2.Handler = (*DoH)(nil)
+	_ h1.Handler = (*DoH)(nil)
+)
+
+// ServeH2 implements h2.Handler.
+func (d *DoH) ServeH2(req *h2.Request) *h2.Response {
+	var ct string
+	for _, f := range req.Header {
+		if f.Name == "content-type" {
+			ct = f.Value
+		}
+	}
+	status, respCT, body := d.serve(req.Method, req.Path, ct, req.Body)
+	resp := &h2.Response{Status: status, Body: body}
+	if respCT != "" {
+		resp.Header = append(resp.Header, hpack.HeaderField{Name: "content-type", Value: respCT})
+	}
+	if d.AltSvc != "" && status == 200 {
+		resp.Header = append(resp.Header, hpack.HeaderField{Name: "alt-svc", Value: d.AltSvc})
+	}
+	return resp
+}
+
+// ServeH1 implements h1.Handler.
+func (d *DoH) ServeH1(req *h1.Request) *h1.Response {
+	status, respCT, body := d.serve(req.Method, req.Path, req.Header.Get("Content-Type"), req.Body)
+	resp := &h1.Response{Status: status, Body: body}
+	if respCT != "" {
+		resp.Header.Set("Content-Type", respCT)
+	}
+	if d.AltSvc != "" && status == 200 {
+		resp.Header.Set("Alt-Svc", d.AltSvc)
+	}
+	return resp
+}
+
+// serve is the transport-independent DoH core: it routes by path, decodes
+// the query per RFC 8484 (POST body or GET ?dns= base64url) or the JSON
+// convention (GET ?name=&type=), runs the handler, and encodes the answer
+// in the same representation.
+func (d *DoH) serve(method, rawPath, contentType string, body []byte) (status int, respCT string, respBody []byte) {
+	if d.Processing > 0 {
+		time.Sleep(d.Processing)
+	}
+	endpoints := d.Endpoints
+	if endpoints == nil {
+		endpoints = DefaultEndpoints
+	}
+	u, err := url.ParseRequestURI(rawPath)
+	if err != nil {
+		return 400, "", nil
+	}
+	var ep *Endpoint
+	for i := range endpoints {
+		if endpoints[i].Path == u.Path {
+			ep = &endpoints[i]
+			break
+		}
+	}
+	if ep == nil {
+		return 404, "", nil
+	}
+
+	values := u.Query()
+	wantJSON := false
+	var q *dnswire.Message
+	switch method {
+	case "POST":
+		if contentType != ContentTypeWire || !ep.Wire {
+			return 415, "", nil
+		}
+		q = new(dnswire.Message)
+		if err := q.Unpack(body); err != nil {
+			return 400, "", nil
+		}
+	case "GET":
+		if dns := values.Get("dns"); dns != "" {
+			if !ep.Wire {
+				return 415, "", nil
+			}
+			raw, err := base64.RawURLEncoding.DecodeString(dns)
+			if err != nil {
+				return 400, "", nil
+			}
+			q = new(dnswire.Message)
+			if err := q.Unpack(raw); err != nil {
+				return 400, "", nil
+			}
+		} else if values.Get("name") != "" {
+			if !ep.JSON {
+				return 415, "", nil
+			}
+			wantJSON = true
+			q, err = dnsjson.ParseQuery(values)
+			if err != nil {
+				return 400, "", nil
+			}
+		} else {
+			return 400, "", nil
+		}
+	default:
+		return 405, "", nil
+	}
+
+	resp := d.Handler.ServeDNS(q)
+	if resp == nil {
+		return 500, "", nil
+	}
+	if wantJSON {
+		out, err := dnsjson.Encode(resp)
+		if err != nil {
+			return 500, "", nil
+		}
+		return 200, ContentTypeJSON, out
+	}
+	out, err := resp.Pack()
+	if err != nil {
+		return 500, "", nil
+	}
+	return 200, ContentTypeWire, out
+}
+
+// EncodeGETPath renders the RFC 8484 GET form of a query for the given
+// endpoint path.
+func EncodeGETPath(path string, queryWire []byte) string {
+	return path + "?dns=" + base64.RawURLEncoding.EncodeToString(queryWire)
+}
+
+// EncodeJSONGETPath renders the JSON GET form (?name=&type=).
+func EncodeJSONGETPath(path string, name dnswire.Name, t dnswire.Type) string {
+	v := url.Values{}
+	v.Set("name", strings.TrimSuffix(string(name.Canonical()), "."))
+	v.Set("type", strconv.Itoa(int(t)))
+	return path + "?" + v.Encode()
+}

@@ -1,0 +1,143 @@
+// Package dnsserver provides the resolver side of every transport the study
+// compares: classic UDP and TCP, DNS-over-TLS (RFC 7858, with selectable
+// in-order or out-of-order reply scheduling), and DNS-over-HTTPS (RFC 8484,
+// over this repository's HTTP/1.1 and HTTP/2 stacks, wireformat and JSON).
+//
+// Handlers compose as middleware. The experiment setup from the paper — a
+// CoreDNS instance answering every name with the same address, with one in
+// every 25 queries delayed by a second — is Static + DelayEvery.
+package dnsserver
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dohcost/internal/dnswire"
+)
+
+// Handler answers DNS queries. Implementations must be safe for concurrent
+// use; servers may dispatch queries from many connections at once.
+type Handler interface {
+	ServeDNS(q *dnswire.Message) *dnswire.Message
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(q *dnswire.Message) *dnswire.Message
+
+// ServeDNS implements Handler.
+func (f HandlerFunc) ServeDNS(q *dnswire.Message) *dnswire.Message { return f(q) }
+
+// Static answers every A/AAAA query with the same address and TTL,
+// independent of the queried name — the paper's trick for isolating
+// transport behaviour from resolution behaviour (§3: "we instruct our
+// resolver to always return the same IP address").
+func Static(addr netip.Addr, ttl uint32) Handler {
+	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		r := q.Reply()
+		r.Authoritative = true
+		qq := q.Question1()
+		switch {
+		case qq.Type == dnswire.TypeA && addr.Is4():
+			r.Answers = append(r.Answers, dnswire.ResourceRecord{
+				Name: qq.Name.Canonical(), Class: dnswire.ClassINET, TTL: ttl,
+				Data: &dnswire.A{Addr: addr},
+			})
+		case qq.Type == dnswire.TypeAAAA && addr.Is6():
+			r.Answers = append(r.Answers, dnswire.ResourceRecord{
+				Name: qq.Name.Canonical(), Class: dnswire.ClassINET, TTL: ttl,
+				Data: &dnswire.AAAA{Addr: addr},
+			})
+		}
+		return r
+	})
+}
+
+// DelayEvery delays every nth query through it by d before passing it on.
+// With n=25 and d=1s this is exactly the paper's Figure 2 fault injection.
+func DelayEvery(n int, d time.Duration, next Handler) Handler {
+	var counter atomic.Int64
+	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		if c := counter.Add(1); n > 0 && c%int64(n) == 0 {
+			time.Sleep(d)
+		}
+		return next.ServeDNS(q)
+	})
+}
+
+// Delay sleeps for a fixed duration on every query — the building block for
+// emulating resolver-side processing latency.
+func Delay(d time.Duration, next Handler) Handler {
+	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		time.Sleep(d)
+		return next.ServeDNS(q)
+	})
+}
+
+// Refuse answers everything with the given RCode.
+func Refuse(rcode dnswire.RCode) Handler {
+	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		r := q.Reply()
+		r.RCode = rcode
+		return r
+	})
+}
+
+// CacheMissDelay models recursive-resolver behaviour: with probability
+// missRate a query "misses the cache" and pays an upstream recursion delay
+// drawn uniformly from [min, max]. The paper's local university resolver
+// resolves misses itself, while the big cloud resolvers enjoy very hot
+// shared caches — which is why §5 finds cloud UDP resolution *faster* than
+// the local resolver.
+func CacheMissDelay(seed int64, missRate float64, min, max time.Duration, next Handler) Handler {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		mu.Lock()
+		miss := rng.Float64() < missRate
+		var extra time.Duration
+		if miss && max > min {
+			extra = min + time.Duration(rng.Int63n(int64(max-min)))
+		} else if miss {
+			extra = min
+		}
+		mu.Unlock()
+		if extra > 0 {
+			time.Sleep(extra)
+		}
+		return next.ServeDNS(q)
+	})
+}
+
+// EDNS0PaddingCode is the EDNS(0) option code for Padding (RFC 7830).
+const EDNS0PaddingCode = 12
+
+// PadResponses pads every response's wire form up to a multiple of
+// blockSize using the EDNS(0) Padding option, per the RFC 8467 server
+// policy. Google's DoH frontends do this (468-byte blocks), which is part
+// of why the paper measures larger per-resolution payloads against Google
+// than against Cloudflare even on persistent connections.
+func PadResponses(blockSize int, next Handler) Handler {
+	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		r := next.ServeDNS(q)
+		if r == nil || blockSize <= 0 {
+			return r
+		}
+		if r.EDNS == nil {
+			r.EDNS = &dnswire.EDNS{UDPSize: 512}
+		}
+		wire, err := r.Pack()
+		if err != nil {
+			return r
+		}
+		// A fresh padding option costs 4 octets of option header.
+		unpadded := len(wire) + 4
+		pad := (blockSize - unpadded%blockSize) % blockSize
+		r.EDNS.Options = append(r.EDNS.Options, dnswire.EDNS0Option{
+			Code: EDNS0PaddingCode, Data: make([]byte, pad),
+		})
+		return r
+	})
+}

@@ -1,0 +1,313 @@
+package dnsserver
+
+import (
+	"crypto/tls"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dohcost/internal/dnswire"
+	"dohcost/internal/h1"
+	"dohcost/internal/h2"
+	"dohcost/internal/netsim"
+	"dohcost/internal/tlsx"
+)
+
+// UDPServer serves classic DNS over a datagram endpoint. Queries are
+// handled concurrently — UDP has no ordering, which is why Figure 2 shows
+// it immune to slow-query knock-on effects.
+type UDPServer struct {
+	Handler Handler
+}
+
+// Serve reads queries from pc until it closes.
+func (s *UDPServer) Serve(pc net.PacketConn) error {
+	buf := make([]byte, 65535)
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go s.handlePacket(pc, pkt, from)
+	}
+}
+
+func (s *UDPServer) handlePacket(pc net.PacketConn, pkt []byte, from net.Addr) {
+	var q dnswire.Message
+	if err := q.Unpack(pkt); err != nil {
+		return // drop unparseable datagrams, like real servers
+	}
+	resp := s.Handler.ServeDNS(&q)
+	if resp == nil {
+		return
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	// Truncate to the client's advertised UDP capacity (RFC 6891), or the
+	// classic 512-byte limit without EDNS.
+	limit := 512
+	if q.EDNS != nil && int(q.EDNS.UDPSize) > limit {
+		limit = int(q.EDNS.UDPSize)
+	}
+	if len(wire) > limit {
+		trunc := *resp
+		trunc.Truncated = true
+		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
+		if wire, err = trunc.Pack(); err != nil {
+			return
+		}
+	}
+	pc.WriteTo(wire, from)
+}
+
+// StreamServer serves DNS with two-octet length framing (RFC 1035 §4.2.2)
+// over any stream transport: raw TCP, or TLS for DoT.
+//
+// OutOfOrder selects the reply scheduling the DoT RFC merely recommends:
+// when false the server handles one query at a time per connection, so a
+// slow query blocks every reply behind it (the paper found only Cloudflare
+// implemented out-of-order responses, and identifies this serialization as
+// a key reason DoT underperforms).
+type StreamServer struct {
+	Handler    Handler
+	OutOfOrder bool
+}
+
+// Serve accepts connections until the listener closes.
+func (s *StreamServer) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn handles one connection until EOF.
+func (s *StreamServer) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	var writeMu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		wire, err := ReadStreamMessage(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		var q dnswire.Message
+		if err := q.Unpack(wire); err != nil {
+			return fmt.Errorf("dnsserver: bad query on stream: %w", err)
+		}
+		if s.OutOfOrder {
+			qc := q // copy; the loop reuses nothing, Unpack reallocated slices
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.answerStream(conn, &writeMu, &qc)
+			}()
+			continue
+		}
+		if err := s.answerStream(conn, &writeMu, &q); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *StreamServer) answerStream(conn net.Conn, writeMu *sync.Mutex, q *dnswire.Message) error {
+	resp := s.Handler.ServeDNS(q)
+	if resp == nil {
+		return nil
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return err
+	}
+	writeMu.Lock()
+	defer writeMu.Unlock()
+	return WriteStreamMessage(conn, wire)
+}
+
+// ReadStreamMessage reads one length-prefixed DNS message.
+func ReadStreamMessage(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// WriteStreamMessage writes one length-prefixed DNS message as a single
+// flight.
+func WriteStreamMessage(w io.Writer, msg []byte) error {
+	if len(msg) > dnswire.MaxMessageLen {
+		return dnswire.ErrMessageTooLarge
+	}
+	buf := make([]byte, 2+len(msg))
+	binary.BigEndian.PutUint16(buf, uint16(len(msg)))
+	copy(buf[2:], msg)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Server bundles one resolver deployment: the same handler reachable over
+// UDP (:53), TCP (:53), DoT (:853) and DoH (:443), the way the public
+// providers in Table 1 deploy theirs.
+type Server struct {
+	Handler Handler
+	// Chain supplies TLS material for DoT and DoH; nil disables both.
+	Chain *tlsx.Chain
+	// TLSMin/TLSMax bound the offered protocol versions (zero = 1.2/1.3).
+	TLSMin, TLSMax uint16
+	// DoTOutOfOrder enables Cloudflare-style reply scheduling on DoT.
+	DoTOutOfOrder bool
+	// Endpoints configures the DoH paths and content types; nil serves
+	// the RFC-default wireformat endpoint at /dns-query.
+	Endpoints []Endpoint
+	// DisableDoT drops the :853 listener (several Table 1 providers do
+	// not run DoT).
+	DisableDoT bool
+	// HTTP1Only forces the DoH listener to negotiate only http/1.1 —
+	// used by the transport-comparison experiment.
+	HTTP1Only bool
+	// AltSvc is attached to successful DoH responses (QUIC advertisement).
+	AltSvc string
+	// DoHProcessing models HTTPS frontend per-request latency; see
+	// DoH.Processing.
+	DoHProcessing time.Duration
+	// DoHHandler, when non-nil, answers DoH queries instead of Handler —
+	// providers that pad encrypted responses (RFC 8467) but not classic
+	// UDP/TCP need the split.
+	DoHHandler Handler
+}
+
+// Running tracks a started Server's listeners.
+type Running struct {
+	Host    string
+	closers []io.Closer
+	wg      sync.WaitGroup
+}
+
+// Close shuts down all listeners and waits for serving loops.
+func (r *Running) Close() {
+	for _, c := range r.closers {
+		c.Close()
+	}
+	r.wg.Wait()
+}
+
+// Start brings the deployment up on a simulated network host. Ports follow
+// convention: UDP/TCP 53, DoT 853, DoH 443.
+func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
+	r := &Running{Host: host}
+
+	pc, err := n.ListenPacket(host + ":53")
+	if err != nil {
+		return nil, err
+	}
+	r.closers = append(r.closers, pc)
+	udp := &UDPServer{Handler: s.Handler}
+	r.wg.Add(1)
+	go func() { defer r.wg.Done(); udp.Serve(pc) }()
+
+	tcpL, err := n.Listen(host + ":53")
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	r.closers = append(r.closers, tcpL)
+	tcp := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder}
+	r.wg.Add(1)
+	go func() { defer r.wg.Done(); tcp.Serve(tcpL) }()
+
+	if s.Chain == nil {
+		return r, nil
+	}
+
+	if !s.DisableDoT {
+		dotL, err := n.Listen(host + ":853")
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.closers = append(r.closers, dotL)
+		dot := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder}
+		cfg := s.Chain.ServerConfig(s.TLSMin, s.TLSMax)
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for {
+				conn, err := dotL.Accept()
+				if err != nil {
+					return
+				}
+				go dot.ServeConn(tls.Server(conn, cfg))
+			}
+		}()
+	}
+
+	dohL, err := n.Listen(host + ":443")
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	r.closers = append(r.closers, dohL)
+	dohHandler := s.DoHHandler
+	if dohHandler == nil {
+		dohHandler = s.Handler
+	}
+	doh := &DoH{Handler: dohHandler, Endpoints: s.Endpoints, AltSvc: s.AltSvc, Processing: s.DoHProcessing}
+	protos := []string{"h2", "http/1.1"}
+	if s.HTTP1Only {
+		protos = []string{"http/1.1"}
+	}
+	cfg := s.Chain.ServerConfig(s.TLSMin, s.TLSMax, protos...)
+	h2srv := &h2.Server{Handler: doh}
+	h1srv := &h1.Server{Handler: doh}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		for {
+			conn, err := dohL.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				tc := tls.Server(conn, cfg)
+				if err := tc.Handshake(); err != nil {
+					tc.Close()
+					return
+				}
+				switch tc.ConnectionState().NegotiatedProtocol {
+				case "h2":
+					h2srv.ServeConn(tc)
+				default:
+					h1srv.ServeConn(tc)
+				}
+			}()
+		}
+	}()
+	return r, nil
+}

@@ -1,0 +1,146 @@
+// Package dnstransport implements the client side of every DNS transport
+// the study compares, behind one Resolver interface: classic UDP with ID
+// demultiplexing and retry, TCP and DNS-over-TLS with RFC 1035 stream
+// framing (IDs let the client accept out-of-order replies whenever the
+// server is willing to produce them), and DNS-over-HTTPS over this
+// repository's HTTP/1.1 (pipelined) and HTTP/2 stacks, in persistent and
+// per-query connection modes, with wireformat POST/GET and JSON encodings.
+//
+// Each client can report a per-exchange Cost — wire bytes, segments and
+// packets from the simulated network, plus HTTP/2 frame-layer tallies —
+// which is the raw material for Figures 3, 4 and 5.
+package dnstransport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"dohcost/internal/dnswire"
+	"dohcost/internal/meter"
+	"dohcost/internal/netsim"
+)
+
+// Resolver is a DNS client over some transport. Implementations are safe
+// for concurrent use.
+type Resolver interface {
+	// Exchange sends q and returns the matching response. The client owns
+	// transaction-ID assignment; the caller's q is not mutated.
+	Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
+	// Close releases connections. The resolver is unusable afterwards.
+	Close() error
+}
+
+// Cost is the measured wire cost of one exchange (or of one connection's
+// lifetime for aggregate accounting).
+type Cost struct {
+	// Wire is the stream-level delta: bytes/segments/packets both ways.
+	// Zero for UDP.
+	Wire netsim.ConnStats
+	// H2 is the HTTP/2 frame-layer delta; zero for non-DoH transports.
+	H2 meter.H2Layer
+	// UDPPayloads lists the datagram payload sizes of the exchange
+	// (queries sent, including retries, and the response received).
+	UDPPayloads []int
+	// IncludesSetup reports whether connection establishment (TCP
+	// handshake, TLS handshake, HTTP/2 preface/SETTINGS) happened within
+	// this exchange and is included in the deltas.
+	IncludesSetup bool
+	// Duration is the caller-visible resolution time.
+	Duration time.Duration
+}
+
+// WireCost folds the cost into the paper's bytes/packets pair (Figures 3-4).
+func (c Cost) WireCost() meter.WireCost {
+	if len(c.UDPPayloads) > 0 {
+		return meter.UDPWireCost(c.UDPPayloads)
+	}
+	return meter.TCPWireCost(c.Wire, c.IncludesSetup)
+}
+
+// Breakdown folds the cost into the paper's per-layer stack (Figure 5).
+func (c Cost) Breakdown() meter.Breakdown {
+	return meter.ComposeBreakdown(c.Wire, c.H2, c.IncludesSetup)
+}
+
+// CostRecorder receives per-exchange costs.
+type CostRecorder interface {
+	RecordCost(c Cost)
+}
+
+// CostFunc adapts a function to CostRecorder.
+type CostFunc func(Cost)
+
+// RecordCost implements CostRecorder.
+func (f CostFunc) RecordCost(c Cost) { f(c) }
+
+// Transport errors.
+var (
+	ErrClosed  = errors.New("dnstransport: resolver closed")
+	ErrTimeout = errors.New("dnstransport: query timed out")
+)
+
+// statsConn is the wire-statistics capability of simulated connections.
+type statsConn interface {
+	Stats() netsim.ConnStats
+}
+
+// wireStats unwraps a connection stack down to the simulated network layer
+// and snapshots its counters; connections without stats report zero.
+func wireStats(conn net.Conn) netsim.ConnStats {
+	if sc, ok := conn.(statsConn); ok {
+		return sc.Stats()
+	}
+	return netsim.ConnStats{}
+}
+
+// exchangeID produces the transaction ID policy for one transport: DoH uses
+// zero (RFC 8484 §4.1, cache friendliness), everything else uses a
+// generated ID from the client's sequence.
+func cloneWithID(q *dnswire.Message, id uint16) *dnswire.Message {
+	cp := *q
+	cp.ID = id
+	return &cp
+}
+
+// pendingMap tracks in-flight queries by transaction ID.
+type pendingMap struct {
+	ch map[uint16]chan *dnswire.Message
+}
+
+func newPendingMap() *pendingMap {
+	return &pendingMap{ch: make(map[uint16]chan *dnswire.Message)}
+}
+
+// reserve picks a free ID starting from a hint.
+func (p *pendingMap) reserve(hint uint16) (uint16, chan *dnswire.Message, error) {
+	id := hint
+	for i := 0; i < 65536; i++ {
+		if _, taken := p.ch[id]; !taken {
+			ch := make(chan *dnswire.Message, 1)
+			p.ch[id] = ch
+			return id, ch, nil
+		}
+		id++
+	}
+	return 0, nil, fmt.Errorf("dnstransport: no free transaction IDs")
+}
+
+func (p *pendingMap) deliver(id uint16, m *dnswire.Message) {
+	if ch, ok := p.ch[id]; ok {
+		delete(p.ch, id)
+		ch <- m
+	}
+}
+
+func (p *pendingMap) drop(id uint16) { delete(p.ch, id) }
+
+// failAll closes every waiter's channel, signalling an error.
+func (p *pendingMap) failAll() {
+	for id, ch := range p.ch {
+		close(ch)
+		delete(p.ch, id)
+	}
+}

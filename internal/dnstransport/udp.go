@@ -1,0 +1,147 @@
+package dnstransport
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dohcost/internal/dnswire"
+)
+
+// UDPClient is a classic RFC 1035 stub resolver client: one datagram socket
+// multiplexing any number of concurrent queries by transaction ID, with
+// timeout-driven retransmission. Figure 2's immunity of UDP to slow-query
+// knock-on comes from exactly this independence between exchanges.
+type UDPClient struct {
+	pc     net.PacketConn
+	server net.Addr
+
+	// Timeout is the per-attempt wait; Retries is how many additional
+	// attempts follow a timeout.
+	Timeout time.Duration
+	Retries int
+	// Recorder, when set, receives per-exchange costs.
+	Recorder CostRecorder
+
+	mu      sync.Mutex
+	pending *pendingMap
+	nextID  uint16
+	closed  bool
+}
+
+// NewUDPClient wraps an open packet socket and starts the response
+// demultiplexer.
+func NewUDPClient(pc net.PacketConn, server net.Addr) *UDPClient {
+	c := &UDPClient{
+		pc:      pc,
+		server:  server,
+		Timeout: 2 * time.Second,
+		Retries: 2,
+		pending: newPendingMap(),
+		nextID:  1,
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close implements Resolver.
+func (c *UDPClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.pending.failAll()
+	c.mu.Unlock()
+	return c.pc.Close()
+}
+
+func (c *UDPClient) readLoop() {
+	buf := make([]byte, 65535)
+	for {
+		n, _, err := c.pc.ReadFrom(buf)
+		if err != nil {
+			c.mu.Lock()
+			c.pending.failAll()
+			c.mu.Unlock()
+			return
+		}
+		m := new(dnswire.Message)
+		if err := m.Unpack(buf[:n]); err != nil {
+			continue // ignore malformed datagrams
+		}
+		c.mu.Lock()
+		c.pending.deliver(m.ID, m)
+		c.mu.Unlock()
+	}
+}
+
+// Exchange implements Resolver.
+func (c *UDPClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	start := time.Now()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	id, ch, err := c.pending.reserve(c.nextID)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID = id + 1
+	c.mu.Unlock()
+
+	msg := cloneWithID(q, id)
+	wire, err := msg.Pack()
+	if err != nil {
+		c.unregister(id)
+		return nil, fmt.Errorf("dnstransport: packing query: %w", err)
+	}
+
+	var payloads []int
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if _, err := c.pc.WriteTo(wire, c.server); err != nil {
+			c.unregister(id)
+			return nil, fmt.Errorf("dnstransport: udp send: %w", err)
+		}
+		payloads = append(payloads, len(wire))
+
+		timer := time.NewTimer(c.Timeout)
+		select {
+		case resp, ok := <-ch:
+			timer.Stop()
+			if !ok {
+				return nil, ErrClosed
+			}
+			if err := dnswire.ValidateResponse(msg, resp); err != nil {
+				return nil, err
+			}
+			respWire, _ := resp.Pack()
+			c.record(Cost{
+				UDPPayloads: append(payloads, len(respWire)),
+				Duration:    time.Since(start),
+			})
+			return resp, nil
+		case <-ctx.Done():
+			timer.Stop()
+			c.unregister(id)
+			return nil, ctx.Err()
+		case <-timer.C:
+			// fall through to retransmit
+		}
+	}
+	c.unregister(id)
+	return nil, fmt.Errorf("%w after %d attempts", ErrTimeout, c.Retries+1)
+}
+
+func (c *UDPClient) unregister(id uint16) {
+	c.mu.Lock()
+	c.pending.drop(id)
+	c.mu.Unlock()
+}
+
+func (c *UDPClient) record(cost Cost) {
+	if c.Recorder != nil {
+		c.Recorder.RecordCost(cost)
+	}
+}

@@ -1,0 +1,484 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// RData is the typed payload of a resource record. Implementations append
+// their wire form (without the RDLENGTH prefix — the caller patches that in)
+// and decode themselves from a bounded window of the message. decode
+// receives the whole message because several types (CNAME, MX, SOA, SRV…)
+// may contain compressed names pointing anywhere before their own offset.
+type RData interface {
+	// Type reports the RR type this payload belongs to.
+	Type() Type
+	// appendTo packs the payload, using cmap for names where RFC 3597
+	// permits compression (i.e. the "well-known" RFC 1035 types).
+	appendTo(msg []byte, cmap compressionMap) ([]byte, error)
+	// decodeFrom parses msg[off:off+length] as the payload.
+	decodeFrom(msg []byte, off, length int) error
+	// String renders the payload in zone-file presentation format.
+	String() string
+}
+
+// A is an IPv4 address record (RFC 1035 §3.4.1).
+type A struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (*A) Type() Type { return TypeA }
+
+func (r *A) appendTo(msg []byte, _ compressionMap) ([]byte, error) {
+	if !r.Addr.Is4() {
+		return msg, fmt.Errorf("dnswire: A record address %v is not IPv4", r.Addr)
+	}
+	a4 := r.Addr.As4()
+	return append(msg, a4[:]...), nil
+}
+
+func (r *A) decodeFrom(msg []byte, off, length int) error {
+	if length != 4 {
+		return fmt.Errorf("dnswire: A rdata length %d, want 4", length)
+	}
+	r.Addr = netip.AddrFrom4([4]byte(msg[off : off+4]))
+	return nil
+}
+
+// String implements RData.
+func (r *A) String() string { return r.Addr.String() }
+
+// AAAA is an IPv6 address record (RFC 3596).
+type AAAA struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (*AAAA) Type() Type { return TypeAAAA }
+
+func (r *AAAA) appendTo(msg []byte, _ compressionMap) ([]byte, error) {
+	if !r.Addr.Is6() || r.Addr.Is4In6() {
+		return msg, fmt.Errorf("dnswire: AAAA record address %v is not IPv6", r.Addr)
+	}
+	a16 := r.Addr.As16()
+	return append(msg, a16[:]...), nil
+}
+
+func (r *AAAA) decodeFrom(msg []byte, off, length int) error {
+	if length != 16 {
+		return fmt.Errorf("dnswire: AAAA rdata length %d, want 16", length)
+	}
+	r.Addr = netip.AddrFrom16([16]byte(msg[off : off+16]))
+	return nil
+}
+
+// String implements RData.
+func (r *AAAA) String() string { return r.Addr.String() }
+
+// CNAME is a canonical-name alias record (RFC 1035 §3.3.1).
+type CNAME struct {
+	Target Name
+}
+
+// Type implements RData.
+func (*CNAME) Type() Type { return TypeCNAME }
+
+func (r *CNAME) appendTo(msg []byte, cmap compressionMap) ([]byte, error) {
+	return appendName(msg, r.Target, cmap)
+}
+
+func (r *CNAME) decodeFrom(msg []byte, off, length int) error {
+	name, end, err := readName(msg, off)
+	if err != nil {
+		return err
+	}
+	if end != off+length {
+		return ErrRDataOutOfBounds
+	}
+	r.Target = name
+	return nil
+}
+
+// String implements RData.
+func (r *CNAME) String() string { return string(r.Target) }
+
+// NS is a name-server delegation record (RFC 1035 §3.3.11).
+type NS struct {
+	Host Name
+}
+
+// Type implements RData.
+func (*NS) Type() Type { return TypeNS }
+
+func (r *NS) appendTo(msg []byte, cmap compressionMap) ([]byte, error) {
+	return appendName(msg, r.Host, cmap)
+}
+
+func (r *NS) decodeFrom(msg []byte, off, length int) error {
+	name, end, err := readName(msg, off)
+	if err != nil {
+		return err
+	}
+	if end != off+length {
+		return ErrRDataOutOfBounds
+	}
+	r.Host = name
+	return nil
+}
+
+// String implements RData.
+func (r *NS) String() string { return string(r.Host) }
+
+// PTR is a reverse-mapping pointer record (RFC 1035 §3.3.12).
+type PTR struct {
+	Target Name
+}
+
+// Type implements RData.
+func (*PTR) Type() Type { return TypePTR }
+
+func (r *PTR) appendTo(msg []byte, cmap compressionMap) ([]byte, error) {
+	return appendName(msg, r.Target, cmap)
+}
+
+func (r *PTR) decodeFrom(msg []byte, off, length int) error {
+	name, end, err := readName(msg, off)
+	if err != nil {
+		return err
+	}
+	if end != off+length {
+		return ErrRDataOutOfBounds
+	}
+	r.Target = name
+	return nil
+}
+
+// String implements RData.
+func (r *PTR) String() string { return string(r.Target) }
+
+// MX is a mail-exchanger record (RFC 1035 §3.3.9).
+type MX struct {
+	Preference uint16
+	Host       Name
+}
+
+// Type implements RData.
+func (*MX) Type() Type { return TypeMX }
+
+func (r *MX) appendTo(msg []byte, cmap compressionMap) ([]byte, error) {
+	msg = binary.BigEndian.AppendUint16(msg, r.Preference)
+	return appendName(msg, r.Host, cmap)
+}
+
+func (r *MX) decodeFrom(msg []byte, off, length int) error {
+	if length < 3 {
+		return ErrShortMessage
+	}
+	r.Preference = binary.BigEndian.Uint16(msg[off:])
+	name, end, err := readName(msg, off+2)
+	if err != nil {
+		return err
+	}
+	if end != off+length {
+		return ErrRDataOutOfBounds
+	}
+	r.Host = name
+	return nil
+}
+
+// String implements RData.
+func (r *MX) String() string { return fmt.Sprintf("%d %s", r.Preference, r.Host) }
+
+// TXT is a free-text record (RFC 1035 §3.3.14); the payload is a sequence of
+// character-strings, each at most 255 octets.
+type TXT struct {
+	Strings []string
+}
+
+// Type implements RData.
+func (*TXT) Type() Type { return TypeTXT }
+
+func (r *TXT) appendTo(msg []byte, _ compressionMap) ([]byte, error) {
+	if len(r.Strings) == 0 {
+		// An empty TXT is encoded as one empty character-string.
+		return append(msg, 0), nil
+	}
+	for _, s := range r.Strings {
+		if len(s) > 255 {
+			return msg, fmt.Errorf("dnswire: TXT character-string exceeds 255 octets")
+		}
+		msg = append(msg, byte(len(s)))
+		msg = append(msg, s...)
+	}
+	return msg, nil
+}
+
+func (r *TXT) decodeFrom(msg []byte, off, length int) error {
+	end := off + length
+	r.Strings = r.Strings[:0]
+	for off < end {
+		n := int(msg[off])
+		off++
+		if off+n > end {
+			return ErrRDataOutOfBounds
+		}
+		r.Strings = append(r.Strings, string(msg[off:off+n]))
+		off += n
+	}
+	return nil
+}
+
+// String implements RData.
+func (r *TXT) String() string {
+	quoted := make([]string, len(r.Strings))
+	for i, s := range r.Strings {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(quoted, " ")
+}
+
+// SOA is a start-of-authority record (RFC 1035 §3.3.13).
+type SOA struct {
+	MName   Name
+	RName   Name
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Type implements RData.
+func (*SOA) Type() Type { return TypeSOA }
+
+func (r *SOA) appendTo(msg []byte, cmap compressionMap) ([]byte, error) {
+	var err error
+	if msg, err = appendName(msg, r.MName, cmap); err != nil {
+		return msg, err
+	}
+	if msg, err = appendName(msg, r.RName, cmap); err != nil {
+		return msg, err
+	}
+	msg = binary.BigEndian.AppendUint32(msg, r.Serial)
+	msg = binary.BigEndian.AppendUint32(msg, r.Refresh)
+	msg = binary.BigEndian.AppendUint32(msg, r.Retry)
+	msg = binary.BigEndian.AppendUint32(msg, r.Expire)
+	msg = binary.BigEndian.AppendUint32(msg, r.Minimum)
+	return msg, nil
+}
+
+func (r *SOA) decodeFrom(msg []byte, off, length int) error {
+	end := off + length
+	var err error
+	if r.MName, off, err = readName(msg, off); err != nil {
+		return err
+	}
+	if r.RName, off, err = readName(msg, off); err != nil {
+		return err
+	}
+	if off+20 != end {
+		return ErrRDataOutOfBounds
+	}
+	r.Serial = binary.BigEndian.Uint32(msg[off:])
+	r.Refresh = binary.BigEndian.Uint32(msg[off+4:])
+	r.Retry = binary.BigEndian.Uint32(msg[off+8:])
+	r.Expire = binary.BigEndian.Uint32(msg[off+12:])
+	r.Minimum = binary.BigEndian.Uint32(msg[off+16:])
+	return nil
+}
+
+// String implements RData.
+func (r *SOA) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		r.MName, r.RName, r.Serial, r.Refresh, r.Retry, r.Expire, r.Minimum)
+}
+
+// SRV is a service-location record (RFC 2782). Its target name must not be
+// compressed on the wire.
+type SRV struct {
+	Priority uint16
+	Weight   uint16
+	Port     uint16
+	Target   Name
+}
+
+// Type implements RData.
+func (*SRV) Type() Type { return TypeSRV }
+
+func (r *SRV) appendTo(msg []byte, _ compressionMap) ([]byte, error) {
+	msg = binary.BigEndian.AppendUint16(msg, r.Priority)
+	msg = binary.BigEndian.AppendUint16(msg, r.Weight)
+	msg = binary.BigEndian.AppendUint16(msg, r.Port)
+	return appendName(msg, r.Target, nil)
+}
+
+func (r *SRV) decodeFrom(msg []byte, off, length int) error {
+	if length < 7 {
+		return ErrShortMessage
+	}
+	r.Priority = binary.BigEndian.Uint16(msg[off:])
+	r.Weight = binary.BigEndian.Uint16(msg[off+2:])
+	r.Port = binary.BigEndian.Uint16(msg[off+4:])
+	name, end, err := readName(msg, off+6)
+	if err != nil {
+		return err
+	}
+	if end != off+length {
+		return ErrRDataOutOfBounds
+	}
+	r.Target = name
+	return nil
+}
+
+// String implements RData.
+func (r *SRV) String() string {
+	return fmt.Sprintf("%d %d %d %s", r.Priority, r.Weight, r.Port, r.Target)
+}
+
+// CAA is a certification-authority-authorization record (RFC 6844/8659).
+// The landscape survey (Table 2) probes for these.
+type CAA struct {
+	Flags uint8  // bit 0x80 = issuer-critical
+	Tag   string // "issue", "issuewild", "iodef"
+	Value string
+}
+
+// Type implements RData.
+func (*CAA) Type() Type { return TypeCAA }
+
+func (r *CAA) appendTo(msg []byte, _ compressionMap) ([]byte, error) {
+	if len(r.Tag) == 0 || len(r.Tag) > 255 {
+		return msg, fmt.Errorf("dnswire: CAA tag length %d out of range", len(r.Tag))
+	}
+	msg = append(msg, r.Flags, byte(len(r.Tag)))
+	msg = append(msg, r.Tag...)
+	return append(msg, r.Value...), nil
+}
+
+func (r *CAA) decodeFrom(msg []byte, off, length int) error {
+	if length < 2 {
+		return ErrShortMessage
+	}
+	end := off + length
+	r.Flags = msg[off]
+	tagLen := int(msg[off+1])
+	off += 2
+	if off+tagLen > end {
+		return ErrRDataOutOfBounds
+	}
+	r.Tag = string(msg[off : off+tagLen])
+	r.Value = string(msg[off+tagLen : end])
+	return nil
+}
+
+// String implements RData.
+func (r *CAA) String() string { return fmt.Sprintf("%d %s %q", r.Flags, r.Tag, r.Value) }
+
+// EDNS0Option is a single option inside an OPT pseudo-record (RFC 6891 §6.1.2).
+type EDNS0Option struct {
+	Code uint16
+	Data []byte
+}
+
+// OPT is the EDNS(0) pseudo-record (RFC 6891). Its header fields are
+// repurposed: CLASS carries the requestor's UDP payload size and TTL packs
+// the extended RCODE, EDNS version, and the DO bit; the Message codec
+// handles that mapping, so OPT itself only holds the options.
+type OPT struct {
+	Options []EDNS0Option
+}
+
+// Type implements RData.
+func (*OPT) Type() Type { return TypeOPT }
+
+func (r *OPT) appendTo(msg []byte, _ compressionMap) ([]byte, error) {
+	for _, o := range r.Options {
+		if len(o.Data) > 65535 {
+			return msg, fmt.Errorf("dnswire: EDNS0 option %d too long", o.Code)
+		}
+		msg = binary.BigEndian.AppendUint16(msg, o.Code)
+		msg = binary.BigEndian.AppendUint16(msg, uint16(len(o.Data)))
+		msg = append(msg, o.Data...)
+	}
+	return msg, nil
+}
+
+func (r *OPT) decodeFrom(msg []byte, off, length int) error {
+	end := off + length
+	r.Options = r.Options[:0]
+	for off < end {
+		if off+4 > end {
+			return ErrRDataOutOfBounds
+		}
+		code := binary.BigEndian.Uint16(msg[off:])
+		n := int(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		if off+n > end {
+			return ErrRDataOutOfBounds
+		}
+		data := make([]byte, n)
+		copy(data, msg[off:off+n])
+		r.Options = append(r.Options, EDNS0Option{Code: code, Data: data})
+		off += n
+	}
+	return nil
+}
+
+// String implements RData.
+func (r *OPT) String() string { return fmt.Sprintf("OPT(%d options)", len(r.Options)) }
+
+// Unknown carries the raw rdata of any type this package has no structured
+// decoder for (RFC 3597 treatment).
+type Unknown struct {
+	RRType Type
+	Raw    []byte
+}
+
+// Type implements RData.
+func (r *Unknown) Type() Type { return r.RRType }
+
+func (r *Unknown) appendTo(msg []byte, _ compressionMap) ([]byte, error) {
+	return append(msg, r.Raw...), nil
+}
+
+func (r *Unknown) decodeFrom(msg []byte, off, length int) error {
+	r.Raw = make([]byte, length)
+	copy(r.Raw, msg[off:off+length])
+	return nil
+}
+
+// String implements RData.
+func (r *Unknown) String() string { return fmt.Sprintf("\\# %d %x", len(r.Raw), r.Raw) }
+
+// newRData returns a zero value of the structured type for t, or an Unknown
+// if the package has none.
+func newRData(t Type) RData {
+	switch t {
+	case TypeA:
+		return &A{}
+	case TypeAAAA:
+		return &AAAA{}
+	case TypeCNAME:
+		return &CNAME{}
+	case TypeNS:
+		return &NS{}
+	case TypePTR:
+		return &PTR{}
+	case TypeMX:
+		return &MX{}
+	case TypeTXT:
+		return &TXT{}
+	case TypeSOA:
+		return &SOA{}
+	case TypeSRV:
+		return &SRV{}
+	case TypeCAA:
+		return &CAA{}
+	case TypeOPT:
+		return &OPT{}
+	}
+	return &Unknown{RRType: t}
+}

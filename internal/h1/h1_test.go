@@ -1,0 +1,285 @@
+package h1
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dohcost/internal/netsim"
+)
+
+func startServer(t *testing.T, h Handler) func() (net.Conn, error) {
+	t.Helper()
+	n := netsim.New(1)
+	l, err := n.Listen("h1.test:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srv := &Server{Handler: h}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(c)
+		}
+	}()
+	return func() (net.Conn, error) { return n.Dial("client", "h1.test:80") }
+}
+
+func echo(req *Request) *Response {
+	return &Response{
+		Status: 200,
+		Header: Header{{"Content-Type", "application/dns-message"}},
+		Body:   append([]byte("echo:"), req.Body...),
+	}
+}
+
+func TestSimpleRoundTrip(t *testing.T) {
+	dial := startServer(t, HandlerFunc(echo))
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewPipelineClient(conn)
+	defer c.Close()
+	resp, err := c.Do(context.Background(), &Request{
+		Method: "POST", Path: "/dns-query", Host: "h1.test",
+		Header: Header{{"Content-Type", "application/dns-message"}},
+		Body:   []byte("hello"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "echo:hello" {
+		t.Errorf("resp = %d %q", resp.Status, resp.Body)
+	}
+	if resp.Header.Get("content-type") != "application/dns-message" {
+		t.Errorf("content-type = %q", resp.Header.Get("content-type"))
+	}
+}
+
+func TestKeepAliveSequential(t *testing.T) {
+	dial := startServer(t, HandlerFunc(echo))
+	conn, _ := dial()
+	c := NewPipelineClient(conn)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		body := fmt.Sprintf("q%d", i)
+		resp, err := c.Do(context.Background(), &Request{
+			Method: "POST", Path: "/", Host: "h1.test", Body: []byte(body),
+		})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if string(resp.Body) != "echo:"+body {
+			t.Fatalf("request %d: %q", i, resp.Body)
+		}
+	}
+}
+
+func TestPipeliningOverlapsRequests(t *testing.T) {
+	// The server stamps each response with its arrival order; pipelined
+	// clients must receive responses matched FIFO even when issued from
+	// many goroutines before any response returns.
+	var mu sync.Mutex
+	seq := 0
+	dial := startServer(t, HandlerFunc(func(req *Request) *Response {
+		mu.Lock()
+		seq++
+		mu.Unlock()
+		return &Response{Status: 200, Body: append([]byte("r:"), req.Body...)}
+	}))
+	conn, _ := dial()
+	c := NewPipelineClient(conn)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf("%02d", i)
+			resp, err := c.Do(context.Background(), &Request{
+				Method: "POST", Path: "/", Host: "h1.test", Body: []byte(body),
+			})
+			if err != nil {
+				t.Errorf("req %d: %v", i, err)
+				return
+			}
+			if string(resp.Body) != "r:"+body {
+				t.Errorf("req %d got %q", i, resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestHeadOfLineBlocking verifies the property Figure 2 measures: with
+// pipelining, a slow request delays responses behind it.
+func TestHeadOfLineBlocking(t *testing.T) {
+	dial := startServer(t, HandlerFunc(func(req *Request) *Response {
+		if req.Path == "/slow" {
+			time.Sleep(150 * time.Millisecond)
+		}
+		return &Response{Status: 200, Body: []byte(req.Path)}
+	}))
+	conn, _ := dial()
+	c := NewPipelineClient(conn)
+	defer c.Close()
+
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		c.Do(context.Background(), &Request{Method: "GET", Path: "/slow", Host: "h"})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	start := time.Now()
+	resp, err := c.Do(context.Background(), &Request{Method: "GET", Path: "/fast", Host: "h"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastTime := time.Since(start)
+	if string(resp.Body) != "/fast" {
+		t.Errorf("body = %q", resp.Body)
+	}
+	// The fast response must have been blocked behind the slow one.
+	if fastTime < 100*time.Millisecond {
+		t.Errorf("fast request returned in %v; expected head-of-line blocking ≥ ~140ms", fastTime)
+	}
+	<-slowDone
+}
+
+func TestChunkedResponseBody(t *testing.T) {
+	// Hand-roll a server speaking chunked encoding to exercise the client
+	// parser.
+	n := netsim.New(1)
+	l, _ := n.Listen("chunk.test:80")
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, _, err := readHeaderBlock(br); err != nil {
+			return
+		}
+		io.WriteString(conn, "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"+
+			"4\r\nWiki\r\n5\r\npedia\r\n0\r\n\r\n")
+	}()
+	conn, _ := n.Dial("cli", "chunk.test:80")
+	c := NewPipelineClient(conn)
+	defer c.Close()
+	resp, err := c.Do(context.Background(), &Request{Method: "GET", Path: "/", Host: "chunk.test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "Wikipedia" {
+		t.Errorf("chunked body = %q", resp.Body)
+	}
+}
+
+func TestContextCancelKillsConnection(t *testing.T) {
+	dial := startServer(t, HandlerFunc(func(req *Request) *Response {
+		time.Sleep(5 * time.Second)
+		return &Response{Status: 200}
+	}))
+	conn, _ := dial()
+	c := NewPipelineClient(conn)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Do(ctx, &Request{Method: "GET", Path: "/", Host: "h"}); err == nil {
+		t.Fatal("cancelled request succeeded")
+	}
+	// Connection is dead afterwards: pipelining cannot skip responses.
+	if _, err := c.Do(context.Background(), &Request{Method: "GET", Path: "/", Host: "h"}); err == nil {
+		t.Fatal("request succeeded on abandoned pipeline")
+	}
+}
+
+func TestConnectionCloseHeader(t *testing.T) {
+	dial := startServer(t, HandlerFunc(echo))
+	conn, _ := dial()
+	c := NewPipelineClient(conn)
+	defer c.Close()
+	resp, err := c.Do(context.Background(), &Request{
+		Method: "POST", Path: "/", Host: "h", Header: Header{{"Connection", "close"}}, Body: []byte("x"),
+	})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("resp = %v err = %v", resp, err)
+	}
+	// The server hangs up; the next request must fail.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := c.Do(context.Background(), &Request{Method: "POST", Path: "/", Host: "h", Body: []byte("y")}); err == nil {
+		t.Error("request succeeded after Connection: close")
+	}
+}
+
+func TestMalformedResponseFailsCleanly(t *testing.T) {
+	n := netsim.New(1)
+	l, _ := n.Listen("bad.test:80")
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		readHeaderBlock(br)
+		io.WriteString(conn, "NONSENSE GARBAGE\r\n\r\n")
+	}()
+	conn, _ := n.Dial("cli", "bad.test:80")
+	c := NewPipelineClient(conn)
+	defer c.Close()
+	if _, err := c.Do(context.Background(), &Request{Method: "GET", Path: "/", Host: "bad.test"}); err == nil {
+		t.Fatal("garbage response accepted")
+	}
+}
+
+func TestHeaderGetSet(t *testing.T) {
+	var h Header
+	h.Set("Content-Type", "a")
+	h.Set("content-type", "b")
+	if len(h) != 1 || h.Get("CONTENT-TYPE") != "b" {
+		t.Errorf("header = %v", h)
+	}
+	if h.Get("missing") != "" {
+		t.Error("missing header non-empty")
+	}
+}
+
+func TestRequestSerializationGolden(t *testing.T) {
+	var buf bytes.Buffer
+	writeRequest(&buf, &Request{
+		Method: "POST", Path: "/dns-query", Host: "doh.test",
+		Header: Header{{"Accept", "application/dns-message"}},
+		Body:   []byte{0xAB, 0xCD},
+	})
+	got := buf.String()
+	if !strings.HasPrefix(got, "POST /dns-query HTTP/1.1\r\nHost: doh.test\r\n") {
+		t.Errorf("request start = %q", got[:40])
+	}
+	if !strings.Contains(got, "Content-Length: 2\r\n\r\n\xab\xcd") {
+		t.Errorf("request body framing wrong:\n%q", got)
+	}
+}
+
+func TestOversizeBodyRejected(t *testing.T) {
+	br := bufio.NewReader(strings.NewReader("x"))
+	h := Header{{"Content-Length", "999999999"}}
+	if _, err := readBody(br, h); err == nil {
+		t.Error("huge content-length accepted")
+	}
+}

@@ -1,0 +1,500 @@
+package h2
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"dohcost/internal/hpack"
+)
+
+// Request is an HTTP/2 request. Header carries only regular fields; the
+// pseudo-headers travel in the dedicated struct fields.
+type Request struct {
+	Method    string
+	Scheme    string
+	Authority string
+	Path      string
+	Header    []hpack.HeaderField
+	Body      []byte
+}
+
+// Response is a complete HTTP/2 response.
+type Response struct {
+	Status int
+	Header []hpack.HeaderField
+	Body   []byte
+}
+
+// HeaderValue returns the first value of a regular header field, or "".
+func (r *Response) HeaderValue(name string) string {
+	for _, f := range r.Header {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return ""
+}
+
+// ErrConnClosed reports the connection is no longer usable for new streams.
+var ErrConnClosed = errors.New("h2: connection closed")
+
+// clientStream tracks one in-flight request.
+type clientStream struct {
+	id   uint32
+	resp Response
+	err  error
+	done chan struct{}
+
+	sendWindow int64
+	hasStatus  bool
+	endStream  bool
+}
+
+// ClientConn is an HTTP/2 client connection multiplexing concurrent
+// requests over one transport connection. Safe for concurrent use.
+type ClientConn struct {
+	conn net.Conn
+	fr   *Framer
+
+	encMu sync.Mutex // serializes HPACK encoding and HEADERS emission
+	henc  *hpack.Encoder
+
+	mu             sync.Mutex
+	cond           *sync.Cond
+	streams        map[uint32]*clientStream
+	nextID         uint32
+	connSendWindow int64
+	initialWindow  int64
+	peerMaxFrame   uint32
+	closeErr       error
+
+	// header continuation accumulation (read loop only)
+	hdec       *hpack.Decoder
+	contStream uint32
+	contEnd    bool
+	contBuf    []byte
+	inContinue bool
+}
+
+// NewClientConn performs the client side of connection setup (preface and
+// SETTINGS) on conn and starts the read loop.
+func NewClientConn(conn net.Conn) (*ClientConn, error) {
+	cc := &ClientConn{
+		conn:           conn,
+		fr:             NewFramer(conn),
+		henc:           hpack.NewEncoder(),
+		hdec:           hpack.NewDecoder(),
+		streams:        make(map[uint32]*clientStream),
+		nextID:         1,
+		connSendWindow: defaultInitialWindowSize,
+		initialWindow:  defaultInitialWindowSize,
+		peerMaxFrame:   defaultMaxFrameSize,
+	}
+	cc.cond = sync.NewCond(&cc.mu)
+	if err := cc.fr.WritePreface(); err != nil {
+		return nil, fmt.Errorf("h2: writing preface: %w", err)
+	}
+	err := cc.fr.WriteFrame(FrameSettings, 0, 0, encodeSettings([]Setting{
+		{SettingEnablePush, 0},
+		{SettingInitialWindowSize, defaultInitialWindowSize},
+		{SettingMaxConcurrentStreams, 1000},
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("h2: writing settings: %w", err)
+	}
+	go cc.readLoop()
+	return cc, nil
+}
+
+// Stats exposes the connection's frame accounting.
+func (cc *ClientConn) Stats() *FrameStats { return &cc.fr.Stats }
+
+// Close tears the connection down, failing in-flight requests.
+func (cc *ClientConn) Close() error {
+	cc.fr.WriteFrame(FrameGoAway, 0, 0, make([]byte, 8))
+	cc.failAll(ErrConnClosed)
+	return cc.conn.Close()
+}
+
+// failAll marks the connection dead and completes every pending stream with
+// err.
+func (cc *ClientConn) failAll(err error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.closeErr == nil {
+		cc.closeErr = err
+	}
+	for id, cs := range cc.streams {
+		cs.err = cc.closeErr
+		close(cs.done)
+		delete(cc.streams, id)
+	}
+	cc.cond.Broadcast()
+}
+
+// RoundTrip sends req and waits for the complete response or ctx expiry.
+// Concurrent RoundTrips multiplex onto independent streams.
+func (cc *ClientConn) RoundTrip(ctx context.Context, req *Request) (*Response, error) {
+	cs, err := cc.startRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Body) > 0 {
+		if err := cc.writeBody(cs, req.Body); err != nil {
+			cc.abortStream(cs, ErrCodeInternal)
+			return nil, err
+		}
+	}
+	select {
+	case <-cs.done:
+		if cs.err != nil {
+			return nil, cs.err
+		}
+		return &cs.resp, nil
+	case <-ctx.Done():
+		cc.abortStream(cs, ErrCodeCancel)
+		return nil, ctx.Err()
+	}
+}
+
+// startRequest allocates a stream and writes the HEADERS frame.
+func (cc *ClientConn) startRequest(req *Request) (*clientStream, error) {
+	cc.mu.Lock()
+	if cc.closeErr != nil {
+		cc.mu.Unlock()
+		return nil, cc.closeErr
+	}
+	cs := &clientStream{
+		id:         cc.nextID,
+		done:       make(chan struct{}),
+		sendWindow: cc.initialWindow,
+	}
+	cc.nextID += 2
+	cc.streams[cs.id] = cs
+	cc.mu.Unlock()
+
+	fields := make([]hpack.HeaderField, 0, 4+len(req.Header))
+	fields = append(fields,
+		hpack.HeaderField{Name: ":method", Value: req.Method},
+		hpack.HeaderField{Name: ":scheme", Value: req.Scheme},
+		hpack.HeaderField{Name: ":authority", Value: req.Authority},
+		hpack.HeaderField{Name: ":path", Value: req.Path},
+	)
+	fields = append(fields, req.Header...)
+
+	var flags uint8
+	if len(req.Body) == 0 {
+		flags |= FlagEndStream
+	}
+	// Encoding and frame emission must stay ordered, so both happen under
+	// encMu. (The framer additionally serializes the actual write.)
+	cc.mu.Lock()
+	maxFrame := cc.peerMaxFrame
+	cc.mu.Unlock()
+	cc.encMu.Lock()
+	block := cc.henc.AppendEncode(nil, fields)
+	err := writeHeaderBlock(cc.fr, cs.id, flags, block, maxFrame)
+	cc.encMu.Unlock()
+	if err != nil {
+		cc.removeStream(cs)
+		return nil, fmt.Errorf("h2: writing HEADERS: %w", err)
+	}
+	return cs, nil
+}
+
+// writeHeaderBlock emits a header block as HEADERS plus as many
+// CONTINUATION frames as the peer's frame-size limit requires. extraFlags
+// carries END_STREAM when there is no body.
+func writeHeaderBlock(fr *Framer, streamID uint32, extraFlags uint8, block []byte, maxFrame uint32) error {
+	first := true
+	for {
+		chunk := block
+		if uint32(len(chunk)) > maxFrame {
+			chunk = chunk[:maxFrame]
+		}
+		block = block[len(chunk):]
+		var flags uint8
+		typ := FrameContinuation
+		if first {
+			typ = FrameHeaders
+			flags = extraFlags
+			first = false
+		}
+		if len(block) == 0 {
+			flags |= FlagEndHeaders
+		}
+		if err := fr.WriteFrame(typ, flags, streamID, chunk); err != nil {
+			return err
+		}
+		if len(block) == 0 {
+			return nil
+		}
+	}
+}
+
+// writeBody sends DATA frames under connection and stream flow control,
+// ending the stream on the final frame.
+func (cc *ClientConn) writeBody(cs *clientStream, body []byte) error {
+	for len(body) > 0 {
+		n, err := cc.reserveWindow(cs, len(body))
+		if err != nil {
+			return err
+		}
+		chunk := body[:n]
+		body = body[n:]
+		var flags uint8
+		if len(body) == 0 {
+			flags = FlagEndStream
+		}
+		if err := cc.fr.WriteFrame(FrameData, flags, cs.id, chunk); err != nil {
+			return fmt.Errorf("h2: writing DATA: %w", err)
+		}
+	}
+	return nil
+}
+
+// reserveWindow blocks until some send window is available on both the
+// connection and the stream, then reserves and returns a chunk size.
+func (cc *ClientConn) reserveWindow(cs *clientStream, want int) (int, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for {
+		if cc.closeErr != nil {
+			return 0, cc.closeErr
+		}
+		if cs.err != nil {
+			return 0, cs.err
+		}
+		n := int64(want)
+		if n > cc.connSendWindow {
+			n = cc.connSendWindow
+		}
+		if n > cs.sendWindow {
+			n = cs.sendWindow
+		}
+		if n > int64(cc.peerMaxFrame) {
+			n = int64(cc.peerMaxFrame)
+		}
+		if n > 0 {
+			cc.connSendWindow -= n
+			cs.sendWindow -= n
+			return int(n), nil
+		}
+		cc.cond.Wait()
+	}
+}
+
+// abortStream resets a stream after a local failure or cancellation.
+func (cc *ClientConn) abortStream(cs *clientStream, code ErrCode) {
+	payload := make([]byte, 4)
+	payload[0] = byte(uint32(code) >> 24)
+	payload[1] = byte(uint32(code) >> 16)
+	payload[2] = byte(uint32(code) >> 8)
+	payload[3] = byte(uint32(code))
+	cc.fr.WriteFrame(FrameRSTStream, 0, cs.id, payload)
+	cc.removeStream(cs)
+}
+
+func (cc *ClientConn) removeStream(cs *clientStream) {
+	cc.mu.Lock()
+	delete(cc.streams, cs.id)
+	cc.mu.Unlock()
+}
+
+// readLoop dispatches inbound frames until the connection dies.
+func (cc *ClientConn) readLoop() {
+	for {
+		fr, err := cc.fr.ReadFrame()
+		if err != nil {
+			cc.failAll(fmt.Errorf("h2: read: %w", err))
+			cc.conn.Close()
+			return
+		}
+		if err := cc.handleFrame(fr); err != nil {
+			cc.fr.WriteFrame(FrameGoAway, 0, 0, make([]byte, 8))
+			cc.failAll(err)
+			cc.conn.Close()
+			return
+		}
+	}
+}
+
+func (cc *ClientConn) handleFrame(fr Frame) error {
+	if cc.inContinue && fr.Type != FrameContinuation {
+		return ConnError{ErrCodeProtocol, "expected CONTINUATION"}
+	}
+	switch fr.Type {
+	case FrameSettings:
+		return cc.handleSettings(fr)
+	case FramePing:
+		if fr.Flags&FlagAck == 0 {
+			payload := append([]byte(nil), fr.Payload...)
+			return cc.fr.WriteFrame(FramePing, FlagAck, 0, payload)
+		}
+	case FrameWindowUpdate:
+		if len(fr.Payload) != 4 {
+			return ConnError{ErrCodeFrameSize, "bad WINDOW_UPDATE"}
+		}
+		inc := int64(uint32(fr.Payload[0])<<24|uint32(fr.Payload[1])<<16|uint32(fr.Payload[2])<<8|uint32(fr.Payload[3])) & maxWindow
+		cc.mu.Lock()
+		if fr.StreamID == 0 {
+			cc.connSendWindow += inc
+		} else if cs := cc.streams[fr.StreamID]; cs != nil {
+			cs.sendWindow += inc
+		}
+		cc.cond.Broadcast()
+		cc.mu.Unlock()
+	case FrameHeaders:
+		block, err := stripPadding(fr)
+		if err != nil {
+			return err
+		}
+		cc.contStream = fr.StreamID
+		cc.contEnd = fr.Flags&FlagEndStream != 0
+		cc.contBuf = append(cc.contBuf[:0], block...)
+		if fr.Flags&FlagEndHeaders != 0 {
+			return cc.finishHeaders()
+		}
+		cc.inContinue = true
+	case FrameContinuation:
+		if !cc.inContinue || fr.StreamID != cc.contStream {
+			return ConnError{ErrCodeProtocol, "unexpected CONTINUATION"}
+		}
+		cc.contBuf = append(cc.contBuf, fr.Payload...)
+		if fr.Flags&FlagEndHeaders != 0 {
+			cc.inContinue = false
+			return cc.finishHeaders()
+		}
+	case FrameData:
+		return cc.handleData(fr)
+	case FrameRSTStream:
+		cc.mu.Lock()
+		cs := cc.streams[fr.StreamID]
+		delete(cc.streams, fr.StreamID)
+		cc.mu.Unlock()
+		if cs != nil {
+			cs.err = StreamError{fr.StreamID, ErrCodeStreamClosed, "reset by peer"}
+			close(cs.done)
+		}
+	case FrameGoAway:
+		return ConnError{ErrCodeNo, "received GOAWAY"}
+	case FramePriority, FramePushPromise:
+		// PRIORITY is advisory; PUSH_PROMISE is disabled via settings and
+		// ignoring it is safe for this client's use.
+	}
+	return nil
+}
+
+func (cc *ClientConn) handleSettings(fr Frame) error {
+	if fr.Flags&FlagAck != 0 {
+		return nil
+	}
+	settings, err := decodeSettings(fr.Payload)
+	if err != nil {
+		return err
+	}
+	for _, s := range settings {
+		switch s.ID {
+		case SettingInitialWindowSize:
+			cc.mu.Lock()
+			delta := int64(s.Value) - cc.initialWindow
+			cc.initialWindow = int64(s.Value)
+			for _, cs := range cc.streams {
+				cs.sendWindow += delta
+			}
+			cc.cond.Broadcast()
+			cc.mu.Unlock()
+		case SettingMaxFrameSize:
+			cc.mu.Lock()
+			cc.peerMaxFrame = s.Value
+			cc.mu.Unlock()
+		case SettingHeaderTableSize:
+			cc.encMu.Lock()
+			cc.henc.SetMaxDynamicTableSize(int(s.Value))
+			cc.encMu.Unlock()
+		}
+	}
+	return cc.fr.WriteFrame(FrameSettings, FlagAck, 0, nil)
+}
+
+// finishHeaders decodes an assembled header block and applies it to its
+// stream.
+func (cc *ClientConn) finishHeaders() error {
+	fields, err := cc.hdec.Decode(cc.contBuf)
+	if err != nil {
+		return ConnError{ErrCodeCompression, err.Error()}
+	}
+	cc.mu.Lock()
+	cs := cc.streams[cc.contStream]
+	cc.mu.Unlock()
+	if cs == nil {
+		return nil // stream already gone (cancelled); state remains valid
+	}
+	for _, f := range fields {
+		if f.Name == ":status" {
+			code, err := strconv.Atoi(f.Value)
+			if err != nil {
+				return StreamError{cs.id, ErrCodeProtocol, "bad :status"}
+			}
+			cs.resp.Status = code
+			cs.hasStatus = true
+			continue
+		}
+		cs.resp.Header = append(cs.resp.Header, f)
+	}
+	if cc.contEnd {
+		cc.completeStream(cs)
+	}
+	return nil
+}
+
+func (cc *ClientConn) handleData(fr Frame) error {
+	data, err := stripPadding(fr)
+	if err != nil {
+		return err
+	}
+	cc.mu.Lock()
+	cs := cc.streams[fr.StreamID]
+	cc.mu.Unlock()
+	if cs == nil {
+		// Stale DATA for a cancelled stream: replenish the connection
+		// window and move on.
+		return cc.sendWindowUpdate(0, len(fr.Payload))
+	}
+	cs.resp.Body = append(cs.resp.Body, data...)
+	if fr.Flags&FlagEndStream != 0 {
+		cc.completeStream(cs)
+		return cc.sendWindowUpdate(0, len(fr.Payload))
+	}
+	if err := cc.sendWindowUpdate(0, len(fr.Payload)); err != nil {
+		return err
+	}
+	return cc.sendWindowUpdate(fr.StreamID, len(fr.Payload))
+}
+
+// sendWindowUpdate replenishes flow-control credit consumed by a DATA frame.
+func (cc *ClientConn) sendWindowUpdate(streamID uint32, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	payload := []byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+	return cc.fr.WriteFrame(FrameWindowUpdate, 0, streamID, payload)
+}
+
+func (cc *ClientConn) completeStream(cs *clientStream) {
+	cc.mu.Lock()
+	_, live := cc.streams[cs.id]
+	delete(cc.streams, cs.id)
+	cc.mu.Unlock()
+	if !live {
+		return
+	}
+	if !cs.hasStatus {
+		cs.err = StreamError{cs.id, ErrCodeProtocol, "response without :status"}
+	}
+	close(cs.done)
+}

@@ -1,0 +1,383 @@
+package h2
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+
+	"dohcost/internal/hpack"
+)
+
+// Handler produces the response for one request. Handlers run concurrently,
+// one goroutine per stream — a slow handler delays only its own stream,
+// which is precisely the property Figure 2 measures.
+type Handler interface {
+	ServeH2(req *Request) *Response
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req *Request) *Response
+
+// ServeH2 implements Handler.
+func (f HandlerFunc) ServeH2(req *Request) *Response { return f(req) }
+
+// Server serves HTTP/2 connections.
+type Server struct {
+	Handler Handler
+	// MaxFrameSize advertised to peers; zero means the 16 KB default.
+	MaxFrameSize uint32
+}
+
+// serverStream accumulates one inbound request.
+type serverStream struct {
+	id        uint32
+	req       Request
+	gotEnd    bool
+	headersOK bool
+
+	sendWindow int64
+}
+
+// serverConn is the per-connection state.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+	fr   *Framer
+
+	encMu sync.Mutex
+	henc  *hpack.Encoder
+	hdec  *hpack.Decoder
+
+	mu             sync.Mutex
+	cond           *sync.Cond
+	streams        map[uint32]*serverStream
+	connSendWindow int64
+	initialWindow  int64
+	peerMaxFrame   uint32
+	closed         bool
+
+	contStream uint32
+	contEnd    bool
+	contBuf    []byte
+	inContinue bool
+
+	wg sync.WaitGroup
+}
+
+// ServeConn runs the HTTP/2 protocol on conn until it closes, dispatching
+// requests to the server's handler. It returns nil on clean shutdown
+// (client GOAWAY or EOF).
+func (s *Server) ServeConn(conn net.Conn) error {
+	sc := &serverConn{
+		srv:            s,
+		conn:           conn,
+		fr:             NewFramer(conn),
+		henc:           hpack.NewEncoder(),
+		hdec:           hpack.NewDecoder(),
+		streams:        make(map[uint32]*serverStream),
+		connSendWindow: defaultInitialWindowSize,
+		initialWindow:  defaultInitialWindowSize,
+		peerMaxFrame:   defaultMaxFrameSize,
+	}
+	sc.cond = sync.NewCond(&sc.mu)
+	defer func() {
+		sc.mu.Lock()
+		sc.closed = true
+		sc.cond.Broadcast()
+		sc.mu.Unlock()
+		conn.Close()
+		sc.wg.Wait()
+	}()
+
+	if err := sc.fr.ReadPreface(); err != nil {
+		return fmt.Errorf("h2: reading preface: %w", err)
+	}
+	maxFrame := s.MaxFrameSize
+	if maxFrame == 0 {
+		maxFrame = defaultMaxFrameSize
+	}
+	err := sc.fr.WriteFrame(FrameSettings, 0, 0, encodeSettings([]Setting{
+		{SettingMaxConcurrentStreams, 1000},
+		{SettingMaxFrameSize, maxFrame},
+		{SettingInitialWindowSize, defaultInitialWindowSize},
+	}))
+	if err != nil {
+		return fmt.Errorf("h2: writing settings: %w", err)
+	}
+
+	for {
+		fr, err := sc.fr.ReadFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		if err := sc.handleFrame(fr); err != nil {
+			var goaway ConnError
+			if errors.As(err, &goaway) && goaway.Code == ErrCodeNo {
+				return nil // clean client GOAWAY
+			}
+			sc.fr.WriteFrame(FrameGoAway, 0, 0, make([]byte, 8))
+			return err
+		}
+	}
+}
+
+// Stats returns nil until ServeConn has started; exposed mainly for tests.
+func (sc *serverConn) Stats() *FrameStats { return &sc.fr.Stats }
+
+func (sc *serverConn) handleFrame(fr Frame) error {
+	if sc.inContinue && fr.Type != FrameContinuation {
+		return ConnError{ErrCodeProtocol, "expected CONTINUATION"}
+	}
+	switch fr.Type {
+	case FrameSettings:
+		return sc.handleSettings(fr)
+	case FramePing:
+		if fr.Flags&FlagAck == 0 {
+			payload := append([]byte(nil), fr.Payload...)
+			return sc.fr.WriteFrame(FramePing, FlagAck, 0, payload)
+		}
+	case FrameWindowUpdate:
+		if len(fr.Payload) != 4 {
+			return ConnError{ErrCodeFrameSize, "bad WINDOW_UPDATE"}
+		}
+		inc := int64(uint32(fr.Payload[0])<<24|uint32(fr.Payload[1])<<16|uint32(fr.Payload[2])<<8|uint32(fr.Payload[3])) & maxWindow
+		sc.mu.Lock()
+		if fr.StreamID == 0 {
+			sc.connSendWindow += inc
+		} else if st := sc.streams[fr.StreamID]; st != nil {
+			st.sendWindow += inc
+		}
+		sc.cond.Broadcast()
+		sc.mu.Unlock()
+	case FrameHeaders:
+		if fr.StreamID == 0 || fr.StreamID%2 == 0 {
+			return ConnError{ErrCodeProtocol, "bad stream id for HEADERS"}
+		}
+		block, err := stripPadding(fr)
+		if err != nil {
+			return err
+		}
+		sc.contStream = fr.StreamID
+		sc.contEnd = fr.Flags&FlagEndStream != 0
+		sc.contBuf = append(sc.contBuf[:0], block...)
+		if fr.Flags&FlagEndHeaders != 0 {
+			return sc.finishHeaders()
+		}
+		sc.inContinue = true
+	case FrameContinuation:
+		if !sc.inContinue || fr.StreamID != sc.contStream {
+			return ConnError{ErrCodeProtocol, "unexpected CONTINUATION"}
+		}
+		sc.contBuf = append(sc.contBuf, fr.Payload...)
+		if fr.Flags&FlagEndHeaders != 0 {
+			sc.inContinue = false
+			return sc.finishHeaders()
+		}
+	case FrameData:
+		return sc.handleData(fr)
+	case FrameRSTStream:
+		sc.mu.Lock()
+		delete(sc.streams, fr.StreamID)
+		sc.mu.Unlock()
+	case FrameGoAway:
+		return ConnError{ErrCodeNo, "client GOAWAY"}
+	case FramePriority, FramePushPromise:
+		// PRIORITY is advisory; clients cannot push.
+	}
+	return nil
+}
+
+func (sc *serverConn) handleSettings(fr Frame) error {
+	if fr.Flags&FlagAck != 0 {
+		return nil
+	}
+	settings, err := decodeSettings(fr.Payload)
+	if err != nil {
+		return err
+	}
+	for _, s := range settings {
+		switch s.ID {
+		case SettingInitialWindowSize:
+			sc.mu.Lock()
+			delta := int64(s.Value) - sc.initialWindow
+			sc.initialWindow = int64(s.Value)
+			for _, st := range sc.streams {
+				st.sendWindow += delta
+			}
+			sc.cond.Broadcast()
+			sc.mu.Unlock()
+		case SettingMaxFrameSize:
+			sc.mu.Lock()
+			sc.peerMaxFrame = s.Value
+			sc.mu.Unlock()
+		case SettingHeaderTableSize:
+			sc.encMu.Lock()
+			sc.henc.SetMaxDynamicTableSize(int(s.Value))
+			sc.encMu.Unlock()
+		}
+	}
+	return sc.fr.WriteFrame(FrameSettings, FlagAck, 0, nil)
+}
+
+func (sc *serverConn) finishHeaders() error {
+	fields, err := sc.hdec.Decode(sc.contBuf)
+	if err != nil {
+		return ConnError{ErrCodeCompression, err.Error()}
+	}
+	st := &serverStream{id: sc.contStream}
+	sc.mu.Lock()
+	st.sendWindow = sc.initialWindow
+	sc.streams[st.id] = st
+	sc.mu.Unlock()
+
+	for _, f := range fields {
+		switch f.Name {
+		case ":method":
+			st.req.Method = f.Value
+		case ":scheme":
+			st.req.Scheme = f.Value
+		case ":authority":
+			st.req.Authority = f.Value
+		case ":path":
+			st.req.Path = f.Value
+		default:
+			st.req.Header = append(st.req.Header, f)
+		}
+	}
+	st.headersOK = st.req.Method != "" && st.req.Path != ""
+	if !st.headersOK {
+		return sc.resetStream(st.id, ErrCodeProtocol)
+	}
+	if sc.contEnd {
+		sc.dispatch(st)
+	}
+	return nil
+}
+
+func (sc *serverConn) handleData(fr Frame) error {
+	data, err := stripPadding(fr)
+	if err != nil {
+		return err
+	}
+	sc.mu.Lock()
+	st := sc.streams[fr.StreamID]
+	sc.mu.Unlock()
+	if st == nil {
+		return sc.sendWindowUpdate(0, len(fr.Payload))
+	}
+	st.req.Body = append(st.req.Body, data...)
+	if err := sc.sendWindowUpdate(0, len(fr.Payload)); err != nil {
+		return err
+	}
+	if fr.Flags&FlagEndStream != 0 {
+		sc.dispatch(st)
+		return nil
+	}
+	return sc.sendWindowUpdate(fr.StreamID, len(fr.Payload))
+}
+
+func (sc *serverConn) sendWindowUpdate(streamID uint32, n int) error {
+	if n <= 0 {
+		return nil
+	}
+	payload := []byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+	return sc.fr.WriteFrame(FrameWindowUpdate, 0, streamID, payload)
+}
+
+// dispatch runs the handler on its own goroutine and writes the response
+// when it returns. Streams answer in completion order, not arrival order.
+func (sc *serverConn) dispatch(st *serverStream) {
+	st.gotEnd = true
+	sc.wg.Add(1)
+	go func() {
+		defer sc.wg.Done()
+		resp := sc.srv.Handler.ServeH2(&st.req)
+		if resp == nil {
+			resp = &Response{Status: 500}
+		}
+		if err := sc.writeResponse(st, resp); err != nil {
+			sc.conn.Close() // connection is broken; read loop will exit
+		}
+	}()
+}
+
+func (sc *serverConn) writeResponse(st *serverStream, resp *Response) error {
+	fields := make([]hpack.HeaderField, 0, 1+len(resp.Header))
+	fields = append(fields, hpack.HeaderField{Name: ":status", Value: strconv.Itoa(resp.Status)})
+	fields = append(fields, resp.Header...)
+
+	var flags uint8
+	if len(resp.Body) == 0 {
+		flags |= FlagEndStream
+	}
+	sc.mu.Lock()
+	maxFrame := sc.peerMaxFrame
+	sc.mu.Unlock()
+	sc.encMu.Lock()
+	block := sc.henc.AppendEncode(nil, fields)
+	err := writeHeaderBlock(sc.fr, st.id, flags, block, maxFrame)
+	sc.encMu.Unlock()
+	if err != nil {
+		return err
+	}
+	body := resp.Body
+	for len(body) > 0 {
+		n, err := sc.reserveWindow(st, len(body))
+		if err != nil {
+			return err
+		}
+		chunk := body[:n]
+		body = body[n:]
+		var f uint8
+		if len(body) == 0 {
+			f = FlagEndStream
+		}
+		if err := sc.fr.WriteFrame(FrameData, f, st.id, chunk); err != nil {
+			return err
+		}
+	}
+	sc.mu.Lock()
+	delete(sc.streams, st.id)
+	sc.mu.Unlock()
+	return nil
+}
+
+func (sc *serverConn) reserveWindow(st *serverStream, want int) (int, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for {
+		if sc.closed {
+			return 0, ErrConnClosed
+		}
+		n := int64(want)
+		if n > sc.connSendWindow {
+			n = sc.connSendWindow
+		}
+		if n > st.sendWindow {
+			n = st.sendWindow
+		}
+		if n > int64(sc.peerMaxFrame) {
+			n = int64(sc.peerMaxFrame)
+		}
+		if n > 0 {
+			sc.connSendWindow -= n
+			st.sendWindow -= n
+			return int(n), nil
+		}
+		sc.cond.Wait()
+	}
+}
+
+func (sc *serverConn) resetStream(id uint32, code ErrCode) error {
+	sc.mu.Lock()
+	delete(sc.streams, id)
+	sc.mu.Unlock()
+	payload := []byte{byte(uint32(code) >> 24), byte(uint32(code) >> 16), byte(uint32(code) >> 8), byte(code)}
+	return sc.fr.WriteFrame(FrameRSTStream, 0, id, payload)
+}

@@ -1,0 +1,108 @@
+package landscape
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dohcost/internal/dnsserver"
+	"dohcost/internal/dnswire"
+	"dohcost/internal/netsim"
+	"dohcost/internal/tlsx"
+)
+
+// RegistryHost is the simulated stand-in for the public DNS where a prober
+// looks up CAA records about the providers themselves.
+const RegistryHost = "registry.sim"
+
+// Deployment is a set of providers brought up as live server stacks on a
+// simulated network, plus the registry resolver holding their CAA records.
+type Deployment struct {
+	Net       *netsim.Network
+	Providers []Provider
+
+	chains  map[string]*tlsx.Chain // per provider host
+	running []*dnsserver.Running
+}
+
+// Deploy generates certificates and starts every provider's UDP, TCP, DoT
+// and DoH listeners, plus the registry.
+func Deploy(n *netsim.Network, providers []Provider) (*Deployment, error) {
+	d := &Deployment{Net: n, Providers: providers, chains: map[string]*tlsx.Chain{}}
+
+	registry := dnsserver.NewZone(".")
+	for pi := range providers {
+		p := &providers[pi]
+		for hi, host := range p.hosts() {
+			chain, err := tlsx.GenerateChain(tlsx.ChainSpec{
+				CommonName:      host,
+				DNSNames:        []string{host},
+				TargetWireBytes: p.ChainBytes,
+				EmbedSCT:        p.CT,
+				OCSPMustStaple:  p.OCSPMustStaple,
+				Seed:            int64(pi*17 + hi + 3),
+			})
+			if err != nil {
+				d.Close()
+				return nil, fmt.Errorf("landscape: chain for %s: %w", host, err)
+			}
+			d.chains[host] = chain
+
+			min, max := p.tlsVersions()
+			altSvc := ""
+			if p.QUIC {
+				altSvc = `h3=":443"; ma=86400`
+			}
+			srv := &dnsserver.Server{
+				Handler:    dnsserver.Static(netip.MustParseAddr("192.0.2.1"), 300),
+				Chain:      chain,
+				TLSMin:     min,
+				TLSMax:     max,
+				DisableDoT: !p.DoT,
+				Endpoints:  p.endpoints(host),
+				AltSvc:     altSvc,
+			}
+			run, err := srv.Start(n, host)
+			if err != nil {
+				d.Close()
+				return nil, fmt.Errorf("landscape: starting %s: %w", host, err)
+			}
+			d.running = append(d.running, run)
+		}
+
+		// Registry metadata: CAA records for providers that publish them.
+		if p.CAA {
+			registry.Add(dnswire.ResourceRecord{
+				Name: dnswire.Name(p.Host + "."), Class: dnswire.ClassINET, TTL: 86400,
+				Data: &dnswire.CAA{Flags: 0, Tag: "issue", Value: "pki.goog"},
+			})
+		} else {
+			// Known name without CAA: the registry answers NODATA rather
+			// than NXDOMAIN so the prober can distinguish "no CAA" from
+			// "no such host".
+			registry.Add(dnswire.ResourceRecord{
+				Name: dnswire.Name(p.Host + "."), Class: dnswire.ClassINET, TTL: 86400,
+				Data: &dnswire.TXT{Strings: []string{"registered"}},
+			})
+		}
+	}
+
+	regSrv := &dnsserver.Server{Handler: registry}
+	run, err := regSrv.Start(n, RegistryHost)
+	if err != nil {
+		d.Close()
+		return nil, fmt.Errorf("landscape: starting registry: %w", err)
+	}
+	d.running = append(d.running, run)
+	return d, nil
+}
+
+// Chain returns the certificate chain deployed for host, for client trust.
+func (d *Deployment) Chain(host string) *tlsx.Chain { return d.chains[host] }
+
+// Close stops all listeners.
+func (d *Deployment) Close() {
+	for _, r := range d.running {
+		r.Close()
+	}
+	d.running = nil
+}

@@ -1,0 +1,208 @@
+// Package landscape reproduces the paper's survey of the public DoH
+// ecosystem (Tables 1 and 2). The nine providers the paper assessed are
+// modelled as profiles — URL paths, content types, TLS version ranges,
+// certificate properties, DoT support, QUIC advertisement, traffic
+// steering — deployed as real server stacks on the simulated network, and a
+// Prober rediscovers their feature matrix the way the authors did: by
+// talking to them.
+package landscape
+
+import (
+	"crypto/tls"
+
+	"dohcost/internal/dnsserver"
+	"dohcost/internal/tlsx"
+)
+
+// Steering is the traffic-steering mechanism of Table 2's last row.
+type Steering int
+
+// Steering mechanisms.
+const (
+	SteeringDNSLB   Steering = iota // DNS load balancing (DL)
+	SteeringAnycast                 // anycast (AC)
+	SteeringUnicast                 // unicast (UC)
+)
+
+// String renders the Table 2 marker.
+func (s Steering) String() string {
+	switch s {
+	case SteeringDNSLB:
+		return "DL"
+	case SteeringAnycast:
+		return "AC"
+	case SteeringUnicast:
+		return "UC"
+	}
+	return "??"
+}
+
+// Service is one probeable DoH service: a URL (host + path) with its
+// supported content types. Table 2's columns are services, not providers —
+// Google's /resolve and /dns-query behave differently.
+type Service struct {
+	Marker string // column identifier, e.g. "G1"
+	URL    string // full URL as Table 1 prints it
+	Host   string // simulated host
+	Path   string
+	Wire   bool // application/dns-message
+	JSON   bool // application/dns-json
+}
+
+// Provider is one operator from Table 1.
+type Provider struct {
+	Name     string
+	Host     string // primary host; also the TLS server name
+	Services []Service
+
+	// TLS configuration across the provider's deployment.
+	TLSMin uint16
+	TLSMax uint16
+	// ChainBytes is the certificate chain wire size to emulate.
+	ChainBytes int
+	// CT: certificates carry embedded SCTs (all providers, per the paper).
+	CT bool
+	// CAA: the provider publishes DNS CAA records (only Google).
+	CAA bool
+	// OCSPMustStaple: certificate demands stapling (nobody, per the paper).
+	OCSPMustStaple bool
+	// QUIC: the provider advertises HTTP/3 via Alt-Svc (Google).
+	QUIC bool
+	// DoT: an RFC 7858 listener runs on :853.
+	DoT bool
+	// Steering is how the operator routes clients (not probeable on the
+	// wire; carried as registry metadata, as the paper determined it).
+	Steering Steering
+}
+
+// tlsVersions expands the provider's range into explicit offers.
+func (p *Provider) tlsVersions() (min, max uint16) { return p.TLSMin, p.TLSMax }
+
+// DefaultProviders returns the nine providers of Table 1 with the feature
+// ground truth of Table 2 (as verified by the authors on 10 September 2019).
+//
+// One note: the paper's §2 text says PowerDNS runs DoT while Table 2 marks
+// it ✗ and CleanBrowsing ✓; we follow the table.
+func DefaultProviders() []Provider {
+	return []Provider{
+		{
+			Name: "Google", Host: "dns.google.com",
+			Services: []Service{
+				{Marker: "G1", URL: "https://dns.google.com/resolve", Host: "dns.google.com", Path: "/resolve", JSON: true},
+				{Marker: "G2", URL: "https://dns.google.com/dns-query", Host: "dns.google.com", Path: "/dns-query", Wire: true},
+			},
+			TLSMin: tls.VersionTLS12, TLSMax: tls.VersionTLS13,
+			ChainBytes: tlsx.GoogleChainBytes,
+			CT:         true, CAA: true, QUIC: true, DoT: true,
+			Steering: SteeringDNSLB,
+		},
+		{
+			Name: "Cloudflare", Host: "cloudflare-dns.com",
+			Services: []Service{
+				{Marker: "CF", URL: "https://cloudflare-dns.com/dns-query", Host: "cloudflare-dns.com", Path: "/dns-query", Wire: true, JSON: true},
+			},
+			TLSMin: tls.VersionTLS10, TLSMax: tls.VersionTLS13,
+			ChainBytes: tlsx.CloudflareChainBytes,
+			CT:         true, DoT: true,
+			Steering: SteeringAnycast,
+		},
+		{
+			Name: "Quad9", Host: "dns.quad9.net",
+			Services: []Service{
+				{Marker: "Q9", URL: "https://dns.quad9.net/dns-query", Host: "dns.quad9.net", Path: "/dns-query", Wire: true, JSON: true},
+			},
+			TLSMin: tls.VersionTLS12, TLSMax: tls.VersionTLS13,
+			ChainBytes: 2400,
+			CT:         true, DoT: true,
+			Steering: SteeringAnycast,
+		},
+		{
+			Name: "CleanBrowsing", Host: "doh.cleanbrowsing.org",
+			Services: []Service{
+				{Marker: "CB", URL: "https://doh.cleanbrowsing.org/doh/family-filter", Host: "doh.cleanbrowsing.org", Path: "/doh/family-filter", Wire: true},
+			},
+			TLSMin: tls.VersionTLS12, TLSMax: tls.VersionTLS12,
+			ChainBytes: 2600,
+			CT:         true, DoT: true,
+			Steering: SteeringAnycast,
+		},
+		{
+			Name: "PowerDNS", Host: "doh.powerdns.org",
+			Services: []Service{
+				{Marker: "PD", URL: "https://doh.powerdns.org/", Host: "doh.powerdns.org", Path: "/", Wire: true},
+			},
+			TLSMin: tls.VersionTLS10, TLSMax: tls.VersionTLS13,
+			ChainBytes: 2800,
+			CT:         true,
+			Steering:   SteeringUnicast,
+		},
+		{
+			Name: "Blahdns", Host: "doh-ch.blahdns.com",
+			Services: []Service{
+				{Marker: "BD", URL: "https://doh-ch.blahdns.com/dns-query", Host: "doh-ch.blahdns.com", Path: "/dns-query", Wire: true, JSON: true},
+				{Marker: "BD", URL: "https://doh-jp.blahdns.com/dns-query", Host: "doh-jp.blahdns.com", Path: "/dns-query", Wire: true, JSON: true},
+				{Marker: "BD", URL: "https://doh-de.blahdns.com/dns-query", Host: "doh-de.blahdns.com", Path: "/dns-query", Wire: true, JSON: true},
+			},
+			TLSMin: tls.VersionTLS12, TLSMax: tls.VersionTLS13,
+			ChainBytes: 2500,
+			CT:         true,
+			Steering:   SteeringUnicast,
+		},
+		{
+			Name: "SecureDNS", Host: "doh.securedns.eu",
+			Services: []Service{
+				{Marker: "SD", URL: "https://doh.securedns.eu/dns-query", Host: "doh.securedns.eu", Path: "/dns-query", Wire: true},
+			},
+			TLSMin: tls.VersionTLS10, TLSMax: tls.VersionTLS13,
+			ChainBytes: 2700,
+			CT:         true,
+			Steering:   SteeringUnicast,
+		},
+		{
+			Name: "Rubyfish", Host: "dns.rubyfish.cn",
+			Services: []Service{
+				{Marker: "RF", URL: "https://dns.rubyfish.cn/dns-query", Host: "dns.rubyfish.cn", Path: "/dns-query", Wire: true, JSON: true},
+			},
+			TLSMin: tls.VersionTLS10, TLSMax: tls.VersionTLS12,
+			ChainBytes: 2900,
+			CT:         true,
+			Steering:   SteeringUnicast,
+		},
+		{
+			Name: "Commons Host", Host: "commons.host",
+			Services: []Service{
+				{Marker: "CH", URL: "https://commons.host/", Host: "commons.host", Path: "/", Wire: true},
+			},
+			TLSMin: tls.VersionTLS12, TLSMax: tls.VersionTLS13,
+			ChainBytes: 2300,
+			CT:         true,
+			Steering:   SteeringAnycast,
+		},
+	}
+}
+
+// endpoints converts the provider's services on one host into DoH endpoint
+// configs.
+func (p *Provider) endpoints(host string) []dnsserver.Endpoint {
+	var eps []dnsserver.Endpoint
+	for _, s := range p.Services {
+		if s.Host != host {
+			continue
+		}
+		eps = append(eps, dnsserver.Endpoint{Path: s.Path, Wire: s.Wire, JSON: s.JSON})
+	}
+	return eps
+}
+
+// hosts lists the distinct hosts the provider serves on.
+func (p *Provider) hosts() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range p.Services {
+		if !seen[s.Host] {
+			seen[s.Host] = true
+			out = append(out, s.Host)
+		}
+	}
+	return out
+}

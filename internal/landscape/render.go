@@ -1,0 +1,150 @@
+package landscape
+
+import (
+	"crypto/tls"
+	"fmt"
+	"strings"
+
+	"dohcost/internal/tlsx"
+)
+
+// RenderTable1 prints the provider/endpoint listing in the paper's Table 1
+// layout.
+func RenderTable1(providers []Provider) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %-48s %s\n", "Provider", "DoH URL", "MK")
+	fmt.Fprintln(&sb, strings.Repeat("-", 70))
+	for _, p := range providers {
+		first := true
+		seen := map[string]bool{}
+		for _, s := range p.Services {
+			name := ""
+			if first {
+				name = p.Name
+			}
+			mk := s.Marker
+			if seen[mk] {
+				mk = ""
+			}
+			seen[s.Marker] = true
+			fmt.Fprintf(&sb, "%-14s %-48s %s\n", name, s.URL, mk)
+			first = false
+		}
+	}
+	return sb.String()
+}
+
+func mark(b bool) string {
+	if b {
+		return "Y"
+	}
+	return "-"
+}
+
+// RenderTable2 prints the probed feature matrix in the paper's Table 2
+// layout: one column per service marker, one row per feature.
+func RenderTable2(cols []Features) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-13s", "Feature")
+	for _, c := range cols {
+		fmt.Fprintf(&sb, " %3s", c.Marker)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintln(&sb, strings.Repeat("-", 13+4*len(cols)))
+
+	row := func(label string, get func(Features) bool) {
+		fmt.Fprintf(&sb, "%-13s", label)
+		for _, c := range cols {
+			fmt.Fprintf(&sb, " %3s", mark(get(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	row("dns-message", func(f Features) bool { return f.Wire })
+	row("dns-json", func(f Features) bool { return f.JSON })
+	for _, v := range tlsx.Versions {
+		v := v
+		row(tlsx.VersionName(v), func(f Features) bool { return f.TLS[v] })
+	}
+	row("CT", func(f Features) bool { return f.CT })
+	row("DNS CAA", func(f Features) bool { return f.CAA })
+	row("OCSP MS", func(f Features) bool { return f.OCSP })
+	row("QUIC", func(f Features) bool { return f.QUIC })
+	row("DNS-over-TLS", func(f Features) bool { return f.DoT })
+
+	fmt.Fprintf(&sb, "%-13s", "Traf. Steer.")
+	for _, c := range cols {
+		fmt.Fprintf(&sb, " %3s", c.Steering)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// ExpectedTable2 returns the ground-truth feature matrix straight from the
+// provider profiles, bypassing the network. Comparing it against ProbeAll's
+// output validates the prober end to end.
+func ExpectedTable2(providers []Provider) []Features {
+	var out []Features
+	seen := map[string]bool{}
+	for pi := range providers {
+		p := &providers[pi]
+		for _, svc := range p.Services {
+			if seen[svc.Marker] {
+				continue
+			}
+			seen[svc.Marker] = true
+			f := Features{
+				Marker:   svc.Marker,
+				URL:      svc.URL,
+				Wire:     svc.Wire,
+				JSON:     svc.JSON,
+				TLS:      map[uint16]bool{},
+				CT:       p.CT,
+				CAA:      p.CAA,
+				OCSP:     p.OCSPMustStaple,
+				QUIC:     p.QUIC,
+				DoT:      p.DoT,
+				Steering: p.Steering,
+			}
+			for _, v := range tlsx.Versions {
+				f.TLS[v] = v >= p.TLSMin && v <= p.TLSMax
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Diff compares two feature matrices and describes mismatches; empty means
+// identical.
+func Diff(want, got []Features) []string {
+	var diffs []string
+	if len(want) != len(got) {
+		return []string{fmt.Sprintf("column count: want %d, got %d", len(want), len(got))}
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Marker != g.Marker {
+			diffs = append(diffs, fmt.Sprintf("col %d: marker %s vs %s", i, w.Marker, g.Marker))
+			continue
+		}
+		check := func(field string, a, b bool) {
+			if a != b {
+				diffs = append(diffs, fmt.Sprintf("%s %s: want %v, got %v", w.Marker, field, a, b))
+			}
+		}
+		check("dns-message", w.Wire, g.Wire)
+		check("dns-json", w.JSON, g.JSON)
+		for _, v := range []uint16{tls.VersionTLS10, tls.VersionTLS11, tls.VersionTLS12, tls.VersionTLS13} {
+			check(tlsx.VersionName(v), w.TLS[v], g.TLS[v])
+		}
+		check("CT", w.CT, g.CT)
+		check("CAA", w.CAA, g.CAA)
+		check("OCSP", w.OCSP, g.OCSP)
+		check("QUIC", w.QUIC, g.QUIC)
+		check("DoT", w.DoT, g.DoT)
+		if w.Steering != g.Steering {
+			diffs = append(diffs, fmt.Sprintf("%s steering: want %v, got %v", w.Marker, w.Steering, g.Steering))
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,262 @@
+// Package netsim provides an in-memory network for the DoH cost study: named
+// hosts, stream connections with TCP-like reliable ordered delivery, and
+// datagram endpoints with UDP-like loss. Links carry configurable one-way
+// delay, jitter, loss (datagrams only) and bandwidth, so experiments that the
+// paper ran across a university network, two cloud resolvers, and PlanetLab
+// can run hermetically and deterministically.
+//
+// Conns preserve write boundaries: each Write becomes one timed segment on
+// the link, which is what lets the metering layer (internal/meter) translate
+// observed flights into TCP segment and packet counts.
+//
+// All connection types implement the corresponding net interfaces, so
+// crypto/tls, and this repository's HTTP/1.1 and HTTP/2 stacks, run over
+// them unmodified.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Link describes one direction of a path between two hosts.
+type Link struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0,1] that a datagram is dropped.
+	// Stream segments are never dropped (TCP retransmission is modelled as
+	// already having happened; loss on streams shows up as added delay).
+	Loss float64
+	// Bandwidth, when non-zero, is the link rate in bytes/second;
+	// transmission time len/Bandwidth is added per segment.
+	Bandwidth int64
+}
+
+// transmission returns the serialization time for n bytes.
+func (l Link) transmission(n int) time.Duration {
+	if l.Bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(l.Bandwidth) * float64(time.Second))
+}
+
+// Addr is a netsim endpoint address. Its network is "sim" and its string
+// form is the host name given to Listen/Dial, e.g. "resolver.example:443".
+type Addr string
+
+// Network implements net.Addr.
+func (Addr) Network() string { return "sim" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return string(a) }
+
+// host strips an optional ":port" suffix: link profiles attach to hosts.
+func (a Addr) host() string {
+	if i := strings.LastIndexByte(string(a), ':'); i >= 0 {
+		return string(a)[:i]
+	}
+	return string(a)
+}
+
+type linkKey struct{ from, to string }
+
+// DefaultMSS is the TCP maximum segment size assumed for packet accounting,
+// matching a 1500-byte Ethernet MTU minus 40 bytes of IP+TCP headers.
+const DefaultMSS = 1460
+
+// Network is a simulated network: a namespace of listeners and packet
+// endpoints joined by configurable links. The zero value is not usable;
+// construct with New.
+type Network struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	def       Link
+	mss       int
+	links     map[linkKey]Link
+	listeners map[Addr]*Listener
+	packets   map[Addr]*PacketConn
+	nextEphem int
+}
+
+// SetMSS overrides the TCP maximum segment size used for packet accounting.
+func (n *Network) SetMSS(mss int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.mss = mss
+}
+
+func (n *Network) mssValue() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.mss <= 0 {
+		return DefaultMSS
+	}
+	return n.mss
+}
+
+// New returns an empty network whose links default to zero delay. seed
+// drives jitter and loss decisions so runs are reproducible.
+func New(seed int64) *Network {
+	return &Network{
+		rng:       rand.New(rand.NewSource(seed)),
+		links:     make(map[linkKey]Link),
+		listeners: make(map[Addr]*Listener),
+		packets:   make(map[Addr]*PacketConn),
+	}
+}
+
+// SetDefaultLink sets the profile used for host pairs without a specific
+// link.
+func (n *Network) SetDefaultLink(l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.def = l
+}
+
+// SetLink installs a symmetric link profile between two hosts (both
+// directions).
+func (n *Network) SetLink(a, b string, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{Addr(a).host(), Addr(b).host()}] = l
+	n.links[linkKey{Addr(b).host(), Addr(a).host()}] = l
+}
+
+// linkFor returns the directed profile from → to.
+func (n *Network) linkFor(from, to Addr) Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[linkKey{from.host(), to.host()}]; ok {
+		return l
+	}
+	return n.def
+}
+
+// delayFor samples the per-segment delay (propagation + jitter) from → to.
+func (n *Network) delayFor(l Link) time.Duration {
+	d := l.Delay
+	if l.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(l.Jitter)))
+		n.mu.Unlock()
+	}
+	return d
+}
+
+// dropDatagram samples the loss decision for one datagram.
+func (n *Network) dropDatagram(l Link) bool {
+	if l.Loss <= 0 {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < l.Loss
+}
+
+// ephemeral mints a unique client address for dialers that don't name one.
+func (n *Network) ephemeral(host string) Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextEphem++
+	return Addr(fmt.Sprintf("%s:%d", host, 49152+n.nextEphem))
+}
+
+// Listen opens a stream listener on addr. It fails if addr is taken.
+func (n *Network) Listen(addr string) (*Listener, error) {
+	a := Addr(addr)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.listeners[a]; ok {
+		return nil, fmt.Errorf("netsim: listen %s: address in use", addr)
+	}
+	l := &Listener{
+		addr:    a,
+		net:     n,
+		backlog: make(chan *Conn, 64),
+		done:    make(chan struct{}),
+	}
+	n.listeners[a] = l
+	return l, nil
+}
+
+// Dial opens a stream connection from the named client host to a listener.
+// It charges one round-trip time up front, modelling the TCP SYN/SYN-ACK
+// exchange, so connection setup latency is visible to the experiments.
+func (n *Network) Dial(from, to string) (net.Conn, error) {
+	local := Addr(from)
+	if !strings.Contains(from, ":") {
+		local = n.ephemeral(from)
+	}
+	remote := Addr(to)
+	n.mu.Lock()
+	l, ok := n.listeners[remote]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: dial %s: connection refused", to)
+	}
+
+	c2s := newHalf()
+	s2c := newHalf()
+	fwd := n.linkFor(local, remote)
+	rev := n.linkFor(remote, local)
+	client := &Conn{local: local, remote: remote, in: s2c, out: c2s, link: fwd, net: n}
+	server := &Conn{local: remote, remote: local, in: c2s, out: s2c, link: rev, net: n}
+
+	// SYN / SYN-ACK round trip before the connection is usable.
+	handshake := n.delayFor(fwd) + n.delayFor(rev)
+	if handshake > 0 {
+		time.Sleep(handshake)
+	}
+	select {
+	case l.backlog <- server:
+	case <-l.done:
+		return nil, fmt.Errorf("netsim: dial %s: connection refused (listener closed)", to)
+	}
+	return client, nil
+}
+
+// Listener accepts stream connections on one address.
+type Listener struct {
+	addr    Addr
+	net     *Network
+	backlog chan *Conn
+	done    chan struct{}
+	once    sync.Once
+}
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close releases the address and unblocks Accept.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// timeoutError satisfies net.Error for deadline expiry.
+type timeoutError struct{ op string }
+
+func (e *timeoutError) Error() string   { return "netsim: " + e.op + " deadline exceeded" }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }

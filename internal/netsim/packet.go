@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// datagram is one UDP-like message in flight or queued for delivery.
+type datagram struct {
+	data []byte
+	from Addr
+	at   time.Time
+}
+
+// PacketConn is a UDP-like endpoint: unreliable, unordered-in-principle
+// (ordering in practice follows delivery times), message-boundary-
+// preserving. It implements net.PacketConn.
+type PacketConn struct {
+	addr Addr
+	net  *Network
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []datagram
+	closed   bool
+	deadline time.Time
+}
+
+var _ net.PacketConn = (*PacketConn)(nil)
+
+// ListenPacket opens a datagram endpoint on addr; "" binds an ephemeral
+// client address.
+func (n *Network) ListenPacket(addr string) (*PacketConn, error) {
+	a := Addr(addr)
+	if addr == "" {
+		a = n.ephemeral("client")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.packets[a]; ok {
+		return nil, fmt.Errorf("netsim: listen packet %s: address in use", a)
+	}
+	p := &PacketConn{addr: a, net: n}
+	p.cond = sync.NewCond(&p.mu)
+	n.packets[a] = p
+	return p, nil
+}
+
+// WriteTo sends one datagram toward addr, subject to the link's loss and
+// delay. A dropped datagram still counts as sent (the bytes left this host).
+func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return 0, net.ErrClosed
+	}
+	dst := Addr(addr.String())
+	p.net.mu.Lock()
+	target, ok := p.net.packets[dst]
+	p.net.mu.Unlock()
+	if !ok {
+		// UDP is fire-and-forget: writing to a dead host is not an error.
+		return len(b), nil
+	}
+	link := p.net.linkFor(p.addr, dst)
+	if p.net.dropDatagram(link) {
+		return len(b), nil
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	at := time.Now().Add(p.net.delayFor(link)).Add(link.transmission(len(b)))
+	target.mu.Lock()
+	target.queue = append(target.queue, datagram{data: cp, from: p.addr, at: at})
+	target.mu.Unlock()
+	target.cond.Broadcast()
+	return len(b), nil
+}
+
+// ReadFrom blocks for the next datagram; oversized datagrams are truncated
+// to len(b) exactly as UDP sockets do.
+func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		now := time.Now()
+		if p.closed {
+			return 0, nil, net.ErrClosed
+		}
+		if !p.deadline.IsZero() && !now.Before(p.deadline) {
+			return 0, nil, &timeoutError{op: "read"}
+		}
+		// Find the earliest deliverable datagram.
+		idx := -1
+		for i := range p.queue {
+			if !p.queue[i].at.After(now) {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			d := p.queue[idx]
+			p.queue = append(p.queue[:idx], p.queue[idx+1:]...)
+			n := copy(b, d.data)
+			return n, d.from, nil
+		}
+		var wake time.Time
+		for i := range p.queue {
+			if wake.IsZero() || p.queue[i].at.Before(wake) {
+				wake = p.queue[i].at
+			}
+		}
+		if !p.deadline.IsZero() && (wake.IsZero() || p.deadline.Before(wake)) {
+			wake = p.deadline
+		}
+		var timer *time.Timer
+		if !wake.IsZero() {
+			// Locking in the callback serializes the broadcast behind
+			// cond.Wait's registration, preventing a missed wakeup when
+			// the timer fires immediately.
+			timer = time.AfterFunc(time.Until(wake), func() {
+				p.mu.Lock()
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			})
+		}
+		p.cond.Wait()
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// Close releases the address and unblocks readers.
+func (p *PacketConn) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.net.mu.Lock()
+	delete(p.net.packets, p.addr)
+	p.net.mu.Unlock()
+	p.cond.Broadcast()
+	return nil
+}
+
+// LocalAddr implements net.PacketConn.
+func (p *PacketConn) LocalAddr() net.Addr { return p.addr }
+
+// SetDeadline implements net.PacketConn.
+func (p *PacketConn) SetDeadline(t time.Time) error { return p.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.PacketConn.
+func (p *PacketConn) SetReadDeadline(t time.Time) error {
+	p.mu.Lock()
+	p.deadline = t
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	return nil
+}
+
+// SetWriteDeadline implements net.PacketConn; sends never block.
+func (p *PacketConn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,0 +1,28 @@
+package tlsx
+
+import (
+	"crypto/tls"
+	"net"
+	"testing"
+
+	"dohcost/internal/netsim"
+)
+
+func TestProbeOldVersions(t *testing.T) {
+	chain, err := GenerateChain(ChainSpec{CommonName: "old.test", DNSNames: []string{"old.test"}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.New(1)
+	tlsEcho(t, n, "old.test:443", chain.ServerConfig(tls.VersionTLS10, tls.VersionTLS13))
+	dial := func() (net.Conn, error) { return n.Dial("prober", "old.test:443") }
+	got, err := ProbeVersions(dial, chain.ClientConfig("old.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, ok := range got {
+		if !ok {
+			t.Errorf("%s: handshake failed against permissive server", VersionName(v))
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package tlsx
+
+import (
+	"crypto/tls"
+	"io"
+	"net"
+	"testing"
+
+	"dohcost/internal/netsim"
+)
+
+func TestGenerateChainHitsTargetSize(t *testing.T) {
+	for _, tt := range []struct {
+		name   string
+		spec   ChainSpec
+		target int
+	}{
+		{"cloudflare", CloudflareLike("cloudflare-dns.com"), CloudflareChainBytes},
+		{"google", GoogleLike("dns.google.com"), GoogleChainBytes},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := GenerateChain(tt.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := c.WireBytes - tt.target; diff < -16 || diff > 16 {
+				t.Errorf("chain wire bytes = %d, want %d ±16", c.WireBytes, tt.target)
+			}
+			if len(c.Certificate.Certificate) != 2 {
+				t.Errorf("sent %d certificates, want 2", len(c.Certificate.Certificate))
+			}
+		})
+	}
+}
+
+func TestGenerateChainUnpadded(t *testing.T) {
+	c, err := GenerateChain(ChainSpec{CommonName: "x.test", DNSNames: []string{"x.test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WireBytes <= 0 || c.WireBytes > 2000 {
+		t.Errorf("unpadded chain = %d bytes", c.WireBytes)
+	}
+}
+
+func TestGenerateChainTargetTooSmall(t *testing.T) {
+	spec := ChainSpec{CommonName: "x.test", TargetWireBytes: 100}
+	if _, err := GenerateChain(spec); err == nil {
+		t.Fatal("absurdly small target accepted")
+	}
+}
+
+func TestChainExtensions(t *testing.T) {
+	spec := ChainSpec{
+		CommonName: "probe.test", DNSNames: []string{"probe.test"},
+		EmbedSCT: true, OCSPMustStaple: true, Seed: 42,
+	}
+	c, err := GenerateChain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HasExtension(c.Leaf, OIDSignedCertificateTimestamps) {
+		t.Error("SCT extension missing")
+	}
+	if !HasExtension(c.Leaf, OIDOCSPMustStaple) {
+		t.Error("must-staple extension missing")
+	}
+	plain, err := GenerateChain(ChainSpec{CommonName: "plain.test", Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if HasExtension(plain.Leaf, OIDOCSPMustStaple) {
+		t.Error("unexpected must-staple extension")
+	}
+}
+
+func TestChainDeterministicBySeed(t *testing.T) {
+	a, err := GenerateChain(ChainSpec{CommonName: "d.test", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateChain(ChainSpec{CommonName: "d.test", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key material is seed-deterministic (certificates differ by random
+	// x509 serial-agnostic fields only through signatures).
+	ka := a.Certificate.PrivateKey
+	kb := b.Certificate.PrivateKey
+	if ka == nil || kb == nil {
+		t.Fatal("missing keys")
+	}
+}
+
+// tlsEcho starts a TLS server over netsim that echoes one message.
+func tlsEcho(t *testing.T, n *netsim.Network, addr string, cfg *tls.Config) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				tc := tls.Server(raw, cfg)
+				defer tc.Close()
+				buf := make([]byte, 256)
+				nn, err := tc.Read(buf)
+				if err != nil {
+					return
+				}
+				tc.Write(buf[:nn])
+			}()
+		}
+	}()
+}
+
+func TestTLSHandshakeOverNetsim(t *testing.T) {
+	chain, err := GenerateChain(CloudflareLike("doh.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.New(1)
+	tlsEcho(t, n, "doh.test:443", chain.ServerConfig(0, 0))
+
+	raw, err := n.Dial("client", "doh.test:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := tls.Client(raw, chain.ClientConfig("doh.test"))
+	defer tc.Close()
+	if err := tc.Handshake(); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	if v := tc.ConnectionState().Version; v != tls.VersionTLS13 {
+		t.Errorf("negotiated %s, want TLS 1.3", VersionName(v))
+	}
+	tc.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(tc, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo = %q, %v", buf, err)
+	}
+}
+
+func TestProbeVersions(t *testing.T) {
+	chain, err := GenerateChain(ChainSpec{CommonName: "v.test", DNSNames: []string{"v.test"}, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.New(1)
+	// Server allows only TLS 1.2; 1.0/1.1/1.3 probes must fail.
+	tlsEcho(t, n, "v.test:443", chain.ServerConfig(tls.VersionTLS12, tls.VersionTLS12))
+
+	dial := func() (net.Conn, error) { return n.Dial("prober", "v.test:443") }
+	got, err := ProbeVersions(dial, chain.ClientConfig("v.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint16]bool{
+		tls.VersionTLS10: false,
+		tls.VersionTLS11: false,
+		tls.VersionTLS12: true,
+		tls.VersionTLS13: false,
+	}
+	for v, w := range want {
+		if got[v] != w {
+			t.Errorf("%s supported = %v, want %v", VersionName(v), got[v], w)
+		}
+	}
+}
+
+func TestProbeVersionsWideServer(t *testing.T) {
+	chain, err := GenerateChain(ChainSpec{CommonName: "w.test", DNSNames: []string{"w.test"}, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.New(1)
+	tlsEcho(t, n, "w.test:443", chain.ServerConfig(tls.VersionTLS10, tls.VersionTLS13))
+	dial := func() (net.Conn, error) { return n.Dial("prober", "w.test:443") }
+	got, err := ProbeVersions(dial, chain.ClientConfig("w.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[tls.VersionTLS12] || !got[tls.VersionTLS13] {
+		t.Errorf("modern versions not supported: %v", got)
+	}
+}
+
+func TestVersionName(t *testing.T) {
+	if VersionName(tls.VersionTLS13) != "TLS 1.3" {
+		t.Error("1.3 name")
+	}
+	if VersionName(0x9999) == "" {
+		t.Error("unknown version name empty")
+	}
+}

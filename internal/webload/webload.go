@@ -1,0 +1,213 @@
+// Package webload models the browser side of the paper's §5 experiment:
+// loading ranked pages while resolving names through a pluggable DNS
+// transport, and reporting both the cumulative (serialized) DNS resolution
+// time and the onload time per page load.
+//
+// The split of responsibilities mirrors the original setup. DNS exchanges
+// are real: they travel through this repository's transport stacks over the
+// simulated network, so resolver choice (local vs cloud, UDP vs DoH) shows
+// up in measured durations. Object fetches are analytic: a deterministic
+// model of per-origin connection setup, request rounds and transfer time
+// replaces Firefox's fetch engine, because the paper's question — does DoH
+// slow pages down? — depends on how DNS latency composes into the critical
+// path, not on bytes actually moved.
+package webload
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"dohcost/internal/alexa"
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/dnswire"
+)
+
+// Vantage describes the measurement host's position relative to the web:
+// the analytic fetch model's parameters. (Its position relative to the
+// resolver is configured on the simulated network's links.)
+type Vantage struct {
+	Name string
+	// WebRTT is the typical round trip to content origins.
+	WebRTT time.Duration
+	// WebJitter spreads per-origin RTTs (deterministically by origin).
+	WebJitter time.Duration
+	// Bandwidth is the access link rate in bytes/second.
+	Bandwidth int64
+}
+
+// VantageLocal is the paper's university-network vantage point.
+func VantageLocal() Vantage {
+	return Vantage{
+		Name:      "local",
+		WebRTT:    18 * time.Millisecond,
+		WebJitter: 10 * time.Millisecond,
+		Bandwidth: 12 << 20, // ~100 Mbit/s
+	}
+}
+
+// PlanetLabNodes is how many usable PlanetLab vantage points the paper had.
+const PlanetLabNodes = 39
+
+// VantagePlanetLab returns the i-th PlanetLab-like node profile: farther
+// from the web, more heterogeneous, on thinner links.
+func VantagePlanetLab(i int) Vantage {
+	i = i % PlanetLabNodes
+	return Vantage{
+		Name:      fmt.Sprintf("planetlab-%02d", i),
+		WebRTT:    time.Duration(40+7*i) * time.Millisecond,
+		WebJitter: time.Duration(20+3*i) * time.Millisecond,
+		Bandwidth: int64(2+(i%5)) << 20,
+	}
+}
+
+// Browser loads pages: real DNS through Resolver, analytic fetches per
+// Vantage. Safe for concurrent Load calls.
+type Browser struct {
+	Resolver dnstransport.Resolver
+	Vantage  Vantage
+	// MaxConnsPerHost caps parallel object fetches per origin (browsers
+	// use 6).
+	MaxConnsPerHost int
+	// DNSTimeout bounds each resolution; failures contribute the timeout
+	// to DNS time, like a browser falling back.
+	DNSTimeout time.Duration
+}
+
+// NewBrowser returns a browser with Firefox-like defaults.
+func NewBrowser(r dnstransport.Resolver, v Vantage) *Browser {
+	return &Browser{Resolver: r, Vantage: v, MaxConnsPerHost: 6, DNSTimeout: 5 * time.Second}
+}
+
+// PageResult is one page load's measurements.
+type PageResult struct {
+	URL string
+	// DNSTimes holds each domain's resolution time, in resolution order.
+	DNSTimes []time.Duration
+	// CumulativeDNS is the serialized sum of DNSTimes — the quantity
+	// Figure 6's left panels plot ("the time it would take to perform all
+	// DNS queries serially, whereas in reality they can be parallelised").
+	CumulativeDNS time.Duration
+	// OnLoad is when the load event would fire: all waves fetched.
+	OnLoad time.Duration
+	// Objects counts modelled object fetches.
+	Objects int
+	// DNSFailures counts resolutions that errored or timed out.
+	DNSFailures int
+}
+
+// waves partitions a page's domains into dependency waves: the page's own
+// origin blocks everything; most third parties load next; late tags load
+// last. Matches the coarse structure of real dependency graphs.
+func waves(domains []string) [][]string {
+	if len(domains) == 0 {
+		return nil
+	}
+	if len(domains) == 1 {
+		return [][]string{domains}
+	}
+	rest := domains[1:]
+	cut := (len(rest) * 7) / 10
+	w := [][]string{domains[:1]}
+	if cut > 0 {
+		w = append(w, rest[:cut])
+	}
+	if cut < len(rest) {
+		w = append(w, rest[cut:])
+	}
+	return w
+}
+
+// Load performs one cold-cache page load.
+func (b *Browser) Load(ctx context.Context, page alexa.Page) (*PageResult, error) {
+	res := &PageResult{URL: page.URL}
+	var onload time.Duration
+	for _, wave := range waves(page.Domains) {
+		type outcome struct {
+			idx   int
+			dns   time.Duration
+			fetch time.Duration
+			fail  bool
+			objs  int
+		}
+		results := make([]outcome, len(wave))
+		var wg sync.WaitGroup
+		for i, domain := range wave {
+			wg.Add(1)
+			go func(i int, domain string) {
+				defer wg.Done()
+				dns, fail := b.resolve(ctx, domain)
+				fetch, objs := b.fetchTime(domain)
+				results[i] = outcome{idx: i, dns: dns, fetch: fetch, fail: fail, objs: objs}
+			}(i, domain)
+		}
+		wg.Wait()
+		var waveTime time.Duration
+		for _, o := range results {
+			res.DNSTimes = append(res.DNSTimes, o.dns)
+			res.CumulativeDNS += o.dns
+			res.Objects += o.objs
+			if o.fail {
+				res.DNSFailures++
+			}
+			if t := o.dns + o.fetch; t > waveTime {
+				waveTime = t
+			}
+		}
+		onload += waveTime
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+	}
+	res.OnLoad = onload
+	return res, nil
+}
+
+// resolve measures one real resolution.
+func (b *Browser) resolve(ctx context.Context, domain string) (time.Duration, bool) {
+	qctx, cancel := context.WithTimeout(ctx, b.DNSTimeout)
+	defer cancel()
+	q := dnswire.NewQuery(0, dnswire.Name(domain+"."), dnswire.TypeA)
+	start := time.Now()
+	_, err := b.Resolver.Exchange(qctx, q)
+	d := time.Since(start)
+	if err != nil {
+		return b.DNSTimeout, true
+	}
+	return d, false
+}
+
+// fetchTime is the analytic object-fetch model for one origin: TCP+TLS
+// setup, then rounds of parallel requests over up to MaxConnsPerHost
+// connections.
+func (b *Browser) fetchTime(domain string) (time.Duration, int) {
+	h := fnv.New64a()
+	h.Write([]byte(domain))
+	seed := h.Sum64()
+
+	objects := 1 + int(seed%12)
+	// Object sizes: log-normal-ish via the hash, 2–80 KB, mean ~20 KB.
+	sizeSeed := float64((seed>>8)%1000) / 1000
+	avgObject := int64(2048 + math.Exp(sizeSeed*3.7)*1024)
+	totalBytes := avgObject * int64(objects)
+
+	rtt := b.Vantage.WebRTT
+	if b.Vantage.WebJitter > 0 {
+		rtt += time.Duration(seed % uint64(b.Vantage.WebJitter))
+	}
+	conns := b.MaxConnsPerHost
+	if conns <= 0 {
+		conns = 6
+	}
+	if objects < conns {
+		conns = objects
+	}
+	rounds := (objects + conns - 1) / conns
+
+	setup := 2 * rtt // TCP handshake + TLS 1.3 handshake
+	transfer := time.Duration(float64(totalBytes) / float64(b.Vantage.Bandwidth) * float64(time.Second))
+	return setup + time.Duration(rounds)*rtt + transfer, objects
+}

@@ -1,0 +1,191 @@
+package webload
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dohcost/internal/alexa"
+	"dohcost/internal/dnswire"
+)
+
+// fakeResolver answers after a fixed latency.
+type fakeResolver struct {
+	latency time.Duration
+	fail    bool
+}
+
+func (f *fakeResolver) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	select {
+	case <-time.After(f.latency):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if f.fail {
+		return nil, errors.New("synthetic failure")
+	}
+	return q.Reply(), nil
+}
+
+func (f *fakeResolver) Close() error { return nil }
+
+func testPage(n int) alexa.Page {
+	p := alexa.Page{Rank: 1, URL: "https://www.site000001.example/"}
+	p.Domains = append(p.Domains, "www.site000001.example")
+	for i := 1; i < n; i++ {
+		p.Domains = append(p.Domains, domainName(i))
+	}
+	return p
+}
+
+func domainName(i int) string {
+	return []string{"cdn0", "ads1", "static2", "fonts3", "apis4", "tags5", "px6", "img7", "js8", "m9"}[i%10] + ".thirdparty.example"
+}
+
+func TestWavesPartition(t *testing.T) {
+	p := testPage(11)
+	w := waves(p.Domains)
+	if len(w) != 3 {
+		t.Fatalf("waves = %d, want 3", len(w))
+	}
+	if len(w[0]) != 1 || w[0][0] != p.Domains[0] {
+		t.Errorf("wave 0 = %v", w[0])
+	}
+	total := 0
+	for _, wave := range w {
+		total += len(wave)
+	}
+	if total != len(p.Domains) {
+		t.Errorf("waves cover %d of %d domains", total, len(p.Domains))
+	}
+	if got := waves([]string{"only.example"}); len(got) != 1 {
+		t.Errorf("single-domain waves = %v", got)
+	}
+	if got := waves(nil); got != nil {
+		t.Errorf("empty waves = %v", got)
+	}
+}
+
+func TestLoadBasics(t *testing.T) {
+	b := NewBrowser(&fakeResolver{latency: 2 * time.Millisecond}, VantageLocal())
+	res, err := b.Load(context.Background(), testPage(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DNSTimes) != 12 {
+		t.Errorf("dns times = %d", len(res.DNSTimes))
+	}
+	var sum time.Duration
+	for _, d := range res.DNSTimes {
+		sum += d
+	}
+	if res.CumulativeDNS != sum {
+		t.Error("cumulative DNS is not the serial sum")
+	}
+	if res.OnLoad <= 0 || res.Objects < 12 {
+		t.Errorf("onload = %v objects = %d", res.OnLoad, res.Objects)
+	}
+	// Parallelism: onload must be far below cumulative DNS + serial fetch.
+	if res.OnLoad > res.CumulativeDNS+time.Second {
+		t.Errorf("onload %v looks serialized (cumDNS %v)", res.OnLoad, res.CumulativeDNS)
+	}
+	if res.DNSFailures != 0 {
+		t.Errorf("failures = %d", res.DNSFailures)
+	}
+}
+
+func TestSlowerResolverRaisesCumulativeDNSMoreThanOnload(t *testing.T) {
+	// The paper's §5 punchline: switching to a slower (DoH-like) resolver
+	// inflates cumulative DNS time clearly, but onload only a little,
+	// because resolutions are parallel within waves.
+	page := testPage(20)
+	fast := NewBrowser(&fakeResolver{latency: 1 * time.Millisecond}, VantageLocal())
+	slow := NewBrowser(&fakeResolver{latency: 12 * time.Millisecond}, VantageLocal())
+
+	rf, err := fast.Load(context.Background(), page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := slow.Load(context.Background(), page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dnsRatio := float64(rs.CumulativeDNS) / float64(rf.CumulativeDNS)
+	onloadRatio := float64(rs.OnLoad) / float64(rf.OnLoad)
+	if dnsRatio < 3 {
+		t.Errorf("cumulative DNS ratio = %.2f, want clear inflation", dnsRatio)
+	}
+	if onloadRatio > 1.8 {
+		t.Errorf("onload ratio = %.2f, want mild inflation", onloadRatio)
+	}
+	if onloadRatio >= dnsRatio {
+		t.Errorf("onload inflated as much as DNS (%.2f vs %.2f)", onloadRatio, dnsRatio)
+	}
+}
+
+func TestDNSFailureCountsAndCharges(t *testing.T) {
+	b := NewBrowser(&fakeResolver{latency: time.Millisecond, fail: true}, VantageLocal())
+	b.DNSTimeout = 30 * time.Millisecond
+	res, err := b.Load(context.Background(), testPage(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DNSFailures != 3 {
+		t.Errorf("failures = %d", res.DNSFailures)
+	}
+	if res.DNSTimes[0] != b.DNSTimeout {
+		t.Errorf("failed resolution charged %v, want timeout %v", res.DNSTimes[0], b.DNSTimeout)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	b := NewBrowser(&fakeResolver{latency: 300 * time.Millisecond}, VantageLocal())
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := b.Load(ctx, testPage(30))
+	if err == nil {
+		t.Error("cancelled load returned no error")
+	}
+}
+
+func TestFetchModelDeterministic(t *testing.T) {
+	b := NewBrowser(&fakeResolver{}, VantageLocal())
+	t1, o1 := b.fetchTime("cdn7.thirdparty.example")
+	t2, o2 := b.fetchTime("cdn7.thirdparty.example")
+	if t1 != t2 || o1 != o2 {
+		t.Error("fetch model not deterministic")
+	}
+	t3, _ := b.fetchTime("other.example")
+	if t3 == t1 {
+		t.Log("two domains with identical fetch times (possible)")
+	}
+	if o1 < 1 || o1 > 12 {
+		t.Errorf("objects = %d", o1)
+	}
+	if t1 < 2*b.Vantage.WebRTT {
+		t.Errorf("fetch %v cheaper than connection setup", t1)
+	}
+}
+
+func TestPlanetLabVantagesVaryAndAreSlower(t *testing.T) {
+	local := VantageLocal()
+	seen := map[time.Duration]bool{}
+	for i := 0; i < PlanetLabNodes; i++ {
+		v := VantagePlanetLab(i)
+		if v.WebRTT <= local.WebRTT {
+			t.Errorf("node %d RTT %v not slower than local %v", i, v.WebRTT, local.WebRTT)
+		}
+		if v.Bandwidth >= local.Bandwidth {
+			t.Errorf("node %d bandwidth %d not below local", i, v.Bandwidth)
+		}
+		seen[v.WebRTT] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("only %d distinct node RTTs; want heterogeneity", len(seen))
+	}
+	// Wrap-around keeps indices valid.
+	if VantagePlanetLab(PlanetLabNodes).WebRTT != VantagePlanetLab(0).WebRTT {
+		t.Error("vantage index wrap broken")
+	}
+}
