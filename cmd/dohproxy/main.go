@@ -1,0 +1,158 @@
+// Command dohproxy runs the production forwarding proxy on the simulated
+// network: a full listener set (UDP/TCP :53, DoT :853, DoH :443) answering
+// through the sharded cache, singleflight, and a pool of persistent
+// upstream connections with failover — then drives a workload through every
+// transport and reports latencies, cache effectiveness and upstream health.
+//
+// Usage:
+//
+//	dohproxy [-host proxy.dns] [-upstreams 2] [-conns 2] [-shards 16]
+//	         [-names 50] [-queries 400] [-upstream-rtt 8ms]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"dohcost/internal/dnsserver"
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/dnswire"
+	"dohcost/internal/netsim"
+	"dohcost/internal/proxy"
+	"dohcost/internal/stats"
+	"dohcost/internal/tlsx"
+)
+
+func main() {
+	host := flag.String("host", "proxy.dns", "proxy host name on the simulated network")
+	upstreams := flag.Int("upstreams", 2, "number of upstream resolvers (failover order)")
+	conns := flag.Int("conns", 2, "persistent connections per upstream")
+	shards := flag.Int("shards", 16, "cache shards")
+	names := flag.Int("names", 50, "distinct query names (smaller = hotter cache)")
+	queries := flag.Int("queries", 400, "queries per transport")
+	upstreamRTT := flag.Duration("upstream-rtt", 8*time.Millisecond, "proxy↔upstream round-trip time")
+	flag.Parse()
+
+	if err := run(*host, *upstreams, *conns, *shards, *names, *queries, *upstreamRTT); err != nil {
+		fmt.Fprintln(os.Stderr, "dohproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(host string, upstreams, conns, shards, names, queries int, upstreamRTT time.Duration) error {
+	if names < 1 {
+		return fmt.Errorf("-names must be ≥ 1, got %d", names)
+	}
+	if queries < 1 {
+		return fmt.Errorf("-queries must be ≥ 1, got %d", queries)
+	}
+	n := netsim.New(time.Now().UnixNano())
+
+	// Deploy the upstream recursive resolvers.
+	var poolUps []dnstransport.PoolUpstream
+	for i := 0; i < upstreams; i++ {
+		uhost := fmt.Sprintf("recursive%d.upstream", i)
+		n.SetLink(host, uhost, netsim.Link{Delay: upstreamRTT / 2})
+		srv := &dnsserver.Server{Handler: dnsserver.Static(netip.MustParseAddr("192.0.2.1"), 300)}
+		run, err := srv.Start(n, uhost)
+		if err != nil {
+			return err
+		}
+		defer run.Close()
+		dial := func(uhost string) func() (dnstransport.Resolver, error) {
+			return func() (dnstransport.Resolver, error) {
+				return dnstransport.NewTCPClient(func() (net.Conn, error) {
+					return n.Dial(host, uhost+":53")
+				}), nil
+			}
+		}
+		poolUps = append(poolUps, dnstransport.PoolUpstream{Name: uhost, Dial: dial(uhost)})
+	}
+
+	// The proxy itself, with its own certificate.
+	chain, err := tlsx.GenerateChain(tlsx.CloudflareLike(host))
+	if err != nil {
+		return err
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstreams:   poolUps,
+		Pool:        dnstransport.PoolConfig{ConnsPerUpstream: conns},
+		CacheShards: shards,
+		Chain:       chain,
+		Endpoints:   []dnsserver.Endpoint{{Path: "/dns-query", Wire: true, JSON: true}},
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	if err := p.Start(n, host); err != nil {
+		return err
+	}
+	fmt.Printf("proxy up at %s: udp/tcp :53, dot :853, doh :443 — %d upstream(s) × %d conns, %d cache shards\n\n",
+		host, upstreams, conns, shards)
+
+	// One client per transport.
+	pc, err := n.ListenPacket("")
+	if err != nil {
+		return err
+	}
+	clients := []struct {
+		name string
+		r    dnstransport.Resolver
+	}{
+		{"udp", dnstransport.NewUDPClient(pc, netsim.Addr(host+":53"))},
+		{"tcp", dnstransport.NewTCPClient(func() (net.Conn, error) { return n.Dial("client", host+":53") })},
+		{"dot", dnstransport.NewDoTClient(func() (net.Conn, error) { return n.Dial("client", host+":853") }, chain.ClientConfig(host))},
+		{"doh-h2", &dnstransport.DoHClient{
+			Dial: func() (net.Conn, error) { return n.Dial("client", host+":443") },
+			TLS:  chain.ClientConfig(host), Persistent: true,
+		}},
+	}
+
+	fmt.Printf("%-8s %8s %10s %10s %10s\n", "proto", "ok", "p50", "p95", "qps")
+	for _, c := range clients {
+		defer c.r.Close()
+		var lat []float64
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			q := dnswire.NewQuery(0, dnswire.Name(fmt.Sprintf("name%d.example.", i%names)), dnswire.TypeA)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			t0 := time.Now()
+			resp, err := c.r.Exchange(ctx, q)
+			cancel()
+			if err != nil {
+				return fmt.Errorf("%s query %d: %w", c.name, i, err)
+			}
+			if resp.RCode != dnswire.RCodeSuccess {
+				return fmt.Errorf("%s query %d: rcode %v", c.name, i, resp.RCode)
+			}
+			lat = append(lat, float64(time.Since(t0))/float64(time.Millisecond))
+		}
+		elapsed := time.Since(start)
+		cdf := stats.NewCDF(lat)
+		fmt.Printf("%-8s %8d %9.2fms %9.2fms %10.0f\n",
+			c.name, queries, cdf.Quantile(0.5), cdf.Quantile(0.95),
+			float64(queries)/elapsed.Seconds())
+	}
+
+	cs := p.CacheStats()
+	hitRate := 0.0
+	if total := cs.Hits + cs.Misses + cs.Coalesced; total > 0 {
+		hitRate = float64(cs.Hits) / float64(total) * 100
+	}
+	fmt.Printf("\ncache: %d hits / %d misses / %d coalesced (%.1f%% hit rate), %d evictions\n",
+		cs.Hits, cs.Misses, cs.Coalesced, hitRate, cs.Evictions)
+	for _, u := range p.UpstreamStats() {
+		state := "up"
+		if u.Down {
+			state = "down"
+		}
+		fmt.Printf("upstream %-22s %5d exchanges, %d failures, %s\n", u.Name, u.Exchanges, u.Failures, state)
+	}
+	return nil
+}

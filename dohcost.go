@@ -22,10 +22,17 @@
 package dohcost
 
 import (
+	"fmt"
+	"net"
+
 	"dohcost/internal/core"
 	"dohcost/internal/dnscache"
+	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/netsim"
+	"dohcost/internal/proxy"
+	"dohcost/internal/tlsx"
 )
 
 // Re-exported fundamental types. The facade aliases rather than wraps so
@@ -82,7 +89,15 @@ type EnvironmentConfig = core.TopologyConfig
 
 // Environment is the standard study topology, ready to hand out resolvers.
 type Environment struct {
-	topo *core.Topology
+	topo        *core.Topology
+	proxies     []*proxy.Proxy
+	proxyChains []proxyChain
+}
+
+// proxyChain records the certificate material of a started proxy.
+type proxyChain struct {
+	host  string
+	chain *tlsx.Chain
 }
 
 // NewEnvironment builds and starts the simulated network.
@@ -94,16 +109,28 @@ func NewEnvironment(cfg EnvironmentConfig) (*Environment, error) {
 	return &Environment{topo: topo}, nil
 }
 
-// Close stops all deployments.
-func (e *Environment) Close() { e.topo.Close() }
+// Close stops all deployments, including any started proxies.
+func (e *Environment) Close() {
+	for _, p := range e.proxies {
+		p.Close()
+	}
+	e.proxies = nil
+	e.topo.Close()
+}
 
-// UDP returns a classic RFC 1035 resolver toward host.
+// UDP returns a classic RFC 1035 resolver toward host, with the RFC 7766
+// TCP fallback for truncated responses.
 func (e *Environment) UDP(host ResolverHost, opts Options) (Resolver, error) {
 	c, err := e.topo.UDPResolver(core.ClientHost, string(host))
 	if err != nil {
 		return nil, err
 	}
 	c.Recorder = opts.Recorder
+	// The TCP retry leg of a truncated exchange is wire traffic too: give
+	// the fallback the same recorder so its cost is not silently dropped.
+	if fb, ok := c.Fallback.(*dnstransport.StreamClient); ok {
+		fb.Recorder = opts.Recorder
+	}
 	return c, nil
 }
 
@@ -141,11 +168,156 @@ func NewQuery(name string, t Type) *Message {
 // ParseType maps an RR type mnemonic ("A", "AAAA", …) to its Type.
 func ParseType(s string) (Type, bool) { return dnswire.ParseType(s) }
 
-// WithCache wraps any resolver with a TTL-respecting, singleflight-
-// coalescing cache — the production-mode counterpart of the paper's
-// deliberately cold-cache methodology. Closing the returned resolver closes
-// the upstream.
-func WithCache(upstream Resolver) Resolver { return dnscache.New(upstream) }
+// WithCache wraps any resolver with a sharded, TTL-respecting,
+// singleflight-coalescing cache — the production-mode counterpart of the
+// paper's deliberately cold-cache methodology. Closing the returned
+// resolver closes the upstream.
+func WithCache(upstream Resolver, opts ...CacheOption) Resolver {
+	return dnscache.New(upstream, opts...)
+}
+
+// Cache configuration, re-exported from the sharded cache.
+type (
+	// CacheOption configures WithCache.
+	CacheOption = dnscache.Option
+	// CacheStats counts cache effectiveness.
+	CacheStats = dnscache.Stats
+)
+
+// Re-exported cache options.
+var (
+	CacheMaxEntries  = dnscache.WithMaxEntries
+	CacheTTLBounds   = dnscache.WithTTLBounds
+	CacheShards      = dnscache.WithShards
+	CacheNegativeTTL = dnscache.WithNegativeTTL
+)
+
+// Upstream pooling, re-exported from dnstransport.
+type (
+	// Pool multiplexes queries over persistent upstream connections with
+	// health tracking and failover.
+	Pool = dnstransport.Pool
+	// PoolUpstream names one upstream and how to connect to it.
+	PoolUpstream = dnstransport.PoolUpstream
+	// PoolConfig tunes a Pool.
+	PoolConfig = dnstransport.PoolConfig
+	// UpstreamStats snapshots one pooled upstream's health.
+	UpstreamStats = dnstransport.UpstreamStats
+)
+
+// NewPool builds a pooled resolver over the given upstreams.
+func NewPool(upstreams []PoolUpstream, cfg PoolConfig) (*Pool, error) {
+	return dnstransport.NewPool(upstreams, cfg)
+}
+
+// Forwarding proxy, re-exported from internal/proxy.
+type (
+	// ForwardingProxy serves the full listener set through cache →
+	// singleflight → upstream pool.
+	ForwardingProxy = proxy.Proxy
+	// ForwardingProxyConfig assembles a ForwardingProxy.
+	ForwardingProxyConfig = proxy.Config
+)
+
+// NewForwardingProxy builds a forwarding proxy from explicit configuration.
+func NewForwardingProxy(cfg ForwardingProxyConfig) (*ForwardingProxy, error) {
+	return proxy.New(cfg)
+}
+
+// StartProxy deploys a forwarding proxy on the environment's network at
+// host, forwarding cache misses to the named study resolvers in failover
+// order (DoT toward resolvers with TLS deployments, TCP toward the local
+// one). The proxy serves UDP/TCP :53, DoT :853 and DoH :443 with its own
+// certificate chain, retrievable via ProxyChain for client trust.
+func (e *Environment) StartProxy(host string, upstreams ...ResolverHost) (*ForwardingProxy, error) {
+	if len(upstreams) == 0 {
+		return nil, fmt.Errorf("dohcost: StartProxy needs at least one upstream")
+	}
+	chain, err := tlsx.GenerateChain(tlsx.CloudflareLike(host))
+	if err != nil {
+		return nil, err
+	}
+	var ups []PoolUpstream
+	for _, u := range upstreams {
+		ups = append(ups, e.poolUpstream(host, u))
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstreams: ups,
+		Chain:     chain,
+		Endpoints: []dnsserver.Endpoint{{Path: "/dns-query", Wire: true, JSON: true}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Start(e.topo.Net, host); err != nil {
+		p.Close()
+		return nil, err
+	}
+	e.proxies = append(e.proxies, p)
+	e.proxyChains = append(e.proxyChains, proxyChain{host: host, chain: chain})
+	return p, nil
+}
+
+// ProxyChain returns the certificate chain of a proxy started by
+// StartProxy, for building DoT/DoH clients that trust it.
+func (e *Environment) ProxyChain(host string) *tlsx.Chain {
+	for _, pc := range e.proxyChains {
+		if pc.host == host {
+			return pc.chain
+		}
+	}
+	return nil
+}
+
+// ProxyUDP returns a classic UDP resolver toward a proxy started with
+// StartProxy, with the same RFC 7766 TCP fallback Environment.UDP wires.
+func (e *Environment) ProxyUDP(host string, opts Options) (Resolver, error) {
+	pc, err := e.topo.Net.ListenPacket("")
+	if err != nil {
+		return nil, err
+	}
+	c := dnstransport.NewUDPClient(pc, netsim.Addr(host+":53"))
+	fb := dnstransport.NewTCPClient(func() (net.Conn, error) {
+		return e.topo.Net.Dial(core.ClientHost, host+":53")
+	})
+	fb.Recorder = opts.Recorder
+	c.Fallback = fb
+	c.Recorder = opts.Recorder
+	return c, nil
+}
+
+// ProxyDoH returns a DoH resolver toward a proxy started with StartProxy,
+// trusting the proxy's own certificate chain.
+func (e *Environment) ProxyDoH(host string, opts Options) (Resolver, error) {
+	chain := e.ProxyChain(host)
+	if chain == nil {
+		return nil, fmt.Errorf("dohcost: no proxy started at %s", host)
+	}
+	mode := dnstransport.ModeH2
+	if opts.HTTP1 {
+		mode = dnstransport.ModeH1
+	}
+	return &dnstransport.DoHClient{
+		Dial:       func() (net.Conn, error) { return e.topo.Net.Dial(core.ClientHost, host+":443") },
+		TLS:        chain.ClientConfig(host),
+		Mode:       mode,
+		Persistent: opts.Persistent,
+		Recorder:   opts.Recorder,
+	}, nil
+}
+
+// poolUpstream wires one study resolver as a pool target: DoT where the
+// deployment has a TLS stack, plain TCP otherwise.
+func (e *Environment) poolUpstream(from string, host ResolverHost) PoolUpstream {
+	return PoolUpstream{Name: string(host), Dial: func() (Resolver, error) {
+		if c, err := e.topo.DoTResolver(from, string(host)); err == nil {
+			return c, nil
+		}
+		return dnstransport.NewTCPClient(func() (net.Conn, error) {
+			return e.topo.Net.Dial(from, string(host)+":53")
+		}), nil
+	}}
+}
 
 // Experiment results and runners, re-exported from the study core.
 type (

@@ -63,6 +63,46 @@ func TestFacadeNewQueryCanonicalizes(t *testing.T) {
 	}
 }
 
+func TestFacadeStartProxy(t *testing.T) {
+	env, err := NewEnvironment(EnvironmentConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+
+	p, err := env.StartProxy("proxy.dns", Cloudflare, Google)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.ProxyChain("proxy.dns") == nil {
+		t.Fatal("proxy chain not recorded")
+	}
+
+	// Query the proxy over DoH, trusting its own chain.
+	c, err := env.ProxyDoH("proxy.dns", Options{Persistent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		resp, err := c.Exchange(context.Background(), NewQuery("facade.example.com", TypeA))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Answers) != 1 {
+			t.Fatalf("answers = %v", resp.Answers)
+		}
+	}
+	s := p.CacheStats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Errorf("cache stats = %+v, want 1 miss + 2 hits", s)
+	}
+	ups := p.UpstreamStats()
+	if len(ups) != 2 || ups[0].Exchanges != 1 {
+		t.Errorf("upstream stats = %+v", ups)
+	}
+}
+
 func TestFacadeFigure1(t *testing.T) {
 	r := RunFigure1(1000, 4)
 	if r.CDF.Len() != 1000 {

@@ -1,0 +1,3 @@
+module dohcost
+
+go 1.24

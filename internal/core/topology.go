@@ -166,14 +166,17 @@ func (t *Topology) chainFor(host string) *tlsx.Chain {
 }
 
 // UDPResolver opens a classic UDP client toward host from the given client
-// host name.
+// host name, with the RFC 7766 TCP fallback for truncated responses.
 func (t *Topology) UDPResolver(from, host string) (*dnstransport.UDPClient, error) {
 	pc, err := t.Net.ListenPacket("")
 	if err != nil {
 		return nil, err
 	}
-	_ = from // packet endpoints are ephemeral; links key on host names
-	return dnstransport.NewUDPClient(pc, netsim.Addr(host+":53")), nil
+	c := dnstransport.NewUDPClient(pc, netsim.Addr(host+":53"))
+	c.Fallback = dnstransport.NewTCPClient(func() (net.Conn, error) {
+		return t.Net.Dial(from, host+":53")
+	})
+	return c, nil
 }
 
 // DoTResolver opens a DNS-over-TLS client toward host.

@@ -2,6 +2,13 @@
 // any Resolver, plus in-flight query coalescing (singleflight): concurrent
 // identical queries share one upstream exchange.
 //
+// The cache is hash-partitioned into shards, each with its own lock, LRU
+// list and in-flight table, so the hit path never funnels through a global
+// mutex — the property that lets a forwarding proxy serve hot names from
+// many connections at full core count. Negative answers (NXDOMAIN and
+// NODATA) are cached with the RFC 2308 TTL: the minimum of the authority
+// SOA record's TTL and its MINIMUM field.
+//
 // The paper deliberately cleared caches between page loads to measure worst
 // cases; this package is the production counterpart — and the knob for the
 // cache ablation, which shows how quickly a warm cache erases the DoH
@@ -12,6 +19,7 @@ package dnscache
 import (
 	"container/list"
 	"context"
+	"hash/maphash"
 	"sync"
 	"time"
 
@@ -34,7 +42,7 @@ type entry struct {
 	elem    *list.Element
 }
 
-// Stats counts cache effectiveness.
+// Stats counts cache effectiveness, aggregated across shards.
 type Stats struct {
 	Hits      int64
 	Misses    int64
@@ -42,22 +50,11 @@ type Stats struct {
 	Evictions int64
 }
 
-// Cache is a caching resolver. Safe for concurrent use.
-type Cache struct {
-	upstream dnstransport.Resolver
-
-	// MaxEntries bounds the cache (LRU eviction); 0 means 4096.
-	maxEntries int
-	// MinTTL/MaxTTL clamp record TTLs (resolver-style cache policy).
-	minTTL, maxTTL time.Duration
-	// now is the clock, replaceable in tests.
-	now func() time.Time
-
-	mu      sync.Mutex
-	entries map[key]*entry
-	lru     *list.List // front = most recent
-	flights map[key]*flight
-	stats   Stats
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Coalesced += o.Coalesced
+	s.Evictions += o.Evictions
 }
 
 // flight is one in-progress upstream exchange shared by coalesced callers.
@@ -67,16 +64,57 @@ type flight struct {
 	err  error
 }
 
+// shard is one lock domain: a partition of the key space with its own LRU
+// and singleflight table.
+type shard struct {
+	mu         sync.Mutex
+	entries    map[key]*entry
+	lru        *list.List // front = most recent
+	flights    map[key]*flight
+	stats      Stats
+	maxEntries int
+}
+
+// Cache is a sharded caching resolver. Safe for concurrent use.
+type Cache struct {
+	upstream dnstransport.Resolver
+	shards   []*shard
+	seed     maphash.Seed
+
+	// maxEntries bounds the cache across all shards (LRU eviction per
+	// shard); 0 means 4096.
+	maxEntries int
+	// nshards is the shard count, rounded up to a power of two; 0 means 16.
+	nshards int
+	// minTTL/maxTTL clamp record TTLs (resolver-style cache policy).
+	minTTL, maxTTL time.Duration
+	// negTTL caps negative-cache TTLs and is the fallback when a negative
+	// response carries no SOA (RFC 2308 leaves that response uncacheable;
+	// we hold it briefly, the way production resolvers do).
+	negTTL time.Duration
+	// now is the clock, replaceable in tests.
+	now func() time.Time
+}
+
 // Option configures a Cache.
 type Option func(*Cache)
 
-// WithMaxEntries bounds the cache size.
+// WithMaxEntries bounds the cache size across all shards.
 func WithMaxEntries(n int) Option { return func(c *Cache) { c.maxEntries = n } }
 
 // WithTTLBounds clamps cached TTLs.
 func WithTTLBounds(min, max time.Duration) Option {
 	return func(c *Cache) { c.minTTL, c.maxTTL = min, max }
 }
+
+// WithShards sets the number of lock partitions (rounded up to a power of
+// two). One shard reproduces the classic single-mutex cache; the default
+// 16 keeps the hit path off any global lock.
+func WithShards(n int) Option { return func(c *Cache) { c.nshards = n } }
+
+// WithNegativeTTL caps how long NXDOMAIN/NODATA answers are cached; it is
+// also the TTL used when a negative response carries no SOA.
+func WithNegativeTTL(d time.Duration) Option { return func(c *Cache) { c.negTTL = d } }
 
 // withClock replaces the clock (tests).
 func withClock(now func() time.Time) Option { return func(c *Cache) { c.now = now } }
@@ -86,47 +124,100 @@ func New(upstream dnstransport.Resolver, opts ...Option) *Cache {
 	c := &Cache{
 		upstream:   upstream,
 		maxEntries: 4096,
+		nshards:    16,
 		maxTTL:     24 * time.Hour,
+		negTTL:     DefaultNegativeTTL,
 		now:        time.Now,
-		entries:    make(map[key]*entry),
-		lru:        list.New(),
-		flights:    make(map[key]*flight),
+		seed:       maphash.MakeSeed(),
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	n := 1
+	for n < c.nshards {
+		n <<= 1
+	}
+	// A bound smaller than the shard count would overshoot (every shard
+	// holds at least one entry), so shrink the partition count until the
+	// configured bound is exact.
+	for n > 1 && c.maxEntries/n < 1 {
+		n >>= 1
+	}
+	c.nshards = n
+	perShard, extra := c.maxEntries/n, c.maxEntries%n
+	for i := 0; i < n; i++ {
+		max := perShard
+		if i < extra {
+			max++
+		}
+		c.shards = append(c.shards, &shard{
+			entries:    make(map[key]*entry),
+			lru:        list.New(),
+			flights:    make(map[key]*flight),
+			maxEntries: max,
+		})
+	}
 	return c
+}
+
+// DefaultNegativeTTL is the fallback negative-caching duration for
+// responses without an SOA, and the default cap for those with one.
+const DefaultNegativeTTL = 30 * time.Second
+
+// shardFor hashes a key to its partition. maphash.String is the runtime's
+// AES-based string hash — cheap enough that sharding never shows up next
+// to the per-hit response clone.
+func (c *Cache) shardFor(k key) *shard {
+	h := maphash.String(c.seed, string(k.name))
+	// Fold type and class in with an xor-multiply mix.
+	h ^= uint64(k.qtype)<<16 | uint64(k.class)
+	h *= 0x9e3779b97f4a7c15
+	return c.shards[(h>>32)&uint64(len(c.shards)-1)]
 }
 
 // Close implements Resolver; it closes the upstream.
 func (c *Cache) Close() error { return c.upstream.Close() }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters, summed over shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var s Stats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // Len reports the number of live entries (expired ones may linger until
 // touched).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
+
+// Shards reports the shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
 
 // Flush drops everything.
 func (c *Cache) Flush() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[key]*entry)
-	c.lru.Init()
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.entries = make(map[key]*entry)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }
 
 // Exchange implements Resolver. Cache hits are answered with the stored
 // response re-stamped with the query's ID and decayed TTLs; misses go
 // upstream, coalescing concurrent identical questions into one exchange.
+// Only the query's shard is locked, and never across the upstream call.
 func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 	qq := q.Question1()
 	if len(q.Questions) != 1 || qq.Type == dnswire.TypeANY {
@@ -134,23 +225,24 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 		return c.upstream.Exchange(ctx, q)
 	}
 	k := key{name: qq.Name.Canonical(), qtype: qq.Type, class: qq.Class}
+	sh := c.shardFor(k)
 
-	c.mu.Lock()
-	if e, ok := c.entries[k]; ok {
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
 		now := c.now()
 		if now.Before(e.expires) {
-			c.lru.MoveToFront(e.elem)
-			c.stats.Hits++
-			resp := cloneResponse(e.resp, q.ID, e.expires.Sub(now))
-			c.mu.Unlock()
-			return resp, nil
+			sh.lru.MoveToFront(e.elem)
+			sh.stats.Hits++
+			resp, expires := e.resp, e.expires
+			sh.mu.Unlock()
+			return cloneResponse(resp, q.ID, expires.Sub(now)), nil
 		}
-		c.removeLocked(e)
+		sh.removeLocked(e)
 	}
 	// Miss: join or start a flight.
-	if f, ok := c.flights[k]; ok {
-		c.stats.Coalesced++
-		c.mu.Unlock()
+	if f, ok := sh.flights[k]; ok {
+		sh.stats.Coalesced++
+		sh.mu.Unlock()
 		select {
 		case <-f.done:
 			if f.err != nil {
@@ -162,30 +254,41 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 		}
 	}
 	f := &flight{done: make(chan struct{})}
-	c.flights[k] = f
-	c.stats.Misses++
-	c.mu.Unlock()
+	sh.flights[k] = f
+	sh.stats.Misses++
+	sh.mu.Unlock()
 
-	resp, err := c.upstream.Exchange(ctx, q)
+	// The flight is shared by every coalesced caller, so it must not die
+	// with the leader's client: detach from the leader's cancellation but
+	// keep its deadline, so a proxy-level upstream timeout still bounds
+	// the exchange while a mid-flight disconnect no longer poisons the
+	// other waiters with SERVFAIL.
+	exCtx := context.WithoutCancel(ctx)
+	if deadline, ok := ctx.Deadline(); ok {
+		var cancel context.CancelFunc
+		exCtx, cancel = context.WithDeadline(exCtx, deadline)
+		defer cancel()
+	}
+	resp, err := c.upstream.Exchange(exCtx, q)
 	f.resp, f.err = resp, err
 
-	c.mu.Lock()
-	delete(c.flights, k)
+	sh.mu.Lock()
+	delete(sh.flights, k)
 	if err == nil && cacheable(resp) {
-		ttl := c.clampTTL(minTTLOf(resp))
+		ttl := c.clampTTL(c.ttlOf(resp))
 		e := &entry{key: k, resp: resp, expires: c.now().Add(ttl)}
-		e.elem = c.lru.PushFront(e)
-		c.entries[k] = e
-		for len(c.entries) > c.maxEntries {
-			oldest := c.lru.Back()
+		e.elem = sh.lru.PushFront(e)
+		sh.entries[k] = e
+		for len(sh.entries) > sh.maxEntries {
+			oldest := sh.lru.Back()
 			if oldest == nil {
 				break
 			}
-			c.removeLocked(oldest.Value.(*entry))
-			c.stats.Evictions++
+			sh.removeLocked(oldest.Value.(*entry))
+			sh.stats.Evictions++
 		}
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	close(f.done)
 	if err != nil {
 		return nil, err
@@ -193,9 +296,10 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	return cloneResponse(resp, q.ID, 0), nil
 }
 
-func (c *Cache) removeLocked(e *entry) {
-	delete(c.entries, e.key)
-	c.lru.Remove(e.elem)
+// removeLocked unlinks an entry. Caller holds sh.mu.
+func (sh *shard) removeLocked(e *entry) {
+	delete(sh.entries, e.key)
+	sh.lru.Remove(e.elem)
 }
 
 func (c *Cache) clampTTL(ttl time.Duration) time.Duration {
@@ -209,7 +313,7 @@ func (c *Cache) clampTTL(ttl time.Duration) time.Duration {
 }
 
 // cacheable accepts positive answers and NXDOMAIN/NODATA (negative caching
-// per RFC 2308, using the answer TTLs or a conservative floor).
+// per RFC 2308).
 func cacheable(resp *dnswire.Message) bool {
 	if resp == nil || resp.Truncated {
 		return false
@@ -221,10 +325,21 @@ func cacheable(resp *dnswire.Message) bool {
 	return false
 }
 
-// minTTLOf returns the smallest record TTL, or a negative-cache floor for
-// answerless responses.
-func minTTLOf(resp *dnswire.Message) time.Duration {
-	const negativeTTL = 30 * time.Second
+// negative reports whether resp is an RFC 2308 negative answer: NXDOMAIN,
+// or NOERROR with an empty answer section (NODATA).
+func negative(resp *dnswire.Message) bool {
+	return resp.RCode == dnswire.RCodeNameError ||
+		(resp.RCode == dnswire.RCodeSuccess && len(resp.Answers) == 0)
+}
+
+// ttlOf derives the cache lifetime of a response: the smallest answer-
+// section TTL for positive answers, or the RFC 2308 §3/§5 negative TTL —
+// min(SOA record TTL, SOA MINIMUM field) from the authority section — for
+// negative ones, capped at the configured negative ceiling.
+func (c *Cache) ttlOf(resp *dnswire.Message) time.Duration {
+	if negative(resp) {
+		return c.negativeTTL(resp)
+	}
 	min := time.Duration(-1)
 	for _, section := range [][]dnswire.ResourceRecord{resp.Answers, resp.Authorities} {
 		for _, rr := range section {
@@ -235,9 +350,29 @@ func minTTLOf(resp *dnswire.Message) time.Duration {
 		}
 	}
 	if min < 0 {
-		return negativeTTL
+		return c.negTTL
 	}
 	return min
+}
+
+// negativeTTL implements the RFC 2308 negative-TTL derivation.
+func (c *Cache) negativeTTL(resp *dnswire.Message) time.Duration {
+	for _, rr := range resp.Authorities {
+		soa, ok := rr.Data.(*dnswire.SOA)
+		if !ok {
+			continue
+		}
+		secs := rr.TTL
+		if soa.Minimum < secs {
+			secs = soa.Minimum
+		}
+		ttl := time.Duration(secs) * time.Second
+		if c.negTTL > 0 && ttl > c.negTTL {
+			ttl = c.negTTL
+		}
+		return ttl
+	}
+	return c.negTTL
 }
 
 // cloneResponse copies resp, restamps the transaction ID, and decays TTLs

@@ -14,11 +14,13 @@ import (
 
 // countingUpstream answers with a fixed TTL and counts exchanges.
 type countingUpstream struct {
-	calls atomic.Int64
-	ttl   uint32
-	rcode dnswire.RCode
-	delay time.Duration
-	fail  bool
+	calls     atomic.Int64
+	ttl       uint32
+	rcode     dnswire.RCode
+	delay     time.Duration
+	fail      bool
+	noAnswer  bool                     // NODATA: NOERROR with empty answer section
+	authority []dnswire.ResourceRecord // appended to every response
 }
 
 func (u *countingUpstream) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
@@ -35,12 +37,13 @@ func (u *countingUpstream) Exchange(ctx context.Context, q *dnswire.Message) (*d
 	}
 	r := q.Reply()
 	r.RCode = u.rcode
-	if u.rcode == dnswire.RCodeSuccess {
+	if u.rcode == dnswire.RCodeSuccess && !u.noAnswer {
 		r.Answers = append(r.Answers, dnswire.ResourceRecord{
 			Name: q.Question1().Name, Class: dnswire.ClassINET, TTL: u.ttl,
 			Data: &dnswire.TXT{Strings: []string{"cached?"}},
 		})
 	}
+	r.Authorities = append(r.Authorities, u.authority...)
 	return r, nil
 }
 
@@ -124,7 +127,8 @@ func TestTTLClamping(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	up := &countingUpstream{ttl: 300}
-	c := New(up, WithMaxEntries(3))
+	// One shard: the global bound is exact and eviction order is pure LRU.
+	c := New(up, WithMaxEntries(3), WithShards(1))
 	defer c.Close()
 	for i := 0; i < 5; i++ {
 		c.Exchange(context.Background(), dnswire.NewQuery(1, dnswire.Name(fmt.Sprintf("n%d.example.", i)), dnswire.TypeA))
@@ -212,6 +216,216 @@ func TestFlushEmptiesCache(t *testing.T) {
 	c.Exchange(context.Background(), dnswire.NewQuery(2, "f.example.", dnswire.TypeA))
 	if up.calls.Load() != 2 {
 		t.Error("flush did not force a refetch")
+	}
+}
+
+// TestFlightSurvivesLeaderCancellation pins the singleflight contract under
+// per-connection contexts: the client that starts a flight disconnecting
+// mid-exchange must not fail the coalesced waiters on healthy connections.
+func TestFlightSurvivesLeaderCancellation(t *testing.T) {
+	up := &countingUpstream{ttl: 300, delay: 80 * time.Millisecond}
+	c := New(up)
+	defer c.Close()
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.Exchange(leaderCtx, dnswire.NewQuery(1, "flight.example.", dnswire.TypeA))
+		leaderDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the leader start the flight
+
+	followerDone := make(chan error, 1)
+	go func() {
+		resp, err := c.Exchange(context.Background(), dnswire.NewQuery(2, "flight.example.", dnswire.TypeA))
+		if err == nil && len(resp.Answers) != 1 {
+			err = fmt.Errorf("follower answers = %v", resp.Answers)
+		}
+		followerDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the follower coalesce
+	cancelLeader()
+
+	if err := <-followerDone; err != nil {
+		t.Errorf("follower poisoned by leader's disconnect: %v", err)
+	}
+	<-leaderDone
+	if got := up.calls.Load(); got != 1 {
+		t.Errorf("upstream calls = %d, want 1", got)
+	}
+}
+
+// TestUpstreamKeepsCallerDeadline: detaching the flight from the leader's
+// cancellation must not detach it from the leader's deadline.
+func TestUpstreamKeepsCallerDeadline(t *testing.T) {
+	up := &countingUpstream{ttl: 300, delay: time.Minute}
+	c := New(up)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Exchange(ctx, dnswire.NewQuery(1, "dl.example.", dnswire.TypeA)); err == nil {
+		t.Fatal("minute-long upstream exchange beat a 30ms deadline")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline not propagated to the upstream exchange")
+	}
+}
+
+func TestSmallBoundShrinksShardCount(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	c := New(up, WithMaxEntries(4)) // default 16 shards would overshoot to 16
+	defer c.Close()
+	if c.Shards() != 4 {
+		t.Errorf("shards = %d, want 4 (shrunk to honour the bound)", c.Shards())
+	}
+	for i := 0; i < 20; i++ {
+		c.Exchange(context.Background(), dnswire.NewQuery(1, dnswire.Name(fmt.Sprintf("b%d.example.", i)), dnswire.TypeA))
+	}
+	if c.Len() > 4 {
+		t.Errorf("entries = %d, exceeds WithMaxEntries(4)", c.Len())
+	}
+}
+
+func TestShardCountRoundsToPowerOfTwo(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	for _, tt := range []struct{ ask, want int }{{1, 1}, {2, 2}, {3, 4}, {16, 16}, {17, 32}} {
+		c := New(up, WithShards(tt.ask))
+		if c.Shards() != tt.want {
+			t.Errorf("WithShards(%d) → %d shards, want %d", tt.ask, c.Shards(), tt.want)
+		}
+	}
+}
+
+// TestShardedConcurrentMixedLoad hammers the default sharded cache with a
+// mix of hot names (hits), unique names (misses) and simultaneous identical
+// queries (coalescing) and checks the aggregated accounting; run under
+// -race it also proves the per-shard locking sound.
+func TestShardedConcurrentMixedLoad(t *testing.T) {
+	up := &countingUpstream{ttl: 300, delay: time.Millisecond}
+	c := New(up)
+	defer c.Close()
+
+	const workers = 16
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var name string
+				switch i % 3 {
+				case 0: // hot set shared by all workers: hits + coalescing
+					name = fmt.Sprintf("hot%d.example.", i%5)
+				case 1: // per-worker names: misses then hits
+					name = fmt.Sprintf("w%d-n%d.example.", w, i%10)
+				default: // unique names: pure misses
+					name = fmt.Sprintf("uniq-w%d-i%d.example.", w, i)
+				}
+				resp, err := c.Exchange(context.Background(), dnswire.NewQuery(uint16(i), dnswire.Name(name), dnswire.TypeA))
+				if err != nil {
+					t.Errorf("worker %d query %d: %v", w, i, err)
+					return
+				}
+				if len(resp.Answers) != 1 {
+					t.Errorf("worker %d query %d: answers = %v", w, i, resp.Answers)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := c.Stats()
+	total := s.Hits + s.Misses + s.Coalesced
+	if total != workers*perWorker {
+		t.Errorf("accounted %d queries, want %d (stats %+v)", total, workers*perWorker, s)
+	}
+	if got := up.calls.Load(); got != s.Misses {
+		t.Errorf("upstream calls = %d, want %d (one per miss)", got, s.Misses)
+	}
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("load not mixed: %+v", s)
+	}
+}
+
+func TestNegativeTTLFromSOAMinimum(t *testing.T) {
+	now := time.Now()
+	soa := dnswire.ResourceRecord{
+		Name: "example.", Class: dnswire.ClassINET, TTL: 3600,
+		Data: &dnswire.SOA{MName: "ns.example.", RName: "admin.example.", Minimum: 60},
+	}
+	up := &countingUpstream{rcode: dnswire.RCodeNameError, authority: []dnswire.ResourceRecord{soa}}
+	c := New(up,
+		withClock(func() time.Time { return now }),
+		WithNegativeTTL(10*time.Minute)) // lift the cap: the SOA decides
+	defer c.Close()
+
+	c.Exchange(context.Background(), dnswire.NewQuery(1, "nx.example.", dnswire.TypeA))
+	// RFC 2308: TTL = min(SOA RR TTL, SOA MINIMUM) = 60s, not the RR's 3600.
+	now = now.Add(59 * time.Second)
+	c.Exchange(context.Background(), dnswire.NewQuery(2, "nx.example.", dnswire.TypeA))
+	if up.calls.Load() != 1 {
+		t.Fatalf("negative entry expired before SOA minimum: %d upstream calls", up.calls.Load())
+	}
+	now = now.Add(2 * time.Second) // past 60s
+	c.Exchange(context.Background(), dnswire.NewQuery(3, "nx.example.", dnswire.TypeA))
+	if up.calls.Load() != 2 {
+		t.Errorf("negative entry outlived SOA minimum: %d upstream calls", up.calls.Load())
+	}
+}
+
+func TestNegativeTTLNodataAndCap(t *testing.T) {
+	now := time.Now()
+	soa := dnswire.ResourceRecord{
+		Name: "example.", Class: dnswire.ClassINET, TTL: 86400,
+		Data: &dnswire.SOA{MName: "ns.example.", RName: "admin.example.", Minimum: 86400},
+	}
+	// NODATA (NOERROR, no answers) with a huge SOA: the configured negative
+	// ceiling caps it.
+	up := &countingUpstream{noAnswer: true, authority: []dnswire.ResourceRecord{soa}}
+	c := New(up,
+		withClock(func() time.Time { return now }),
+		WithNegativeTTL(30*time.Second))
+	defer c.Close()
+
+	c.Exchange(context.Background(), dnswire.NewQuery(1, "nodata.example.", dnswire.TypeTXT))
+	now = now.Add(29 * time.Second)
+	c.Exchange(context.Background(), dnswire.NewQuery(2, "nodata.example.", dnswire.TypeTXT))
+	if up.calls.Load() != 1 {
+		t.Fatal("NODATA not cached")
+	}
+	now = now.Add(2 * time.Second)
+	c.Exchange(context.Background(), dnswire.NewQuery(3, "nodata.example.", dnswire.TypeTXT))
+	if up.calls.Load() != 2 {
+		t.Error("NODATA outlived the negative-TTL cap")
+	}
+}
+
+// TestEvictionAccountingAcrossShards fills a bounded sharded cache far past
+// capacity and checks the books balance: every miss either lives in some
+// shard or was evicted from one.
+func TestEvictionAccountingAcrossShards(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	c := New(up, WithMaxEntries(64), WithShards(16))
+	defer c.Close()
+	const inserts = 500
+	for i := 0; i < inserts; i++ {
+		c.Exchange(context.Background(), dnswire.NewQuery(1, dnswire.Name(fmt.Sprintf("evict%d.example.", i)), dnswire.TypeA))
+	}
+	s := c.Stats()
+	if s.Misses != inserts {
+		t.Fatalf("misses = %d, want %d", s.Misses, inserts)
+	}
+	if c.Len() > 64 {
+		t.Errorf("entries = %d, exceeds global bound 64", c.Len())
+	}
+	if s.Evictions == 0 {
+		t.Error("no evictions recorded despite 500 inserts into 64 slots")
+	}
+	if int64(c.Len())+s.Evictions != s.Misses {
+		t.Errorf("accounting broken: live %d + evicted %d != inserted %d", c.Len(), s.Evictions, s.Misses)
 	}
 }
 

@@ -2,6 +2,7 @@ package dnsserver
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"net/netip"
 	"strings"
@@ -11,10 +12,21 @@ import (
 	"dohcost/internal/dnswire"
 )
 
+// serveT runs a handler with a background context, failing the test on
+// handler error.
+func serveT(t *testing.T, h Handler, q *dnswire.Message) *dnswire.Message {
+	t.Helper()
+	r, err := h.ServeDNS(context.Background(), q)
+	if err != nil {
+		t.Fatalf("ServeDNS: %v", err)
+	}
+	return r
+}
+
 func TestStaticHandlerA(t *testing.T) {
 	h := Static(netip.MustParseAddr("192.0.2.1"), 60)
 	q := dnswire.NewQuery(9, "anything.at.all.example.", dnswire.TypeA)
-	r := h.ServeDNS(q)
+	r := serveT(t, h, q)
 	if !r.Response || r.ID != 9 || len(r.Answers) != 1 {
 		t.Fatalf("reply = %+v", r)
 	}
@@ -23,7 +35,7 @@ func TestStaticHandlerA(t *testing.T) {
 	}
 	// AAAA query against a v4 static handler: NOERROR, no answers.
 	q6 := dnswire.NewQuery(10, "x.example.", dnswire.TypeAAAA)
-	r6 := h.ServeDNS(q6)
+	r6 := serveT(t, h, q6)
 	if len(r6.Answers) != 0 || r6.RCode != dnswire.RCodeSuccess {
 		t.Errorf("aaaa reply = %+v", r6)
 	}
@@ -31,7 +43,7 @@ func TestStaticHandlerA(t *testing.T) {
 
 func TestStaticHandlerAAAA(t *testing.T) {
 	h := Static(netip.MustParseAddr("2001:db8::1"), 60)
-	r := h.ServeDNS(dnswire.NewQuery(1, "x.example.", dnswire.TypeAAAA))
+	r := serveT(t, h, dnswire.NewQuery(1, "x.example.", dnswire.TypeAAAA))
 	if len(r.Answers) != 1 {
 		t.Fatalf("answers = %v", r.Answers)
 	}
@@ -45,7 +57,7 @@ func TestDelayEveryCadence(t *testing.T) {
 	var delayed int
 	for i := 0; i < 4; i++ {
 		start := time.Now()
-		h.ServeDNS(dnswire.NewQuery(uint16(i), "x.example.", dnswire.TypeA))
+		serveT(t, h, dnswire.NewQuery(uint16(i), "x.example.", dnswire.TypeA))
 		if time.Since(start) > 30*time.Millisecond {
 			delayed++
 		}
@@ -57,7 +69,7 @@ func TestDelayEveryCadence(t *testing.T) {
 
 func TestRefuseHandler(t *testing.T) {
 	h := Refuse(dnswire.RCodeRefused)
-	r := h.ServeDNS(dnswire.NewQuery(1, "x.example.", dnswire.TypeA))
+	r := serveT(t, h, dnswire.NewQuery(1, "x.example.", dnswire.TypeA))
 	if r.RCode != dnswire.RCodeRefused {
 		t.Errorf("rcode = %v", r.RCode)
 	}
@@ -66,7 +78,7 @@ func TestRefuseHandler(t *testing.T) {
 func TestZoneNodata(t *testing.T) {
 	z := NewZone("example.com.")
 	z.AddA("www.example.com.", 60, &dnswire.A{Addr: netip.MustParseAddr("192.0.2.1")})
-	r := z.ServeDNS(dnswire.NewQuery(1, "www.example.com.", dnswire.TypeAAAA))
+	r := serveT(t, z, dnswire.NewQuery(1, "www.example.com.", dnswire.TypeAAAA))
 	if r.RCode != dnswire.RCodeSuccess || len(r.Answers) != 0 {
 		t.Errorf("nodata reply = %+v", r)
 	}
@@ -76,7 +88,7 @@ func TestZoneCNAMEChainToExternalTarget(t *testing.T) {
 	z := NewZone("example.com.")
 	z.Add(dnswire.ResourceRecord{Name: "a.example.com.", Class: dnswire.ClassINET, TTL: 60,
 		Data: &dnswire.CNAME{Target: "cdn.other.net."}})
-	r := z.ServeDNS(dnswire.NewQuery(1, "a.example.com.", dnswire.TypeA))
+	r := serveT(t, z, dnswire.NewQuery(1, "a.example.com.", dnswire.TypeA))
 	if len(r.Answers) != 1 {
 		t.Fatalf("answers = %v", r.Answers)
 	}
@@ -93,7 +105,7 @@ func TestZoneCNAMELoopTerminates(t *testing.T) {
 		Data: &dnswire.CNAME{Target: "a.example.com."}})
 	done := make(chan *dnswire.Message, 1)
 	go func() {
-		done <- z.ServeDNS(dnswire.NewQuery(1, "a.example.com.", dnswire.TypeA))
+		done <- Respond(context.Background(), z, dnswire.NewQuery(1, "a.example.com.", dnswire.TypeA))
 	}()
 	select {
 	case r := <-done:
@@ -109,7 +121,7 @@ func TestZoneDirectCNAMEQuery(t *testing.T) {
 	z := NewZone("example.com.")
 	z.Add(dnswire.ResourceRecord{Name: "a.example.com.", Class: dnswire.ClassINET, TTL: 60,
 		Data: &dnswire.CNAME{Target: "b.example.com."}})
-	r := z.ServeDNS(dnswire.NewQuery(1, "a.example.com.", dnswire.TypeCNAME))
+	r := serveT(t, z, dnswire.NewQuery(1, "a.example.com.", dnswire.TypeCNAME))
 	if len(r.Answers) != 1 {
 		t.Fatalf("answers = %v", r.Answers)
 	}
@@ -117,7 +129,7 @@ func TestZoneDirectCNAMEQuery(t *testing.T) {
 
 // dohServe is a test shim over the unexported core.
 func dohServe(d *DoH, method, path, ct string, body []byte) (int, string, []byte) {
-	return d.serve(method, path, ct, body)
+	return d.serve(context.Background(), method, path, ct, body)
 }
 
 func TestDoHServeRouting(t *testing.T) {
@@ -231,7 +243,7 @@ func TestEncodeGETPaths(t *testing.T) {
 
 func TestPadResponses(t *testing.T) {
 	h := PadResponses(468, Static(netip.MustParseAddr("192.0.2.1"), 60))
-	r := h.ServeDNS(dnswire.NewQuery(1, "pad.example.", dnswire.TypeA))
+	r := serveT(t, h, dnswire.NewQuery(1, "pad.example.", dnswire.TypeA))
 	wire, err := r.Pack()
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +256,7 @@ func TestPadResponses(t *testing.T) {
 	}
 	// Block size 0 disables padding.
 	plain := PadResponses(0, Static(netip.MustParseAddr("192.0.2.1"), 60))
-	r2 := plain.ServeDNS(dnswire.NewQuery(1, "pad.example.", dnswire.TypeA))
+	r2 := serveT(t, plain, dnswire.NewQuery(1, "pad.example.", dnswire.TypeA))
 	if r2.EDNS != nil && len(r2.EDNS.Options) > 0 {
 		t.Error("padding applied with block size 0")
 	}

@@ -1,6 +1,7 @@
 package dnsserver
 
 import (
+	"context"
 	"encoding/base64"
 	"net/url"
 	"strconv"
@@ -55,15 +56,34 @@ var (
 	_ h1.Handler = (*DoH)(nil)
 )
 
-// ServeH2 implements h2.Handler.
+// ServeH2 implements h2.Handler with a background context; servers that
+// track connection lifetime use Bind instead.
 func (d *DoH) ServeH2(req *h2.Request) *h2.Response {
+	return d.serveH2(context.Background(), req)
+}
+
+// ServeH1 implements h1.Handler with a background context; servers that
+// track connection lifetime use Bind instead.
+func (d *DoH) ServeH1(req *h1.Request) *h1.Response {
+	return d.serveH1(context.Background(), req)
+}
+
+// Bind derives per-connection HTTP handlers whose DNS queries inherit ctx.
+// Server accept loops bind once per connection, cancelling ctx when the
+// connection closes, so every in-flight handler learns its client is gone.
+func (d *DoH) Bind(ctx context.Context) (h2.Handler, h1.Handler) {
+	return h2.HandlerFunc(func(req *h2.Request) *h2.Response { return d.serveH2(ctx, req) }),
+		h1.HandlerFunc(func(req *h1.Request) *h1.Response { return d.serveH1(ctx, req) })
+}
+
+func (d *DoH) serveH2(ctx context.Context, req *h2.Request) *h2.Response {
 	var ct string
 	for _, f := range req.Header {
 		if f.Name == "content-type" {
 			ct = f.Value
 		}
 	}
-	status, respCT, body := d.serve(req.Method, req.Path, ct, req.Body)
+	status, respCT, body := d.serve(ctx, req.Method, req.Path, ct, req.Body)
 	resp := &h2.Response{Status: status, Body: body}
 	if respCT != "" {
 		resp.Header = append(resp.Header, hpack.HeaderField{Name: "content-type", Value: respCT})
@@ -74,9 +94,8 @@ func (d *DoH) ServeH2(req *h2.Request) *h2.Response {
 	return resp
 }
 
-// ServeH1 implements h1.Handler.
-func (d *DoH) ServeH1(req *h1.Request) *h1.Response {
-	status, respCT, body := d.serve(req.Method, req.Path, req.Header.Get("Content-Type"), req.Body)
+func (d *DoH) serveH1(ctx context.Context, req *h1.Request) *h1.Response {
+	status, respCT, body := d.serve(ctx, req.Method, req.Path, req.Header.Get("Content-Type"), req.Body)
 	resp := &h1.Response{Status: status, Body: body}
 	if respCT != "" {
 		resp.Header.Set("Content-Type", respCT)
@@ -91,9 +110,11 @@ func (d *DoH) ServeH1(req *h1.Request) *h1.Response {
 // the query per RFC 8484 (POST body or GET ?dns= base64url) or the JSON
 // convention (GET ?name=&type=), runs the handler, and encodes the answer
 // in the same representation.
-func (d *DoH) serve(method, rawPath, contentType string, body []byte) (status int, respCT string, respBody []byte) {
+func (d *DoH) serve(ctx context.Context, method, rawPath, contentType string, body []byte) (status int, respCT string, respBody []byte) {
 	if d.Processing > 0 {
-		time.Sleep(d.Processing)
+		if err := sleepCtx(ctx, d.Processing); err != nil {
+			return 500, "", nil
+		}
 	}
 	endpoints := d.Endpoints
 	if endpoints == nil {
@@ -155,10 +176,9 @@ func (d *DoH) serve(method, rawPath, contentType string, body []byte) (status in
 		return 405, "", nil
 	}
 
-	resp := d.Handler.ServeDNS(q)
-	if resp == nil {
-		return 500, "", nil
-	}
+	// Handler failures surface as DNS-level SERVFAIL in an HTTP 200, the
+	// way RFC 8484 servers report resolution (not transport) errors.
+	resp := Respond(ctx, d.Handler, q)
 	if wantJSON {
 		out, err := dnsjson.Encode(resp)
 		if err != nil {

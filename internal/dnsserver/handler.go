@@ -9,6 +9,7 @@
 package dnsserver
 
 import (
+	"context"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -20,22 +21,66 @@ import (
 
 // Handler answers DNS queries. Implementations must be safe for concurrent
 // use; servers may dispatch queries from many connections at once.
+//
+// The context is derived from the lifetime of whatever carried the query —
+// the stream connection, the HTTP request's connection, or the server
+// itself for UDP — so handlers doing real work (forwarding upstream,
+// recursing) can abandon queries whose client is gone. A handler returns
+// either a response or an error; servers synthesize SERVFAIL from errors,
+// so handlers never need to build failure responses themselves.
 type Handler interface {
-	ServeDNS(q *dnswire.Message) *dnswire.Message
+	ServeDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
 }
 
 // HandlerFunc adapts a function to Handler.
-type HandlerFunc func(q *dnswire.Message) *dnswire.Message
+type HandlerFunc func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error)
 
 // ServeDNS implements Handler.
-func (f HandlerFunc) ServeDNS(q *dnswire.Message) *dnswire.Message { return f(q) }
+func (f HandlerFunc) ServeDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	return f(ctx, q)
+}
+
+// ServFail synthesizes the SERVFAIL response servers send when a handler
+// returns an error (or nil without an error).
+func ServFail(q *dnswire.Message) *dnswire.Message {
+	r := q.Reply()
+	r.RCode = dnswire.RCodeServerFailure
+	return r
+}
+
+// Respond runs h and folds any error into a SERVFAIL response, the way
+// every server transport surfaces handler failures to clients.
+func Respond(ctx context.Context, h Handler, q *dnswire.Message) *dnswire.Message {
+	resp, err := h.ServeDNS(ctx, q)
+	if err != nil || resp == nil {
+		return ServFail(q)
+	}
+	return resp
+}
+
+// sleepCtx pauses for d unless the context ends first, in which case it
+// reports the context's error. Delay middlewares use it so an abandoned
+// query does not hold a serving goroutine hostage.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Static answers every A/AAAA query with the same address and TTL,
 // independent of the queried name — the paper's trick for isolating
 // transport behaviour from resolution behaviour (§3: "we instruct our
 // resolver to always return the same IP address").
 func Static(addr netip.Addr, ttl uint32) Handler {
-	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 		r := q.Reply()
 		r.Authoritative = true
 		qq := q.Question1()
@@ -51,7 +96,7 @@ func Static(addr netip.Addr, ttl uint32) Handler {
 				Data: &dnswire.AAAA{Addr: addr},
 			})
 		}
-		return r
+		return r, nil
 	})
 }
 
@@ -59,29 +104,33 @@ func Static(addr netip.Addr, ttl uint32) Handler {
 // With n=25 and d=1s this is exactly the paper's Figure 2 fault injection.
 func DelayEvery(n int, d time.Duration, next Handler) Handler {
 	var counter atomic.Int64
-	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 		if c := counter.Add(1); n > 0 && c%int64(n) == 0 {
-			time.Sleep(d)
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
 		}
-		return next.ServeDNS(q)
+		return next.ServeDNS(ctx, q)
 	})
 }
 
 // Delay sleeps for a fixed duration on every query — the building block for
 // emulating resolver-side processing latency.
 func Delay(d time.Duration, next Handler) Handler {
-	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
-		time.Sleep(d)
-		return next.ServeDNS(q)
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		if err := sleepCtx(ctx, d); err != nil {
+			return nil, err
+		}
+		return next.ServeDNS(ctx, q)
 	})
 }
 
 // Refuse answers everything with the given RCode.
 func Refuse(rcode dnswire.RCode) Handler {
-	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 		r := q.Reply()
 		r.RCode = rcode
-		return r
+		return r, nil
 	})
 }
 
@@ -94,7 +143,7 @@ func Refuse(rcode dnswire.RCode) Handler {
 func CacheMissDelay(seed int64, missRate float64, min, max time.Duration, next Handler) Handler {
 	var mu sync.Mutex
 	rng := rand.New(rand.NewSource(seed))
-	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 		mu.Lock()
 		miss := rng.Float64() < missRate
 		var extra time.Duration
@@ -105,9 +154,11 @@ func CacheMissDelay(seed int64, missRate float64, min, max time.Duration, next H
 		}
 		mu.Unlock()
 		if extra > 0 {
-			time.Sleep(extra)
+			if err := sleepCtx(ctx, extra); err != nil {
+				return nil, err
+			}
 		}
-		return next.ServeDNS(q)
+		return next.ServeDNS(ctx, q)
 	})
 }
 
@@ -120,17 +171,17 @@ const EDNS0PaddingCode = 12
 // of why the paper measures larger per-resolution payloads against Google
 // than against Cloudflare even on persistent connections.
 func PadResponses(blockSize int, next Handler) Handler {
-	return HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
-		r := next.ServeDNS(q)
-		if r == nil || blockSize <= 0 {
-			return r
+	return HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		r, err := next.ServeDNS(ctx, q)
+		if err != nil || r == nil || blockSize <= 0 {
+			return r, err
 		}
 		if r.EDNS == nil {
 			r.EDNS = &dnswire.EDNS{UDPSize: 512}
 		}
 		wire, err := r.Pack()
 		if err != nil {
-			return r
+			return r, nil
 		}
 		// A fresh padding option costs 4 octets of option header.
 		unpadded := len(wire) + 4
@@ -138,6 +189,6 @@ func PadResponses(blockSize int, next Handler) Handler {
 		r.EDNS.Options = append(r.EDNS.Options, dnswire.EDNS0Option{
 			Code: EDNS0PaddingCode, Data: make([]byte, pad),
 		})
-		return r
+		return r, nil
 	})
 }

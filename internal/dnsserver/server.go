@@ -1,6 +1,7 @@
 package dnsserver
 
 import (
+	"context"
 	"crypto/tls"
 	"encoding/binary"
 	"errors"
@@ -22,10 +23,21 @@ import (
 // it immune to slow-query knock-on effects.
 type UDPServer struct {
 	Handler Handler
+	// BaseContext, when non-nil, parents every query's context; the default
+	// is context.Background. UDP is connectionless, so per-query contexts
+	// end with the server itself rather than with any one client.
+	BaseContext context.Context
 }
 
-// Serve reads queries from pc until it closes.
+// Serve reads queries from pc until it closes. Every in-flight handler's
+// context is cancelled when the serve loop exits.
 func (s *UDPServer) Serve(pc net.PacketConn) error {
+	base := s.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
 	buf := make([]byte, 65535)
 	for {
 		n, from, err := pc.ReadFrom(buf)
@@ -37,19 +49,16 @@ func (s *UDPServer) Serve(pc net.PacketConn) error {
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
-		go s.handlePacket(pc, pkt, from)
+		go s.handlePacket(ctx, pc, pkt, from)
 	}
 }
 
-func (s *UDPServer) handlePacket(pc net.PacketConn, pkt []byte, from net.Addr) {
+func (s *UDPServer) handlePacket(ctx context.Context, pc net.PacketConn, pkt []byte, from net.Addr) {
 	var q dnswire.Message
 	if err := q.Unpack(pkt); err != nil {
 		return // drop unparseable datagrams, like real servers
 	}
-	resp := s.Handler.ServeDNS(&q)
-	if resp == nil {
-		return
-	}
+	resp := Respond(ctx, s.Handler, &q)
 	wire, err := resp.Pack()
 	if err != nil {
 		return
@@ -98,9 +107,14 @@ func (s *StreamServer) Serve(l net.Listener) error {
 	}
 }
 
-// ServeConn handles one connection until EOF.
+// ServeConn handles one connection until EOF. Every query's context is
+// derived from the connection's lifetime: when the connection closes (or
+// the serve loop exits on a protocol error), outstanding handlers are
+// cancelled so abandoned queries stop consuming resolver work.
 func (s *StreamServer) ServeConn(conn net.Conn) error {
 	defer conn.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var writeMu sync.Mutex
 	var wg sync.WaitGroup
 	defer wg.Wait()
@@ -121,21 +135,18 @@ func (s *StreamServer) ServeConn(conn net.Conn) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				s.answerStream(conn, &writeMu, &qc)
+				s.answerStream(ctx, conn, &writeMu, &qc)
 			}()
 			continue
 		}
-		if err := s.answerStream(conn, &writeMu, &q); err != nil {
+		if err := s.answerStream(ctx, conn, &writeMu, &q); err != nil {
 			return err
 		}
 	}
 }
 
-func (s *StreamServer) answerStream(conn net.Conn, writeMu *sync.Mutex, q *dnswire.Message) error {
-	resp := s.Handler.ServeDNS(q)
-	if resp == nil {
-		return nil
-	}
+func (s *StreamServer) answerStream(ctx context.Context, conn net.Conn, writeMu *sync.Mutex, q *dnswire.Message) error {
+	resp := Respond(ctx, s.Handler, q)
 	wire, err := resp.Pack()
 	if err != nil {
 		return err
@@ -284,8 +295,6 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 		protos = []string{"http/1.1"}
 	}
 	cfg := s.Chain.ServerConfig(s.TLSMin, s.TLSMax, protos...)
-	h2srv := &h2.Server{Handler: doh}
-	h1srv := &h1.Server{Handler: doh}
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
@@ -300,11 +309,16 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 					tc.Close()
 					return
 				}
+				// Bind per connection: DNS handler contexts end when this
+				// HTTPS connection does.
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				h2h, h1h := doh.Bind(ctx)
 				switch tc.ConnectionState().NegotiatedProtocol {
 				case "h2":
-					h2srv.ServeConn(tc)
+					(&h2.Server{Handler: h2h}).ServeConn(tc)
 				default:
-					h1srv.ServeConn(tc)
+					(&h1.Server{Handler: h1h}).ServeConn(tc)
 				}
 			}()
 		}

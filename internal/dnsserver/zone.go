@@ -1,6 +1,7 @@
 package dnsserver
 
 import (
+	"context"
 	"sync"
 
 	"dohcost/internal/dnswire"
@@ -45,14 +46,14 @@ func (z *Zone) AddA(name dnswire.Name, ttl uint32, a *dnswire.A) {
 }
 
 // ServeDNS implements Handler.
-func (z *Zone) ServeDNS(q *dnswire.Message) *dnswire.Message {
+func (z *Zone) ServeDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 	r := q.Reply()
 	r.Authoritative = true
 	qq := q.Question1()
 	name := qq.Name.Canonical()
 	if !name.IsSubdomainOf(z.Origin) {
 		r.RCode = dnswire.RCodeRefused
-		return r
+		return r, nil
 	}
 
 	z.mu.RLock()
@@ -62,29 +63,29 @@ func (z *Zone) ServeDNS(q *dnswire.Message) *dnswire.Message {
 		byType, known := z.records[name]
 		if !known {
 			r.RCode = dnswire.RCodeNameError
-			return r
+			return r, nil
 		}
 		if rrs, ok := byType[qq.Type]; ok && qq.Type != dnswire.TypeCNAME {
 			r.Answers = append(r.Answers, rrs...)
-			return r
+			return r, nil
 		}
 		if qq.Type == dnswire.TypeCNAME {
 			if rrs, ok := byType[dnswire.TypeCNAME]; ok {
 				r.Answers = append(r.Answers, rrs...)
 			}
-			return r
+			return r, nil
 		}
 		if cnames, ok := byType[dnswire.TypeCNAME]; ok && len(cnames) > 0 {
 			r.Answers = append(r.Answers, cnames[0])
 			name = cnames[0].Data.(*dnswire.CNAME).Target.Canonical()
 			if !name.IsSubdomainOf(z.Origin) {
-				return r // target outside the zone: return the alias only
+				return r, nil // target outside the zone: return the alias only
 			}
 			continue
 		}
 		// Known name, no data of this type.
-		return r
+		return r, nil
 	}
 	r.RCode = dnswire.RCodeServerFailure
-	return r
+	return r, nil
 }

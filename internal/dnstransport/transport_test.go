@@ -248,17 +248,7 @@ func TestUDPTimesOutWithoutServer(t *testing.T) {
 func TestUDPTruncationOnSmallEDNS(t *testing.T) {
 	// Handler returning a large answer set; client advertises a small
 	// buffer, so the server must set TC and strip the answers.
-	big := dnsserver.HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
-		r := q.Reply()
-		for i := 0; i < 40; i++ {
-			r.Answers = append(r.Answers, dnswire.ResourceRecord{
-				Name: q.Question1().Name, Class: dnswire.ClassINET, TTL: 60,
-				Data: &dnswire.TXT{Strings: []string{fmt.Sprintf("record number %02d with some padding text", i)}},
-			})
-		}
-		return r
-	})
-	tb := newTestbed(t, big, nil)
+	tb := newTestbed(t, bigHandler(), nil)
 	c := tb.udpClient(t)
 	q := dnswire.NewQuery(0, "big.example.com.", dnswire.TypeTXT)
 	q.EDNS.UDPSize = 512
@@ -283,6 +273,43 @@ func TestUDPTruncationOnSmallEDNS(t *testing.T) {
 	}
 }
 
+// bigHandler answers every query with an answer set far beyond any UDP
+// payload limit, forcing the server-side TC=1 path.
+func bigHandler() dnsserver.Handler {
+	return dnsserver.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		r := q.Reply()
+		for i := 0; i < 40; i++ {
+			r.Answers = append(r.Answers, dnswire.ResourceRecord{
+				Name: q.Question1().Name, Class: dnswire.ClassINET, TTL: 60,
+				Data: &dnswire.TXT{Strings: []string{fmt.Sprintf("record number %02d with some padding text", i)}},
+			})
+		}
+		return r, nil
+	})
+}
+
+func TestUDPTruncationFallsBackToTCP(t *testing.T) {
+	// RFC 7766 §5: a TC=1 UDP response must be retried over TCP. The
+	// server's answer set overflows the client's advertised 512-byte
+	// buffer, so without the fallback the client would surface a stripped,
+	// truncated response (the case TestUDPTruncationOnSmallEDNS pins down).
+	tb := newTestbed(t, bigHandler(), nil)
+	c := tb.udpClient(t)
+	c.Fallback = NewTCPClient(func() (net.Conn, error) { return tb.net.Dial("client", tb.host+":53") })
+	q := dnswire.NewQuery(0, "fb.example.com.", dnswire.TypeTXT)
+	q.EDNS.UDPSize = 512
+	resp, err := c.Exchange(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Truncated {
+		t.Error("fallback response still truncated")
+	}
+	if len(resp.Answers) != 40 {
+		t.Errorf("fallback answers = %d, want 40", len(resp.Answers))
+	}
+}
+
 func TestDoTOutOfOrderVsInOrder(t *testing.T) {
 	// A slow first query blocks the second on an in-order DoT server but
 	// not on an out-of-order one. This is the paper's §3 DoT finding and
@@ -290,7 +317,7 @@ func TestDoTOutOfOrderVsInOrder(t *testing.T) {
 	slowThenFast := func() dnsserver.Handler {
 		var n int
 		var mu sync.Mutex
-		return dnsserver.HandlerFunc(func(q *dnswire.Message) *dnswire.Message {
+		return dnsserver.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 			mu.Lock()
 			n++
 			first := n == 1
@@ -298,7 +325,7 @@ func TestDoTOutOfOrderVsInOrder(t *testing.T) {
 			if first {
 				time.Sleep(200 * time.Millisecond)
 			}
-			return staticHandler().ServeDNS(q)
+			return staticHandler().ServeDNS(ctx, q)
 		})
 	}
 	run := func(t *testing.T, ooo bool) time.Duration {

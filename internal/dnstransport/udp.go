@@ -22,6 +22,11 @@ type UDPClient struct {
 	// attempts follow a timeout.
 	Timeout time.Duration
 	Retries int
+	// Fallback, when set, re-resolves queries whose UDP response arrives
+	// truncated (TC=1) — RFC 7766 §5's retry-over-TCP. Without it the
+	// truncated response is returned as-is, leaving the caller to cope.
+	// The fallback resolver is closed with the client.
+	Fallback Resolver
 	// Recorder, when set, receives per-exchange costs.
 	Recorder CostRecorder
 
@@ -52,6 +57,9 @@ func (c *UDPClient) Close() error {
 	c.closed = true
 	c.pending.failAll()
 	c.mu.Unlock()
+	if c.Fallback != nil {
+		c.Fallback.Close()
+	}
 	return c.pc.Close()
 }
 
@@ -115,6 +123,18 @@ func (c *UDPClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.
 			}
 			if err := dnswire.ValidateResponse(msg, resp); err != nil {
 				return nil, err
+			}
+			if resp.Truncated && c.Fallback != nil {
+				// RFC 7766 §5: a TC=1 answer is a referral to TCP, not an
+				// answer. The UDP attempt's payloads still went over the
+				// wire, so they are recorded here; the fallback's TCP leg
+				// is accounted by the fallback's own Recorder.
+				respWire, _ := resp.Pack()
+				c.record(Cost{
+					UDPPayloads: append(payloads, len(respWire)),
+					Duration:    time.Since(start),
+				})
+				return c.Fallback.Exchange(ctx, q)
 			}
 			respWire, _ := resp.Pack()
 			c.record(Cost{

@@ -174,6 +174,25 @@ func TestProbeVersions(t *testing.T) {
 	}
 }
 
+func TestProbeOldVersions(t *testing.T) {
+	chain, err := GenerateChain(ChainSpec{CommonName: "old.test", DNSNames: []string{"old.test"}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.New(1)
+	tlsEcho(t, n, "old.test:443", chain.ServerConfig(tls.VersionTLS10, tls.VersionTLS13))
+	dial := func() (net.Conn, error) { return n.Dial("prober", "old.test:443") }
+	got, err := ProbeVersions(dial, chain.ClientConfig("old.test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, ok := range got {
+		if !ok {
+			t.Errorf("%s: handshake failed against permissive server", VersionName(v))
+		}
+	}
+}
+
 func TestProbeVersionsWideServer(t *testing.T) {
 	chain, err := GenerateChain(ChainSpec{CommonName: "w.test", DNSNames: []string{"w.test"}, Seed: 10})
 	if err != nil {
