@@ -26,6 +26,7 @@ import (
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
 	"dohcost/internal/stats"
+	"dohcost/internal/telemetry"
 )
 
 var mustAddrBench = netip.MustParseAddr("192.0.2.99")
@@ -480,16 +481,25 @@ func BenchmarkProxyThroughput(b *testing.B) {
 // contention: 8+ goroutines hammering cached names, against the classic
 // single-mutex layout (shards=1) and the sharded default. The sharded
 // variant's queries/s should be ≥2× the mutex variant's on any multicore
-// machine — the motivation for hash-partitioning the cache.
+// machine — the motivation for hash-partitioning the cache. The third
+// case runs the sharded layout with the full telemetry lifecycle per
+// query (Begin → cache annotation → verdict → Finish, the proxy serving
+// path's accounting) and should stay within noise of the bare sharded
+// numbers — the telemetry subsystem's no-lock-contention contract.
 func BenchmarkCacheHitPathShardedVsMutex(b *testing.B) {
 	for _, tt := range []struct {
-		name   string
-		shards int
-	}{{"mutex-1shard", 1}, {"sharded-16", 16}} {
+		name      string
+		shards    int
+		telemetry bool
+	}{{"mutex-1shard", 1, false}, {"sharded-16", 16, false}, {"sharded-16-telemetry", 16, true}} {
 		b.Run(tt.name, func(b *testing.B) {
 			upstream := &staticResolver{}
 			c := dnscache.New(upstream, dnscache.WithShards(tt.shards))
 			defer c.Close()
+			var tel *telemetry.Metrics
+			if tt.telemetry {
+				tel = telemetry.New()
+			}
 			// Prefill the hot set so the benchmark measures pure hits.
 			const hot = 64
 			queries := make([]*dnswire.Message, hot)
@@ -505,14 +515,24 @@ func BenchmarkCacheHitPathShardedVsMutex(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				var i int
 				for pb.Next() {
-					if _, err := c.Exchange(context.Background(), queries[i%hot]); err != nil {
+					ctx := context.Background()
+					tx := tel.Begin(telemetry.ProtoUDP) // nil tel → nil tx → no-ops
+					ctx = telemetry.NewContext(ctx, tx)
+					if _, err := c.Exchange(ctx, queries[i%hot]); err != nil {
 						b.Error(err)
 						return
 					}
+					tx.SetVerdict(telemetry.VerdictOK)
+					tx.Finish()
 					i++
 				}
 			})
 			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "queries/s")
+			if tel != nil {
+				if got := tel.Snapshot().Queries["udp"]; got != uint64(b.N) {
+					b.Fatalf("telemetry lost queries: %d recorded, %d run", got, b.N)
+				}
+			}
 		})
 	}
 }

@@ -4,17 +4,26 @@
 // upstream connections with failover — then drives a workload through every
 // transport and reports latencies, cache effectiveness and upstream health.
 //
+// The proxy's per-query cost telemetry is exposed on a real (not
+// simulated) HTTP socket while the tool runs: -metrics-addr serves
+// Prometheus text on /metrics and the JSON cost report on /debug/cost,
+// and -hold keeps the process alive after the workload so both can be
+// curled; -cost-json prints the /debug/cost payload to stdout at exit.
+//
 // Usage:
 //
 //	dohproxy [-host proxy.dns] [-upstreams 2] [-conns 2] [-shards 16]
 //	         [-names 50] [-queries 400] [-upstream-rtt 8ms]
+//	         [-metrics-addr 127.0.0.1:9090] [-hold 30s] [-cost-json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"time"
@@ -28,23 +37,44 @@ import (
 	"dohcost/internal/tlsx"
 )
 
+// options carries the parsed flag set; run takes it whole so call sites
+// stay self-describing as flags accumulate.
+type options struct {
+	host        string
+	upstreams   int
+	conns       int
+	shards      int
+	names       int
+	queries     int
+	upstreamRTT time.Duration
+	metricsAddr string
+	hold        time.Duration
+	costJSON    bool
+}
+
 func main() {
-	host := flag.String("host", "proxy.dns", "proxy host name on the simulated network")
-	upstreams := flag.Int("upstreams", 2, "number of upstream resolvers (failover order)")
-	conns := flag.Int("conns", 2, "persistent connections per upstream")
-	shards := flag.Int("shards", 16, "cache shards")
-	names := flag.Int("names", 50, "distinct query names (smaller = hotter cache)")
-	queries := flag.Int("queries", 400, "queries per transport")
-	upstreamRTT := flag.Duration("upstream-rtt", 8*time.Millisecond, "proxy↔upstream round-trip time")
+	var o options
+	flag.StringVar(&o.host, "host", "proxy.dns", "proxy host name on the simulated network")
+	flag.IntVar(&o.upstreams, "upstreams", 2, "number of upstream resolvers (failover order)")
+	flag.IntVar(&o.conns, "conns", 2, "persistent connections per upstream")
+	flag.IntVar(&o.shards, "shards", 16, "cache shards")
+	flag.IntVar(&o.names, "names", 50, "distinct query names (smaller = hotter cache)")
+	flag.IntVar(&o.queries, "queries", 400, "queries per transport")
+	flag.DurationVar(&o.upstreamRTT, "upstream-rtt", 8*time.Millisecond, "proxy↔upstream round-trip time")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/cost on this real TCP address (e.g. 127.0.0.1:9090); empty disables")
+	flag.DurationVar(&o.hold, "hold", 0, "keep serving the observability endpoints this long after the workload")
+	flag.BoolVar(&o.costJSON, "cost-json", false, "print the /debug/cost JSON report to stdout at exit")
 	flag.Parse()
 
-	if err := run(*host, *upstreams, *conns, *shards, *names, *queries, *upstreamRTT); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dohproxy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(host string, upstreams, conns, shards, names, queries int, upstreamRTT time.Duration) error {
+func run(o options) error {
+	host, upstreams, conns, shards, names, queries := o.host, o.upstreams, o.conns, o.shards, o.names, o.queries
+	upstreamRTT, metricsAddr, hold, costJSON := o.upstreamRTT, o.metricsAddr, o.hold, o.costJSON
 	if names < 1 {
 		return fmt.Errorf("-names must be ≥ 1, got %d", names)
 	}
@@ -93,8 +123,21 @@ func run(host string, upstreams, conns, shards, names, queries int, upstreamRTT 
 	if err := p.Start(n, host); err != nil {
 		return err
 	}
-	fmt.Printf("proxy up at %s: udp/tcp :53, dot :853, doh :443 — %d upstream(s) × %d conns, %d cache shards\n\n",
+	fmt.Printf("proxy up at %s: udp/tcp :53, dot :853, doh :443 — %d upstream(s) × %d conns, %d cache shards\n",
 		host, upstreams, conns, shards)
+
+	// The observability plane listens on a real socket so operators can
+	// scrape it while the simulated-network workload runs.
+	if metricsAddr != "" {
+		l, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer l.Close()
+		fmt.Printf("observability: curl http://%s/metrics | http://%s/debug/cost\n", l.Addr(), l.Addr())
+		go http.Serve(l, p.Observability())
+	}
+	fmt.Println()
 
 	// One client per transport.
 	pc, err := n.ListenPacket("")
@@ -153,6 +196,35 @@ func run(host string, upstreams, conns, shards, names, queries int, upstreamRTT 
 			state = "down"
 		}
 		fmt.Printf("upstream %-22s %5d exchanges, %d failures, %s\n", u.Name, u.Exchanges, u.Failures, state)
+	}
+
+	// Server-side view of the same workload, from the telemetry subsystem:
+	// accept-to-response latency per listener transport, and the upstream
+	// exchange cost the cache absorbed.
+	snap := p.Telemetry().Snapshot()
+	fmt.Printf("\ntelemetry (server side):\n")
+	fmt.Printf("%-8s %8s %10s %10s %10s\n", "proto", "queries", "p50", "p95", "p99")
+	for _, proto := range []string{"udp", "tcp", "dot", "doh"} {
+		d := snap.Latency[proto]
+		if d == nil {
+			continue
+		}
+		fmt.Printf("%-8s %8d %9.2fms %9.2fms %9.2fms\n", proto, d.Count, d.P50Ms, d.P95Ms, d.P99Ms)
+	}
+	fmt.Printf("verdicts: ok=%d servfail=%d canceled=%d — upstream: %d exchanges, %d dials, %d B up, %d B down\n",
+		snap.Verdicts["ok"], snap.Verdicts["servfail"], snap.Verdicts["canceled"],
+		snap.PoolExchanges, snap.PoolDials, snap.UpstreamBytesSent, snap.UpstreamBytesReceived)
+
+	if hold > 0 {
+		fmt.Printf("\nholding %v for observability scrapes...\n", hold)
+		time.Sleep(hold)
+	}
+	if costJSON {
+		out, err := json.MarshalIndent(p.CostReport(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s\n", out)
 	}
 	return nil
 }

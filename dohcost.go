@@ -32,6 +32,7 @@ import (
 	"dohcost/internal/dnswire"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
+	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
 )
 
@@ -217,7 +218,36 @@ type (
 	ForwardingProxy = proxy.Proxy
 	// ForwardingProxyConfig assembles a ForwardingProxy.
 	ForwardingProxyConfig = proxy.Config
+	// ProxyCostReport is the /debug/cost payload of a ForwardingProxy.
+	ProxyCostReport = proxy.CostReport
 )
+
+// Per-query cost telemetry, re-exported from internal/telemetry. A
+// ForwardingProxy always carries a Telemetry sink; embedders can also
+// build one with NewTelemetry and pass it through ForwardingProxyConfig
+// to share a sink across deployments, or register a TransactionListener
+// (the DNSSummary idiom) to stream one summary per completed query.
+type (
+	// Telemetry is the lock-free sharded metrics sink.
+	Telemetry = telemetry.Metrics
+	// TelemetryOption configures NewTelemetry.
+	TelemetryOption = telemetry.Option
+	// TelemetrySnapshot is a merged view of a Telemetry at one instant.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TransactionSummary is one completed query's cost record.
+	TransactionSummary = telemetry.Summary
+	// TransactionListener receives one TransactionSummary per query.
+	TransactionListener = telemetry.Listener
+	// TransactionListenerFunc adapts a function to TransactionListener.
+	TransactionListenerFunc = telemetry.ListenerFunc
+)
+
+// NewTelemetry builds a telemetry sink (one shard per CPU).
+func NewTelemetry(opts ...TelemetryOption) *Telemetry { return telemetry.New(opts...) }
+
+// TelemetryWithListener registers a per-transaction listener at
+// construction time.
+var TelemetryWithListener = telemetry.WithListener
 
 // NewForwardingProxy builds a forwarding proxy from explicit configuration.
 func NewForwardingProxy(cfg ForwardingProxyConfig) (*ForwardingProxy, error) {

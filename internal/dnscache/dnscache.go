@@ -25,6 +25,7 @@ import (
 
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/telemetry"
 )
 
 // key identifies a cacheable question.
@@ -42,12 +43,14 @@ type entry struct {
 	elem    *list.Element
 }
 
-// Stats counts cache effectiveness, aggregated across shards.
+// Stats counts cache effectiveness, aggregated across shards. The JSON
+// tags match the snake_case style of the telemetry snapshot, which
+// embeds these counters in the proxy's /debug/cost report.
 type Stats struct {
-	Hits      int64
-	Misses    int64
-	Coalesced int64 // queries answered by joining an in-flight exchange
-	Evictions int64
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"` // queries answered by joining an in-flight exchange
+	Evictions int64 `json:"evictions"`
 }
 
 func (s *Stats) add(o Stats) {
@@ -218,10 +221,15 @@ func (c *Cache) Flush() {
 // response re-stamped with the query's ID and decayed TTLs; misses go
 // upstream, coalescing concurrent identical questions into one exchange.
 // Only the query's shard is locked, and never across the upstream call.
+// The query's telemetry Transaction (if its server began one) learns the
+// outcome — hit, negative hit, miss, coalesced or bypass — outside the
+// shard lock.
 func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	tx := telemetry.FromContext(ctx)
 	qq := q.Question1()
 	if len(q.Questions) != 1 || qq.Type == dnswire.TypeANY {
 		// Uncacheable shapes pass straight through.
+		tx.SetCache(telemetry.CacheBypass)
 		return c.upstream.Exchange(ctx, q)
 	}
 	k := key{name: qq.Name.Canonical(), qtype: qq.Type, class: qq.Class}
@@ -235,6 +243,11 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 			sh.stats.Hits++
 			resp, expires := e.resp, e.expires
 			sh.mu.Unlock()
+			if negative(resp) {
+				tx.SetCache(telemetry.CacheNegativeHit)
+			} else {
+				tx.SetCache(telemetry.CacheHit)
+			}
 			return cloneResponse(resp, q.ID, expires.Sub(now)), nil
 		}
 		sh.removeLocked(e)
@@ -243,6 +256,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	if f, ok := sh.flights[k]; ok {
 		sh.stats.Coalesced++
 		sh.mu.Unlock()
+		tx.SetCache(telemetry.CacheCoalesced)
 		select {
 		case <-f.done:
 			if f.err != nil {
@@ -257,6 +271,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	sh.flights[k] = f
 	sh.stats.Misses++
 	sh.mu.Unlock()
+	tx.SetCache(telemetry.CacheMiss)
 
 	// The flight is shared by every coalesced caller, so it must not die
 	// with the leader's client: detach from the leader's cancellation but
@@ -272,6 +287,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	resp, err := c.upstream.Exchange(exCtx, q)
 	f.resp, f.err = resp, err
 
+	evicted := 0
 	sh.mu.Lock()
 	delete(sh.flights, k)
 	if err == nil && cacheable(resp) {
@@ -286,9 +302,11 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 			}
 			sh.removeLocked(oldest.Value.(*entry))
 			sh.stats.Evictions++
+			evicted++
 		}
 	}
 	sh.mu.Unlock()
+	tx.CacheEvicted(evicted)
 	close(f.done)
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 	"dohcost/internal/h1"
 	"dohcost/internal/h2"
 	"dohcost/internal/hpack"
+	"dohcost/internal/telemetry"
 )
 
 // MIME types a DoH endpoint may speak.
@@ -49,6 +50,10 @@ type DoH struct {
 	// the paper cites for DoH's slower resolution times. Zero for
 	// controlled transport experiments.
 	Processing time.Duration
+	// Telemetry, when non-nil, receives one Transaction per decoded DNS
+	// query (HTTP-level rejections — bad paths, bad encodings — are not
+	// DNS transactions and are not counted).
+	Telemetry *telemetry.Metrics
 }
 
 var (
@@ -176,18 +181,29 @@ func (d *DoH) serve(ctx context.Context, method, rawPath, contentType string, bo
 		return 405, "", nil
 	}
 
+	// The transaction spans decode → handler → DNS-payload encode; the
+	// HTTP framing and socket write below this layer are not included
+	// (UDP and stream servers include their single write syscall, a few
+	// microseconds of skew at most).
+	tx := d.Telemetry.Begin(telemetry.ProtoDoH)
+	defer tx.Finish()
+	ctx = telemetry.NewContext(ctx, tx)
 	// Handler failures surface as DNS-level SERVFAIL in an HTTP 200, the
 	// way RFC 8484 servers report resolution (not transport) errors.
 	resp := Respond(ctx, d.Handler, q)
 	if wantJSON {
 		out, err := dnsjson.Encode(resp)
 		if err != nil {
+			// The client sees HTTP 500, not the ok response Respond
+			// recorded — correct the verdict to match its fate.
+			tx.SetVerdict(telemetry.VerdictServFail)
 			return 500, "", nil
 		}
 		return 200, ContentTypeJSON, out
 	}
 	out, err := resp.Pack()
 	if err != nil {
+		tx.SetVerdict(telemetry.VerdictServFail)
 		return 500, "", nil
 	}
 	return 200, ContentTypeWire, out

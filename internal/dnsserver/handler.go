@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dohcost/internal/dnswire"
+	"dohcost/internal/telemetry"
 )
 
 // Handler answers DNS queries. Implementations must be safe for concurrent
@@ -49,12 +50,22 @@ func ServFail(q *dnswire.Message) *dnswire.Message {
 }
 
 // Respond runs h and folds any error into a SERVFAIL response, the way
-// every server transport surfaces handler failures to clients.
+// every server transport surfaces handler failures to clients. It is also
+// the verdict point of the telemetry pipeline: the query's Transaction (if
+// the server began one) learns here whether it ended ok, as a synthesized
+// SERVFAIL, or canceled by its client.
 func Respond(ctx context.Context, h Handler, q *dnswire.Message) *dnswire.Message {
 	resp, err := h.ServeDNS(ctx, q)
+	tx := telemetry.FromContext(ctx)
 	if err != nil || resp == nil {
+		if ctx.Err() != nil {
+			tx.SetVerdict(telemetry.VerdictCanceled)
+		} else {
+			tx.SetVerdict(telemetry.VerdictServFail)
+		}
 		return ServFail(q)
 	}
+	tx.SetVerdict(telemetry.VerdictOK)
 	return resp
 }
 

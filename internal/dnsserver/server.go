@@ -15,6 +15,7 @@ import (
 	"dohcost/internal/h1"
 	"dohcost/internal/h2"
 	"dohcost/internal/netsim"
+	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
 )
 
@@ -27,6 +28,8 @@ type UDPServer struct {
 	// is context.Background. UDP is connectionless, so per-query contexts
 	// end with the server itself rather than with any one client.
 	BaseContext context.Context
+	// Telemetry, when non-nil, receives one Transaction per parsed query.
+	Telemetry *telemetry.Metrics
 }
 
 // Serve reads queries from pc until it closes. Every in-flight handler's
@@ -58,9 +61,15 @@ func (s *UDPServer) handlePacket(ctx context.Context, pc net.PacketConn, pkt []b
 	if err := q.Unpack(pkt); err != nil {
 		return // drop unparseable datagrams, like real servers
 	}
+	tx := s.Telemetry.Begin(telemetry.ProtoUDP)
+	defer tx.Finish()
+	ctx = telemetry.NewContext(ctx, tx)
 	resp := Respond(ctx, s.Handler, &q)
 	wire, err := resp.Pack()
 	if err != nil {
+		// The client receives nothing; don't let Respond's ok verdict
+		// stand for a reply that never left.
+		tx.SetVerdict(telemetry.VerdictServFail)
 		return
 	}
 	// Truncate to the client's advertised UDP capacity (RFC 6891), or the
@@ -74,6 +83,7 @@ func (s *UDPServer) handlePacket(ctx context.Context, pc net.PacketConn, pkt []b
 		trunc.Truncated = true
 		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
 		if wire, err = trunc.Pack(); err != nil {
+			tx.SetVerdict(telemetry.VerdictServFail)
 			return
 		}
 	}
@@ -91,6 +101,11 @@ func (s *UDPServer) handlePacket(ctx context.Context, pc net.PacketConn, pkt []b
 type StreamServer struct {
 	Handler    Handler
 	OutOfOrder bool
+	// Proto labels this listener's transactions; the zero value is
+	// telemetry.ProtoTCP, and the DoT accept loop sets ProtoDoT.
+	Proto telemetry.Proto
+	// Telemetry, when non-nil, receives one Transaction per framed query.
+	Telemetry *telemetry.Metrics
 }
 
 // Serve accepts connections until the listener closes.
@@ -146,9 +161,15 @@ func (s *StreamServer) ServeConn(conn net.Conn) error {
 }
 
 func (s *StreamServer) answerStream(ctx context.Context, conn net.Conn, writeMu *sync.Mutex, q *dnswire.Message) error {
+	tx := s.Telemetry.Begin(s.Proto)
+	defer tx.Finish()
+	ctx = telemetry.NewContext(ctx, tx)
 	resp := Respond(ctx, s.Handler, q)
 	wire, err := resp.Pack()
 	if err != nil {
+		// The connection is being torn down without this reply; the
+		// verdict must not read ok.
+		tx.SetVerdict(telemetry.VerdictServFail)
 		return err
 	}
 	writeMu.Lock()
@@ -212,6 +233,9 @@ type Server struct {
 	// providers that pad encrypted responses (RFC 8467) but not classic
 	// UDP/TCP need the split.
 	DoHHandler Handler
+	// Telemetry, when non-nil, is propagated to every listener so each
+	// query produces one cost Transaction (see internal/telemetry).
+	Telemetry *telemetry.Metrics
 }
 
 // Running tracks a started Server's listeners.
@@ -239,7 +263,7 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 		return nil, err
 	}
 	r.closers = append(r.closers, pc)
-	udp := &UDPServer{Handler: s.Handler}
+	udp := &UDPServer{Handler: s.Handler, Telemetry: s.Telemetry}
 	r.wg.Add(1)
 	go func() { defer r.wg.Done(); udp.Serve(pc) }()
 
@@ -249,7 +273,7 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 		return nil, err
 	}
 	r.closers = append(r.closers, tcpL)
-	tcp := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder}
+	tcp := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder, Telemetry: s.Telemetry}
 	r.wg.Add(1)
 	go func() { defer r.wg.Done(); tcp.Serve(tcpL) }()
 
@@ -264,7 +288,7 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 			return nil, err
 		}
 		r.closers = append(r.closers, dotL)
-		dot := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder}
+		dot := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder, Proto: telemetry.ProtoDoT, Telemetry: s.Telemetry}
 		cfg := s.Chain.ServerConfig(s.TLSMin, s.TLSMax)
 		r.wg.Add(1)
 		go func() {
@@ -289,7 +313,7 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 	if dohHandler == nil {
 		dohHandler = s.Handler
 	}
-	doh := &DoH{Handler: dohHandler, Endpoints: s.Endpoints, AltSvc: s.AltSvc, Processing: s.DoHProcessing}
+	doh := &DoH{Handler: dohHandler, Endpoints: s.Endpoints, AltSvc: s.AltSvc, Processing: s.DoHProcessing, Telemetry: s.Telemetry}
 	protos := []string{"h2", "http/1.1"}
 	if s.HTTP1Only {
 		protos = []string{"http/1.1"}

@@ -16,6 +16,7 @@ import (
 	"dohcost/internal/hpack"
 	"dohcost/internal/meter"
 	"dohcost/internal/netsim"
+	"dohcost/internal/telemetry"
 )
 
 // DoHMode selects the HTTP version carrying the DoH exchange.
@@ -237,12 +238,15 @@ func (c *DoHClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.
 }
 
 // buildH2 builds the HTTP/2 request for msg per the configured encoding.
-func (c *DoHClient) buildH2(msg *dnswire.Message) (*h2.Request, error) {
+// querySize is the query's size in its chosen representation — the POST
+// body, the wireformat a GET carries base64url-encoded, or the JSON GET
+// path — so telemetry byte accounting works for every encoding.
+func (c *DoHClient) buildH2(msg *dnswire.Message) (req *h2.Request, querySize int, err error) {
 	switch c.Encoding {
 	case EncodingPOST:
 		body, err := msg.Pack()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		return &h2.Request{
 			Method: "POST", Scheme: "https", Authority: c.authority(), Path: c.path(),
@@ -251,42 +255,47 @@ func (c *DoHClient) buildH2(msg *dnswire.Message) (*h2.Request, error) {
 				{Name: "accept", Value: dnsserver.ContentTypeWire},
 			},
 			Body: body,
-		}, nil
+		}, len(body), nil
 	case EncodingGET:
 		wire, err := msg.Pack()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		return &h2.Request{
 			Method: "GET", Scheme: "https", Authority: c.authority(),
 			Path:   dnsserver.EncodeGETPath(c.path(), wire),
 			Header: []hpack.HeaderField{{Name: "accept", Value: dnsserver.ContentTypeWire}},
-		}, nil
+		}, len(wire), nil
 	case EncodingJSON:
 		qq := msg.Question1()
+		path := dnsserver.EncodeJSONGETPath(c.path(), qq.Name, qq.Type)
 		return &h2.Request{
 			Method: "GET", Scheme: "https", Authority: c.authority(),
-			Path:   dnsserver.EncodeJSONGETPath(c.path(), qq.Name, qq.Type),
+			Path:   path,
 			Header: []hpack.HeaderField{{Name: "accept", Value: dnsserver.ContentTypeJSON}},
-		}, nil
+		}, len(path), nil
 	}
-	return nil, fmt.Errorf("dnstransport: unknown encoding %d", c.Encoding)
+	return nil, 0, fmt.Errorf("dnstransport: unknown encoding %d", c.Encoding)
 }
 
 func (c *DoHClient) exchangeH2(ctx context.Context, h2c *h2.ClientConn, msg *dnswire.Message) (*dnswire.Message, error) {
-	req, err := c.buildH2(msg)
+	req, querySize, err := c.buildH2(msg)
 	if err != nil {
 		return nil, err
 	}
+	tx := telemetry.FromContext(ctx)
+	tx.AddBytesSent(querySize)
 	resp, err := h2c.RoundTrip(ctx, req)
 	if err != nil {
 		return nil, err
 	}
+	tx.AddBytesReceived(len(resp.Body))
 	return c.parseResponse(msg, resp.Status, resp.HeaderValue("content-type"), resp.Body)
 }
 
 func (c *DoHClient) exchangeH1(ctx context.Context, h1c *h1.PipelineClient, msg *dnswire.Message) (*dnswire.Message, error) {
 	var req *h1.Request
+	var querySize int
 	switch c.Encoding {
 	case EncodingPOST:
 		body, err := msg.Pack()
@@ -301,6 +310,7 @@ func (c *DoHClient) exchangeH1(ctx context.Context, h1c *h1.PipelineClient, msg 
 			},
 			Body: body,
 		}
+		querySize = len(body)
 	case EncodingGET:
 		wire, err := msg.Pack()
 		if err != nil {
@@ -310,19 +320,24 @@ func (c *DoHClient) exchangeH1(ctx context.Context, h1c *h1.PipelineClient, msg 
 			Method: "GET", Path: dnsserver.EncodeGETPath(c.path(), wire), Host: c.authority(),
 			Header: h1.Header{{"Accept", dnsserver.ContentTypeWire}},
 		}
+		querySize = len(wire)
 	case EncodingJSON:
 		qq := msg.Question1()
 		req = &h1.Request{
 			Method: "GET", Path: dnsserver.EncodeJSONGETPath(c.path(), qq.Name, qq.Type), Host: c.authority(),
 			Header: h1.Header{{"Accept", dnsserver.ContentTypeJSON}},
 		}
+		querySize = len(req.Path)
 	default:
 		return nil, fmt.Errorf("dnstransport: unknown encoding %d", c.Encoding)
 	}
+	tx := telemetry.FromContext(ctx)
+	tx.AddBytesSent(querySize)
 	resp, err := h1c.Do(ctx, req)
 	if err != nil {
 		return nil, err
 	}
+	tx.AddBytesReceived(len(resp.Body))
 	return c.parseResponse(msg, resp.Status, resp.Header.Get("Content-Type"), resp.Body)
 }
 

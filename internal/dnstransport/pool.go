@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dohcost/internal/dnswire"
+	"dohcost/internal/telemetry"
 )
 
 // PoolUpstream names one upstream resolver deployment and how to open a
@@ -94,12 +95,14 @@ type poolUpstream struct {
 	errors    int64
 }
 
-// UpstreamStats snapshots one upstream's health.
+// UpstreamStats snapshots one upstream's health. The JSON tags match the
+// snake_case style of the telemetry snapshot, which sits next to these
+// in the proxy's /debug/cost report.
 type UpstreamStats struct {
-	Name      string
-	Exchanges int64 // successful exchanges
-	Failures  int64 // failed exchanges (including dial errors)
-	Down      bool  // currently marked down (in backoff)
+	Name      string `json:"name"`
+	Exchanges int64  `json:"exchanges"` // successful exchanges
+	Failures  int64  `json:"failures"`  // failed exchanges (including dial errors)
+	Down      bool   `json:"down"`      // currently marked down (in backoff)
 }
 
 // NewPool builds a pool over the given upstreams. The first upstream is
@@ -198,32 +201,33 @@ func (u *poolUpstream) fail(cfg PoolConfig) {
 }
 
 // get returns the slot's live resolver, dialing if the slot is empty and
-// its redial backoff has elapsed.
-func (c *poolConn) get(p *Pool, u *poolUpstream) (Resolver, error) {
+// its redial backoff has elapsed; dialed reports whether this checkout
+// established a fresh connection.
+func (c *poolConn) get(p *Pool, u *poolUpstream) (r Resolver, dialed bool, err error) {
 	cfg := p.cfg
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.r != nil {
-		return c.r, nil
+		return c.r, false, nil
 	}
 	if cfg.now().Before(c.redialAt) {
-		return nil, fmt.Errorf("dnstransport: pool upstream %s: connection in redial backoff", u.name)
+		return nil, false, fmt.Errorf("dnstransport: pool upstream %s: connection in redial backoff", u.name)
 	}
 	// Re-check under the slot lock: Close sets the flag before walking the
 	// slots, so either we see it here or Close's walk will close whatever
 	// we dial. Without this check a racing Exchange could redial after
 	// Close passed this slot and leak the connection.
 	if p.closed.Load() {
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
-	r, err := u.dial()
+	r, err = u.dial()
 	if err != nil {
 		c.noteBroken(cfg)
-		return nil, fmt.Errorf("dnstransport: pool dial %s: %w", u.name, err)
+		return nil, false, fmt.Errorf("dnstransport: pool dial %s: %w", u.name, err)
 	}
 	c.r = r
 	c.backoff = 0
-	return r, nil
+	return r, true, nil
 }
 
 // drop discards the slot's resolver after a failure; the next get redials
@@ -283,20 +287,31 @@ func (p *Pool) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Messa
 	return nil, lastErr
 }
 
-// exchangeVia runs one exchange attempt on u's next connection.
+// exchangeVia runs one exchange attempt on u's next connection. The
+// query's telemetry Transaction (when present in ctx) is charged for the
+// checkout — fresh dials, failed attempts — and credited with the
+// answering upstream's name and exchange latency on success.
 func (p *Pool) exchangeVia(ctx context.Context, u *poolUpstream, q *dnswire.Message) (*dnswire.Message, error) {
+	tx := telemetry.FromContext(ctx)
 	slot := u.conns[u.next.Add(1)%uint64(len(u.conns))]
-	r, err := slot.get(p, u)
+	r, dialed, err := slot.get(p, u)
+	if dialed {
+		tx.PoolDial()
+	}
 	if err != nil {
+		tx.PoolFailure()
 		u.fail(p.cfg)
 		return nil, err
 	}
+	t0 := time.Now()
 	resp, err := r.Exchange(ctx, q)
 	if err != nil {
+		tx.PoolFailure()
 		slot.drop(r, p.cfg)
 		u.fail(p.cfg)
 		return nil, err
 	}
+	tx.ObserveUpstream(u.name, time.Since(t0))
 	u.succeed()
 	return resp, nil
 }

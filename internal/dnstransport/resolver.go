@@ -105,21 +105,29 @@ func cloneWithID(q *dnswire.Message, id uint16) *dnswire.Message {
 	return &cp
 }
 
+// delivery is one demultiplexed response together with its wire size —
+// retained at receive time so cost accounting never re-packs a message it
+// already saw on the wire.
+type delivery struct {
+	msg  *dnswire.Message
+	size int
+}
+
 // pendingMap tracks in-flight queries by transaction ID.
 type pendingMap struct {
-	ch map[uint16]chan *dnswire.Message
+	ch map[uint16]chan delivery
 }
 
 func newPendingMap() *pendingMap {
-	return &pendingMap{ch: make(map[uint16]chan *dnswire.Message)}
+	return &pendingMap{ch: make(map[uint16]chan delivery)}
 }
 
 // reserve picks a free ID starting from a hint.
-func (p *pendingMap) reserve(hint uint16) (uint16, chan *dnswire.Message, error) {
+func (p *pendingMap) reserve(hint uint16) (uint16, chan delivery, error) {
 	id := hint
 	for i := 0; i < 65536; i++ {
 		if _, taken := p.ch[id]; !taken {
-			ch := make(chan *dnswire.Message, 1)
+			ch := make(chan delivery, 1)
 			p.ch[id] = ch
 			return id, ch, nil
 		}
@@ -128,10 +136,10 @@ func (p *pendingMap) reserve(hint uint16) (uint16, chan *dnswire.Message, error)
 	return 0, nil, fmt.Errorf("dnstransport: no free transaction IDs")
 }
 
-func (p *pendingMap) deliver(id uint16, m *dnswire.Message) {
+func (p *pendingMap) deliver(id uint16, m *dnswire.Message, size int) {
 	if ch, ok := p.ch[id]; ok {
 		delete(p.ch, id)
-		ch <- m
+		ch <- delivery{msg: m, size: size}
 	}
 }
 

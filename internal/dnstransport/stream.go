@@ -11,6 +11,7 @@ import (
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnswire"
 	"dohcost/internal/netsim"
+	"dohcost/internal/telemetry"
 )
 
 // StreamClient resolves over a stream transport with RFC 1035 two-octet
@@ -136,7 +137,7 @@ func (c *StreamClient) readLoop(conn net.Conn) {
 			return
 		}
 		c.mu.Lock()
-		c.pending.deliver(m.ID, m)
+		c.pending.deliver(m.ID, m, len(wire))
 		c.mu.Unlock()
 	}
 }
@@ -181,15 +182,19 @@ func (c *StreamClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswi
 		c.dropConn(conn)
 		return nil, fmt.Errorf("dnstransport: stream send: %w", err)
 	}
+	tx := telemetry.FromContext(ctx)
+	tx.AddBytesSent(len(wire))
 
 	select {
-	case resp, ok := <-ch:
+	case d, ok := <-ch:
 		if !ok {
 			return nil, fmt.Errorf("dnstransport: connection failed mid-query")
 		}
+		resp := d.msg
 		if err := dnswire.ValidateResponse(msg, resp); err != nil {
 			return nil, err
 		}
+		tx.AddBytesReceived(d.size)
 		c.finish(conn, fresh, start)
 		return resp, nil
 	case <-ctx.Done():

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dohcost/internal/dnswire"
+	"dohcost/internal/telemetry"
 )
 
 // UDPClient is a classic RFC 1035 stub resolver client: one datagram socket
@@ -78,7 +79,7 @@ func (c *UDPClient) readLoop() {
 			continue // ignore malformed datagrams
 		}
 		c.mu.Lock()
-		c.pending.deliver(m.ID, m)
+		c.pending.deliver(m.ID, m, n)
 		c.mu.Unlock()
 	}
 }
@@ -106,6 +107,7 @@ func (c *UDPClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.
 		return nil, fmt.Errorf("dnstransport: packing query: %w", err)
 	}
 
+	tx := telemetry.FromContext(ctx)
 	var payloads []int
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if _, err := c.pc.WriteTo(wire, c.server); err != nil {
@@ -113,32 +115,34 @@ func (c *UDPClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.
 			return nil, fmt.Errorf("dnstransport: udp send: %w", err)
 		}
 		payloads = append(payloads, len(wire))
+		tx.AddBytesSent(len(wire))
 
 		timer := time.NewTimer(c.Timeout)
 		select {
-		case resp, ok := <-ch:
+		case d, ok := <-ch:
 			timer.Stop()
 			if !ok {
 				return nil, ErrClosed
 			}
+			resp := d.msg
 			if err := dnswire.ValidateResponse(msg, resp); err != nil {
 				return nil, err
 			}
+			tx.AddBytesReceived(d.size)
 			if resp.Truncated && c.Fallback != nil {
 				// RFC 7766 §5: a TC=1 answer is a referral to TCP, not an
 				// answer. The UDP attempt's payloads still went over the
 				// wire, so they are recorded here; the fallback's TCP leg
 				// is accounted by the fallback's own Recorder.
-				respWire, _ := resp.Pack()
+				tx.TCFallback()
 				c.record(Cost{
-					UDPPayloads: append(payloads, len(respWire)),
+					UDPPayloads: append(payloads, d.size),
 					Duration:    time.Since(start),
 				})
 				return c.Fallback.Exchange(ctx, q)
 			}
-			respWire, _ := resp.Pack()
 			c.record(Cost{
-				UDPPayloads: append(payloads, len(respWire)),
+				UDPPayloads: append(payloads, d.size),
 				Duration:    time.Since(start),
 			})
 			return resp, nil

@@ -12,7 +12,10 @@ package proxy
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"time"
 
 	"dohcost/internal/dnscache"
@@ -20,6 +23,7 @@ import (
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
 	"dohcost/internal/netsim"
+	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
 )
 
@@ -51,6 +55,17 @@ type Config struct {
 	// otherwise the production default (the paper found only Cloudflare
 	// did this, and credits it for DoT's best-case behaviour).
 	InOrderDoT bool
+	// Telemetry, when non-nil, is the metrics sink shared with the caller;
+	// nil makes the proxy create its own (telemetry is always on — its
+	// hot path is sharded atomics, cheap enough to never gate).
+	Telemetry *telemetry.Metrics
+	// OnTransaction, when non-nil, receives one Summary per completed
+	// query — the embedder hook mirroring the DNSSummary idiom. It is
+	// installed on the Telemetry sink with SetListener, so when several
+	// proxies share one sink the listener is shared too (the last
+	// configured one wins); give each proxy its own sink for per-proxy
+	// callbacks.
+	OnTransaction telemetry.Listener
 }
 
 // Proxy is a forwarding resolver deployment: cache → singleflight →
@@ -61,6 +76,7 @@ type Proxy struct {
 	timeout time.Duration
 	server  *dnsserver.Server
 	run     *dnsserver.Running
+	tel     *telemetry.Metrics
 }
 
 // New builds the forwarding pipeline. Close releases it.
@@ -89,16 +105,25 @@ func New(cfg Config) (*Proxy, error) {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.New()
+	}
+	if cfg.OnTransaction != nil {
+		tel.SetListener(cfg.OnTransaction)
+	}
 	p := &Proxy{
 		pool:    pool,
 		cache:   dnscache.New(pool, opts...),
 		timeout: timeout,
+		tel:     tel,
 	}
 	p.server = &dnsserver.Server{
 		Handler:       p.Handler(),
 		Chain:         cfg.Chain,
 		Endpoints:     cfg.Endpoints,
 		DoTOutOfOrder: !cfg.InOrderDoT,
+		Telemetry:     tel,
 	}
 	return p, nil
 }
@@ -144,3 +169,100 @@ func (p *Proxy) CacheStats() dnscache.Stats { return p.cache.Stats() }
 
 // UpstreamStats snapshots per-upstream pool health.
 func (p *Proxy) UpstreamStats() []dnstransport.UpstreamStats { return p.pool.Stats() }
+
+// Telemetry returns the proxy's metrics sink, for snapshots beyond what
+// CostReport packages or for registering a transaction Listener late.
+func (p *Proxy) Telemetry() *telemetry.Metrics { return p.tel }
+
+// CacheReport is the cache section of a CostReport.
+type CacheReport struct {
+	dnscache.Stats
+	// Entries is the live entry count; Shards the lock-partition count.
+	Entries int `json:"entries"`
+	Shards  int `json:"shards"`
+	// HitRatio is hits over all lookups (hits+misses+coalesced), 0–1.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// CostReport is the /debug/cost payload: the telemetry snapshot joined
+// with the structural state only the proxy can see — cache occupancy and
+// per-upstream pool health.
+type CostReport struct {
+	Telemetry *telemetry.Snapshot          `json:"telemetry"`
+	Cache     CacheReport                  `json:"cache"`
+	Upstreams []dnstransport.UpstreamStats `json:"upstreams"`
+}
+
+// CostReport assembles the current cost view of the proxy.
+func (p *Proxy) CostReport() CostReport {
+	cs := p.cache.Stats()
+	cr := CacheReport{Stats: cs, Entries: p.cache.Len(), Shards: p.cache.Shards()}
+	if total := cs.Hits + cs.Misses + cs.Coalesced; total > 0 {
+		cr.HitRatio = float64(cs.Hits) / float64(total)
+	}
+	return CostReport{
+		Telemetry: p.tel.Snapshot(),
+		Cache:     cr,
+		Upstreams: p.pool.Stats(),
+	}
+}
+
+// Observability returns an HTTP handler exposing the proxy's runtime cost
+// accounting on two paths:
+//
+//   - /metrics — Prometheus text exposition: telemetry counters and
+//     latency summaries plus scrape-time gauges for cache occupancy and
+//     per-upstream health.
+//   - /debug/cost — the CostReport as JSON, for humans and scripts.
+//
+// The handler is stdlib net/http (the ops plane runs on a real socket,
+// not the simulated network) and is safe to serve while the proxy is
+// under load.
+func (p *Proxy) Observability() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		report := p.CostReport()
+		if err := report.Telemetry.WritePrometheus(w); err != nil {
+			return
+		}
+		writeGauges(w, report)
+	})
+	mux.HandleFunc("/debug/cost", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(p.CostReport())
+	})
+	return mux
+}
+
+// writeGauges appends the scrape-time series /metrics can only learn from
+// the proxy itself — cache occupancy and hit ratio, per-upstream pool
+// exchanges, failures and up/down state — rendered from the same
+// CostReport /debug/cost serves, so the two endpoints can never
+// disagree. The exposition format itself lives in telemetry.TextWriter.
+func writeGauges(w io.Writer, report CostReport) error {
+	t := telemetry.NewTextWriter(w)
+	t.Family("dohcost_cache_entries", "Live cache entries.", "gauge")
+	t.Value("dohcost_cache_entries", report.Cache.Entries)
+	t.Family("dohcost_cache_hit_ratio", "Hits over all lookups since start.", "gauge")
+	t.Value("dohcost_cache_hit_ratio", report.Cache.HitRatio)
+	t.Family("dohcost_upstream_exchanges_total", "Successful exchanges per upstream.", "counter")
+	for _, u := range report.Upstreams {
+		t.LabeledValue("dohcost_upstream_exchanges_total", "upstream", u.Name, u.Exchanges)
+	}
+	t.Family("dohcost_upstream_failures_total", "Failed exchanges per upstream.", "counter")
+	for _, u := range report.Upstreams {
+		t.LabeledValue("dohcost_upstream_failures_total", "upstream", u.Name, u.Failures)
+	}
+	t.Family("dohcost_upstream_up", "Whether the upstream is accepting traffic (0 = in backoff).", "gauge")
+	for _, u := range report.Upstreams {
+		up := 1
+		if u.Down {
+			up = 0
+		}
+		t.LabeledValue("dohcost_upstream_up", "upstream", u.Name, up)
+	}
+	return t.Err()
+}

@@ -1,0 +1,192 @@
+package proxy
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/dnswire"
+	"dohcost/internal/netsim"
+	"dohcost/internal/telemetry"
+)
+
+// TestProxyTelemetryEndToEnd drives queries through the full pipeline over
+// UDP and DoH and asserts the telemetry subsystem observed what actually
+// happened at every layer: listener accept, cache outcome, pool checkout,
+// upstream exchange bytes, and final verdict — then scrapes /metrics and
+// /debug/cost and checks both expositions carry the same story.
+func TestProxyTelemetryEndToEnd(t *testing.T) {
+	n := netsim.New(1)
+	up := startUpstream(t, n, "up0.recursive")
+	p, chain := startProxy(t, n, "proxy.dns", up.host)
+
+	var summaries []*telemetry.Summary
+	var mu sync.Mutex
+	p.Telemetry().SetListener(telemetry.ListenerFunc(func(s *telemetry.Summary) {
+		mu.Lock()
+		summaries = append(summaries, s)
+		mu.Unlock()
+	}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	pc, err := n.ListenPacket("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp := dnstransport.NewUDPClient(pc, netsim.Addr("proxy.dns:53"))
+	defer udp.Close()
+	doh := &dnstransport.DoHClient{
+		Dial:       func() (net.Conn, error) { return n.Dial("client", "proxy.dns:443") },
+		TLS:        chain.ClientConfig("proxy.dns"),
+		Persistent: true,
+	}
+	defer doh.Close()
+
+	// Query 1 (UDP): cold cache → miss, pool dial, upstream exchange.
+	// Query 2 (UDP): same name → hit. Query 3 (DoH): same name → hit.
+	q := dnswire.NewQuery(0, "telemetry.example.", dnswire.TypeA)
+	for i, r := range []dnstransport.Resolver{udp, udp, doh} {
+		if _, err := r.Exchange(ctx, q); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+
+	snap := p.Telemetry().Snapshot()
+	for _, tt := range []struct {
+		name      string
+		got, want uint64
+	}{
+		{"queries[udp]", snap.Queries["udp"], 2},
+		{"queries[doh]", snap.Queries["doh"], 1},
+		{"verdicts[ok]", snap.Verdicts["ok"], 3},
+		{"cache misses", snap.CacheEvents["miss"], 1},
+		{"cache hits", snap.CacheEvents["hit"], 2},
+		{"pool dials", snap.PoolDials, 1},
+		{"pool exchanges", snap.PoolExchanges, 1},
+	} {
+		if tt.got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.name, tt.got, tt.want)
+		}
+	}
+	if snap.UpstreamBytesSent == 0 || snap.UpstreamBytesReceived == 0 {
+		t.Errorf("upstream byte accounting empty: sent=%d received=%d",
+			snap.UpstreamBytesSent, snap.UpstreamBytesReceived)
+	}
+	if d := snap.Latency["udp"]; d == nil || d.Count != 2 {
+		t.Errorf("udp latency distribution = %+v, want count 2", d)
+	}
+	if snap.UpstreamLatency.Count != 1 {
+		t.Errorf("upstream latency count = %d, want 1", snap.UpstreamLatency.Count)
+	}
+
+	mu.Lock()
+	if len(summaries) != 3 {
+		t.Fatalf("listener saw %d summaries, want 3", len(summaries))
+	}
+	var missSummary *telemetry.Summary
+	for _, s := range summaries {
+		if s.Cache == "miss" {
+			missSummary = s
+		}
+	}
+	if missSummary == nil || missSummary.Server != up.host || missSummary.BytesReceived == 0 {
+		t.Errorf("miss summary should name the upstream and carry bytes: %+v", missSummary)
+	}
+	mu.Unlock()
+
+	// Scrape the ops plane the way Prometheus would.
+	srv := httptest.NewServer(p.Observability())
+	defer srv.Close()
+
+	metrics := httpGet(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		`dohcost_queries_total{proto="udp"} 2`,
+		`dohcost_queries_total{proto="doh"} 1`,
+		`dohcost_cache_events_total{event="hit"} 2`,
+		"dohcost_pool_exchanges_total 1",
+		`dohcost_query_latency_seconds{proto="udp",quantile="0.99"}`,
+		"dohcost_cache_entries 1",
+		`dohcost_upstream_up{upstream="up0.recursive"} 1`,
+		`dohcost_upstream_exchanges_total{upstream="up0.recursive"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var report CostReport
+	if err := json.Unmarshal([]byte(httpGet(t, srv.URL+"/debug/cost")), &report); err != nil {
+		t.Fatalf("/debug/cost is not JSON: %v", err)
+	}
+	if report.Telemetry.Queries["udp"] != 2 {
+		t.Errorf("/debug/cost udp queries = %d, want 2", report.Telemetry.Queries["udp"])
+	}
+	if report.Cache.Hits != 2 || report.Cache.Entries != 1 {
+		t.Errorf("/debug/cost cache = %+v, want 2 hits / 1 entry", report.Cache)
+	}
+	if len(report.Upstreams) != 1 || report.Upstreams[0].Exchanges != 1 {
+		t.Errorf("/debug/cost upstreams = %+v, want 1 upstream with 1 exchange", report.Upstreams)
+	}
+}
+
+// TestProxyTelemetrySERVFAILVerdict checks the failure half of the verdict
+// accounting: with every upstream unreachable the pipeline synthesizes
+// SERVFAIL, and telemetry must say so rather than counting an ok.
+func TestProxyTelemetrySERVFAILVerdict(t *testing.T) {
+	n := netsim.New(2)
+	up := startUpstream(t, n, "up0.recursive")
+	p, _ := startProxy(t, n, "proxy.dns", up.host)
+	up.run.Close() // upstream gone before the first query
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	pc, err := n.ListenPacket("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp := dnstransport.NewUDPClient(pc, netsim.Addr("proxy.dns:53"))
+	defer udp.Close()
+
+	resp, err := udp.Exchange(ctx, dnswire.NewQuery(0, "doomed.example.", dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeServerFailure {
+		t.Fatalf("rcode = %v, want SERVFAIL", resp.RCode)
+	}
+	snap := p.Telemetry().Snapshot()
+	if snap.Verdicts["servfail"] != 1 {
+		t.Errorf("servfail verdicts = %d, want 1", snap.Verdicts["servfail"])
+	}
+	if snap.PoolFailures == 0 {
+		t.Error("pool failures should be counted when every upstream is down")
+	}
+}
+
+// httpGet fetches a URL and returns the body.
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram is log-linear, the layout HDR-style recorders use: values
+// below 2^histSubBits are binned exactly; above that, each power of two is
+// split into 2^histSubBits linear sub-buckets, so the relative width of
+// any bucket is at most 1/2^histSubBits (6.25%) and a quantile read off
+// the bucket boundaries carries at most that relative error — no sorting,
+// no sampling, constant memory.
+//
+// Values are recorded in microseconds: bucket 0 absorbs sub-microsecond
+// observations and the top bucket clamps at ~2^31 µs (≈36 minutes),
+// far beyond any DNS timeout.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits
+	histMaxExp   = 31
+	histBuckets  = histSubCount * (histMaxExp - histSubBits + 2)
+)
+
+// histogram is one write-side latency recorder: a fixed bucket array of
+// atomic counters plus a running sum. It lives inside a shard, so writes
+// are already striped; individual adds are plain atomic increments.
+type histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sum    atomic.Uint64 // microseconds
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d / time.Microsecond)
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// bucketIndex maps a microsecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1
+	if e > histMaxExp {
+		e = histMaxExp
+		v = 1<<(histMaxExp+1) - 1
+	}
+	sub := (v >> (uint(e) - histSubBits)) & (histSubCount - 1)
+	return (e-histSubBits+1)*histSubCount + int(sub)
+}
+
+// bucketBounds returns bucket i's half-open value range [lo, hi) in
+// microseconds.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i < histSubCount {
+		return uint64(i), uint64(i) + 1
+	}
+	e := uint(i/histSubCount + histSubBits - 1)
+	sub := uint64(i % histSubCount)
+	width := uint64(1) << (e - histSubBits)
+	lo = uint64(1)<<e + sub*width
+	return lo, lo + width
+}
+
+// Distribution is a merged, read-side histogram snapshot. The JSON fields
+// carry the pre-computed ops numbers; Quantile serves callers that want
+// other points on the curve.
+type Distribution struct {
+	counts [histBuckets]uint64
+
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+	// MeanMs, P50Ms, P95Ms and P99Ms are milliseconds, the unit the
+	// paper's figures use.
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// merge folds one shard's histogram into the snapshot.
+func (d *Distribution) merge(h *histogram) (count, sumMicros uint64) {
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		d.counts[i] += c
+		count += c
+	}
+	return count, h.sum.Load()
+}
+
+// finalize computes the exported summary fields. Called once after all
+// shards are merged.
+func (d *Distribution) finalize(count, sumMicros uint64) {
+	d.Count = count
+	if count == 0 {
+		return
+	}
+	d.MeanMs = float64(sumMicros) / float64(count) / 1e3
+	d.P50Ms = float64(d.Quantile(0.50)) / float64(time.Millisecond)
+	d.P95Ms = float64(d.Quantile(0.95)) / float64(time.Millisecond)
+	d.P99Ms = float64(d.Quantile(0.99)) / float64(time.Millisecond)
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) with linear
+// interpolation inside the landing bucket; the result's relative error is
+// bounded by the bucket width, at most 1/16. Zero observations yield zero.
+func (d *Distribution) Quantile(q float64) time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(d.Count)
+	var cum float64
+	for i, c := range d.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lo, hi := bucketBounds(i)
+			frac := 0.5 // rank==cum boundary case: bucket midpoint
+			if next > cum {
+				frac = (rank - cum) / (next - cum)
+				if frac < 0 {
+					frac = 0
+				}
+			}
+			micros := float64(lo) + frac*float64(hi-lo)
+			return time.Duration(micros * float64(time.Microsecond))
+		}
+		cum = next
+	}
+	lo, _ := bucketBounds(histBuckets - 1)
+	return time.Duration(lo) * time.Microsecond
+}

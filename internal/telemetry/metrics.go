@@ -1,0 +1,250 @@
+package telemetry
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shard is one stripe of the aggregate state. Transactions are spread
+// round-robin across shards at Begin, so under load each core tends to
+// write a different shard and counter updates never rendezvous on one
+// cache line — the same trick the sharded cache plays with its locks,
+// done here with no locks at all.
+type shard struct {
+	queries     [numProtos]atomic.Uint64
+	verdicts    [numVerdicts]atomic.Uint64
+	cacheEvents [numCacheOutcomes]atomic.Uint64
+
+	cacheEvictions atomic.Uint64
+	poolDials      atomic.Uint64
+	poolExchanges  atomic.Uint64
+	poolFailures   atomic.Uint64
+	tcFallbacks    atomic.Uint64
+	bytesSent      atomic.Uint64
+	bytesRecv      atomic.Uint64
+
+	// The histograms dominate the shard's footprint (and pad the small
+	// counter block above away from the next shard's).
+	latency         [numProtos]histogram
+	upstreamLatency histogram
+}
+
+// Metrics is the aggregation sink for Transactions. One Metrics instance
+// covers one serving deployment (a proxy); create it with New, hand it to
+// the servers, and read it with Snapshot. All methods are safe for
+// concurrent use, and a nil *Metrics is a valid "telemetry off" sink.
+type Metrics struct {
+	shards   []*shard
+	cursor   atomic.Uint64
+	listener atomic.Pointer[listenerBox]
+}
+
+// listenerBox keeps atomic.Pointer to one concrete type regardless of the
+// Listener implementation stored.
+type listenerBox struct{ l Listener }
+
+// Option configures New.
+type Option func(*Metrics)
+
+// WithListener registers a per-transaction Listener at construction.
+func WithListener(l Listener) Option {
+	return func(m *Metrics) { m.SetListener(l) }
+}
+
+// withShards overrides the shard count (tests).
+func withShards(n int) Option {
+	return func(m *Metrics) { m.shards = make([]*shard, nextPow2(n)) }
+}
+
+// New builds a Metrics with one shard per CPU (rounded up to a power of
+// two, capped at 64).
+func New(opts ...Option) *Metrics {
+	m := &Metrics{}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.shards == nil {
+		n := runtime.GOMAXPROCS(0)
+		if n > 64 {
+			n = 64
+		}
+		m.shards = make([]*shard, nextPow2(n))
+	}
+	for i := range m.shards {
+		m.shards[i] = new(shard)
+	}
+	return m
+}
+
+// nextPow2 rounds n up to a power of two, minimum 1.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// SetListener installs (or, with nil, removes) the per-transaction
+// callback. Safe to call while serving.
+func (m *Metrics) SetListener(l Listener) {
+	if m == nil {
+		return
+	}
+	if l == nil {
+		m.listener.Store(nil)
+		return
+	}
+	m.listener.Store(&listenerBox{l: l})
+}
+
+// txPool recycles Transaction records. Beyond saving the allocation, the
+// pool is what makes the shard striping effective: sync.Pool is
+// per-P-local, so a serving goroutine tends to get back a record it (or a
+// neighbour on the same core) finished, carrying a shard whose counter
+// cache lines are already resident on that core. Round-robin assignment
+// only seeds records the pool has never seen.
+var txPool = sync.Pool{New: func() any { return new(Transaction) }}
+
+// Begin opens a Transaction for a query arriving over proto. On a nil
+// Metrics it returns a nil Transaction, whose every method is a no-op.
+// Each Transaction must be finished exactly once and not touched after
+// Finish: the record is recycled.
+func (m *Metrics) Begin(proto Proto) *Transaction {
+	if m == nil {
+		return nil
+	}
+	tx := txPool.Get().(*Transaction)
+	sh := tx.sh
+	if sh == nil || tx.m != m {
+		sh = m.shards[m.cursor.Add(1)&uint64(len(m.shards)-1)]
+	}
+	*tx = Transaction{m: m, sh: sh, proto: proto, start: time.Now()}
+	return tx
+}
+
+// ctxKey is the context key for the Transaction.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying tx; instrumented layers downstream
+// retrieve it with FromContext. A nil tx returns ctx unchanged.
+func NewContext(ctx context.Context, tx *Transaction) context.Context {
+	if tx == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tx)
+}
+
+// FromContext returns the Transaction carried by ctx, or nil — which is a
+// fully usable no-op Transaction — when there is none.
+func FromContext(ctx context.Context) *Transaction {
+	tx, _ := ctx.Value(ctxKey{}).(*Transaction)
+	return tx
+}
+
+// Snapshot merges every shard into one coherent view. Counters are read
+// with atomic loads, so a snapshot taken under load is a consistent-enough
+// scrape (individual counters are exact; cross-counter skew is bounded by
+// in-flight transactions). A nil Metrics yields an empty snapshot.
+func (m *Metrics) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Queries:         map[string]uint64{},
+		Verdicts:        map[string]uint64{},
+		CacheEvents:     map[string]uint64{},
+		Latency:         map[string]*Distribution{},
+		UpstreamLatency: &Distribution{},
+	}
+	if m == nil {
+		return s
+	}
+	var latency [numProtos]Distribution
+	var latCount, latSum [numProtos]uint64
+	var upCount, upSum uint64
+	for _, sh := range m.shards {
+		for p := Proto(0); p < numProtos; p++ {
+			s.Queries[p.String()] += sh.queries[p].Load()
+			c, sum := latency[p].merge(&sh.latency[p])
+			latCount[p] += c
+			latSum[p] += sum
+		}
+		for v := Verdict(0); v < numVerdicts; v++ {
+			s.Verdicts[v.String()] += sh.verdicts[v].Load()
+		}
+		for o := CacheOutcome(0); o < numCacheOutcomes; o++ {
+			s.CacheEvents[o.String()] += sh.cacheEvents[o].Load()
+		}
+		s.CacheEvictions += sh.cacheEvictions.Load()
+		s.PoolDials += sh.poolDials.Load()
+		s.PoolExchanges += sh.poolExchanges.Load()
+		s.PoolFailures += sh.poolFailures.Load()
+		s.TCFallbacks += sh.tcFallbacks.Load()
+		s.UpstreamBytesSent += sh.bytesSent.Load()
+		s.UpstreamBytesReceived += sh.bytesRecv.Load()
+		c, sum := s.UpstreamLatency.merge(&sh.upstreamLatency)
+		upCount += c
+		upSum += sum
+	}
+	// Drop zero-valued labels so scrapes and JSON stay readable; a proxy
+	// without DoT traffic should not advertise a dot series.
+	for k, v := range s.Queries {
+		if v == 0 {
+			delete(s.Queries, k)
+		}
+	}
+	for k, v := range s.Verdicts {
+		if v == 0 {
+			delete(s.Verdicts, k)
+		}
+	}
+	for k, v := range s.CacheEvents {
+		if v == 0 {
+			delete(s.CacheEvents, k)
+		}
+	}
+	for p := Proto(0); p < numProtos; p++ {
+		if latCount[p] == 0 {
+			continue
+		}
+		latency[p].finalize(latCount[p], latSum[p])
+		d := latency[p]
+		s.Latency[p.String()] = &d
+	}
+	s.UpstreamLatency.finalize(upCount, upSum)
+	return s
+}
+
+// Snapshot is a merged view of a Metrics at one instant, shaped for the
+// /debug/cost JSON report; WritePrometheus renders the same data in the
+// Prometheus text exposition.
+type Snapshot struct {
+	// Queries counts completed transactions by listener transport.
+	Queries map[string]uint64 `json:"queries_total"`
+	// Verdicts counts final fates ("ok", "servfail", "canceled").
+	Verdicts map[string]uint64 `json:"verdicts_total"`
+	// CacheEvents counts cache outcomes ("hit", "negative_hit", "miss",
+	// "coalesced", "bypass"; "none" when no cache was in the path).
+	CacheEvents map[string]uint64 `json:"cache_events_total"`
+	// CacheEvictions counts LRU evictions charged to insertions.
+	CacheEvictions uint64 `json:"cache_evictions_total"`
+	// PoolDials counts fresh upstream connections established.
+	PoolDials uint64 `json:"pool_dials_total"`
+	// PoolExchanges counts successful upstream exchanges.
+	PoolExchanges uint64 `json:"pool_exchanges_total"`
+	// PoolFailures counts failed upstream attempts (checkout refusals,
+	// dial errors, broken exchanges) before failover.
+	PoolFailures uint64 `json:"pool_failures_total"`
+	// TCFallbacks counts truncated UDP answers retried over TCP.
+	TCFallbacks uint64 `json:"udp_tc_tcp_retries_total"`
+	// UpstreamBytesSent / UpstreamBytesReceived are upstream message
+	// bytes, the paper's Figure 3 axis.
+	UpstreamBytesSent     uint64 `json:"upstream_bytes_sent_total"`
+	UpstreamBytesReceived uint64 `json:"upstream_bytes_received_total"`
+	// Latency holds the accept-to-response distribution per transport.
+	Latency map[string]*Distribution `json:"query_latency"`
+	// UpstreamLatency is the upstream-exchange distribution (cache misses
+	// only, checkout excluded).
+	UpstreamLatency *Distribution `json:"upstream_latency"`
+}

@@ -1,0 +1,310 @@
+// Package telemetry is the per-query cost accounting subsystem: the
+// production counterpart of the paper's offline measurements. Where the
+// study instruments its clients to report bytes, packets and latency per
+// resolution, this package threads a Transaction record through the whole
+// serving path — server accept, cache consultation, singleflight
+// coalescing, pool checkout, upstream exchange (bytes both ways, TC→TCP
+// retries) and final verdict — and aggregates the records into lock-free
+// sharded counters and log-linear latency histograms.
+//
+// The design goals, in order:
+//
+//   - Zero interference with the hot path. All aggregation is
+//     shard-striped atomic adds; there is no lock anywhere, and a nil
+//     *Metrics (telemetry disabled) degrades every call to a nil-receiver
+//     no-op, so instrumented packages never branch on "is telemetry on".
+//   - Quantiles without sorting. Latency histograms are log-linear
+//     (16 sub-buckets per power of two), so p50/p95/p99 come from a bucket
+//     scan with bounded ~6% relative error and constant memory.
+//   - Two consumers: machines scrape Snapshot via the Prometheus text
+//     exposition (WritePrometheus) or a JSON report, and embedders can
+//     register a per-transaction Listener — the DNSSummary idiom from
+//     outline-go-tun2socks — to receive one Summary per completed query.
+//
+// Instrumented packages obtain the Transaction with FromContext; servers
+// create it with Metrics.Begin and install it with NewContext. Because
+// dnscache detaches upstream exchanges from client cancellation with
+// context.WithoutCancel (which preserves values), annotations made deep in
+// the pool and transport layers land on the right record.
+package telemetry
+
+import (
+	"time"
+)
+
+// Proto identifies the listener transport that carried a query into the
+// server — the paper's comparison axis. The zero value is ProtoTCP so that
+// a zero-configured StreamServer labels itself correctly.
+type Proto uint8
+
+// The transports the study compares.
+const (
+	// ProtoTCP is classic DNS over TCP (RFC 1035 §4.2.2 framing).
+	ProtoTCP Proto = iota
+	// ProtoUDP is classic DNS over UDP datagrams.
+	ProtoUDP
+	// ProtoDoT is DNS-over-TLS (RFC 7858).
+	ProtoDoT
+	// ProtoDoH is DNS-over-HTTPS (RFC 8484).
+	ProtoDoH
+
+	numProtos
+)
+
+// String returns the lower-case label used in metrics ("udp", "tcp",
+// "dot", "doh").
+func (p Proto) String() string {
+	switch p {
+	case ProtoUDP:
+		return "udp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoDoT:
+		return "dot"
+	case ProtoDoH:
+		return "doh"
+	}
+	return "unknown"
+}
+
+// CacheOutcome classifies what the cache did with a query.
+type CacheOutcome uint8
+
+// Cache outcomes, in the order a query can experience them.
+const (
+	// CacheNone means no cache was consulted (no cache in the pipeline).
+	CacheNone CacheOutcome = iota
+	// CacheHit is a fresh positive answer served from memory.
+	CacheHit
+	// CacheNegativeHit is a cached NXDOMAIN/NODATA answer (RFC 2308).
+	CacheNegativeHit
+	// CacheMiss led this query upstream as the singleflight leader.
+	CacheMiss
+	// CacheCoalesced joined another query's in-flight upstream exchange.
+	CacheCoalesced
+	// CacheBypass is an uncacheable shape (multi-question, ANY) passed
+	// straight through.
+	CacheBypass
+
+	numCacheOutcomes
+)
+
+// String returns the metrics label for the outcome.
+func (o CacheOutcome) String() string {
+	switch o {
+	case CacheHit:
+		return "hit"
+	case CacheNegativeHit:
+		return "negative_hit"
+	case CacheMiss:
+		return "miss"
+	case CacheCoalesced:
+		return "coalesced"
+	case CacheBypass:
+		return "bypass"
+	}
+	return "none"
+}
+
+// Verdict is the final fate of a query as the client saw it.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// VerdictNone means the transaction never reached a response (should
+	// not happen on complete pipelines; kept for accounting honesty).
+	VerdictNone Verdict = iota
+	// VerdictOK is a handler-produced response (any RCode the upstream
+	// chose, including NXDOMAIN).
+	VerdictOK
+	// VerdictServFail is a synthesized SERVFAIL from a handler error.
+	VerdictServFail
+	// VerdictCanceled is a query abandoned by its client (context ended
+	// before the handler finished).
+	VerdictCanceled
+
+	numVerdicts
+)
+
+// String returns the metrics label for the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictServFail:
+		return "servfail"
+	case VerdictCanceled:
+		return "canceled"
+	}
+	return "none"
+}
+
+// Transaction is one query's cost record, created at server accept and
+// finished when the response (or failure) leaves. It is written by exactly
+// one goroutine at a time — the serving goroutine, and during a cache miss
+// the singleflight leader, which is the same goroutine — so its fields
+// need no synchronization; only Finish publishes into the shared Metrics.
+//
+// All methods are nil-receiver safe: a pipeline without telemetry passes
+// nil Transactions around at the cost of a pointer test per call site.
+type Transaction struct {
+	m     *Metrics
+	sh    *shard
+	proto Proto
+	start time.Time
+
+	cache      CacheOutcome
+	verdict    Verdict
+	upstream   string
+	sent, recv int
+	tcRetry    bool
+	finished   bool
+}
+
+// Summary is the completed-transaction report delivered to a Listener —
+// the same unit of DoH cost accounting as outline-go-tun2socks's
+// DNSSummary: one record per resolution with server, status, latency and
+// bytes both ways.
+type Summary struct {
+	// Proto is the listener transport ("udp", "tcp", "dot", "doh").
+	Proto string
+	// Server names the upstream that answered; empty when the answer came
+	// from cache (or the query failed before reaching an upstream).
+	Server string
+	// Verdict is "ok", "servfail" or "canceled".
+	Verdict string
+	// Cache is the cache outcome label ("hit", "miss", …, or "none").
+	Cache string
+	// Latency is the accept-to-response duration.
+	Latency time.Duration
+	// BytesSent and BytesReceived are the upstream exchange's message
+	// bytes (zero for cache hits).
+	BytesSent, BytesReceived int
+	// TCFallback reports a UDP answer that arrived truncated and was
+	// retried over TCP (RFC 7766 §5).
+	TCFallback bool
+	// Start is when the server accepted the query.
+	Start time.Time
+}
+
+// Listener receives one Summary per completed transaction. Implementations
+// must be fast and safe for concurrent use: they run inline on serving
+// goroutines.
+type Listener interface {
+	OnTransaction(*Summary)
+}
+
+// ListenerFunc adapts a function to Listener.
+type ListenerFunc func(*Summary)
+
+// OnTransaction implements Listener.
+func (f ListenerFunc) OnTransaction(s *Summary) { f(s) }
+
+// SetCache records the cache's treatment of the query.
+func (t *Transaction) SetCache(o CacheOutcome) {
+	if t != nil {
+		t.cache = o
+	}
+}
+
+// SetVerdict records the query's final fate.
+func (t *Transaction) SetVerdict(v Verdict) {
+	if t != nil {
+		t.verdict = v
+	}
+}
+
+// CacheEvicted charges n LRU evictions performed while inserting this
+// query's answer.
+func (t *Transaction) CacheEvicted(n int) {
+	if t != nil && n > 0 {
+		t.sh.cacheEvictions.Add(uint64(n))
+	}
+}
+
+// PoolDial counts one fresh upstream connection established for this query
+// (initial fill or redial after a failure).
+func (t *Transaction) PoolDial() {
+	if t != nil {
+		t.sh.poolDials.Add(1)
+	}
+}
+
+// PoolFailure counts one failed upstream attempt — a checkout refused in
+// redial backoff, a dial error, or a broken exchange — before any
+// failover.
+func (t *Transaction) PoolFailure() {
+	if t != nil {
+		t.sh.poolFailures.Add(1)
+	}
+}
+
+// ObserveUpstream records a successful upstream exchange: which upstream
+// answered and how long the exchange took (pool checkout excluded).
+func (t *Transaction) ObserveUpstream(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.upstream = name
+	t.sh.poolExchanges.Add(1)
+	t.sh.upstreamLatency.observe(d)
+}
+
+// AddBytesSent charges n message bytes sent toward an upstream (per
+// attempt, so UDP retransmissions count each time).
+func (t *Transaction) AddBytesSent(n int) {
+	if t != nil && n > 0 {
+		t.sent += n
+		t.sh.bytesSent.Add(uint64(n))
+	}
+}
+
+// AddBytesReceived charges n message bytes received from an upstream.
+func (t *Transaction) AddBytesReceived(n int) {
+	if t != nil && n > 0 {
+		t.recv += n
+		t.sh.bytesRecv.Add(uint64(n))
+	}
+}
+
+// TCFallback marks the exchange as retried over TCP after a truncated UDP
+// answer (RFC 7766 §5) — the overhead mode Figure 3's ≤512-byte cliff is
+// about.
+func (t *Transaction) TCFallback() {
+	if t != nil {
+		t.tcRetry = true
+		t.sh.tcFallbacks.Add(1)
+	}
+}
+
+// Finish closes the record: the accept-to-now latency lands in the proto's
+// histogram, every counter the transaction accumulated becomes visible in
+// snapshots, and the Listener (if any) receives the Summary. Finish must
+// be called exactly once per Begin, and the Transaction must not be used
+// afterwards — the record goes back to a pool for the next query.
+func (t *Transaction) Finish() {
+	if t == nil || t.finished {
+		return
+	}
+	t.finished = true
+	d := time.Since(t.start)
+	sh := t.sh
+	sh.queries[t.proto].Add(1)
+	sh.verdicts[t.verdict].Add(1)
+	sh.cacheEvents[t.cache].Add(1)
+	sh.latency[t.proto].observe(d)
+	if l := t.m.listener.Load(); l != nil {
+		l.l.OnTransaction(&Summary{
+			Proto:         t.proto.String(),
+			Server:        t.upstream,
+			Verdict:       t.verdict.String(),
+			Cache:         t.cache.String(),
+			Latency:       d,
+			BytesSent:     t.sent,
+			BytesReceived: t.recv,
+			TCFallback:    t.tcRetry,
+			Start:         t.start,
+		})
+	}
+	txPool.Put(t)
+}

@@ -1,0 +1,148 @@
+// Command doclint enforces the godoc contract CI relies on: every
+// exported top-level identifier in the packages it is pointed at must
+// carry a doc comment, and every package must have a package comment. It
+// is the dependency-free stand-in for revive's `exported` rule.
+//
+// Usage:
+//
+//	go run ./tools/doclint internal/proxy internal/dnstransport ...
+//
+// A grouped declaration (`const (...)` / `var (...)` / `type (...)`) is
+// covered by a doc comment on the group or on the individual spec; test
+// files are skipped. Exit status 1 reports every violation with its
+// position.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		violations, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one package directory (non-recursively) and reports
+// undocumented exported identifiers.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+		}
+		for _, f := range pkg.Files {
+			out = append(out, lintFile(fset, f)...)
+		}
+	}
+	return out, nil
+}
+
+// lintFile walks one file's top-level declarations.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what, ident string) {
+		out = append(out, fmt.Sprintf("%s: exported %s %s has no doc comment", fset.Position(pos), what, ident))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil && receiverExported(d) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				continue // group doc covers every spec
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), declKind(d.Tok), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (methods on unexported types are not part of the documented API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// declKind names a GenDecl token for the report.
+func declKind(tok token.Token) string {
+	switch tok {
+	case token.CONST:
+		return "const"
+	case token.VAR:
+		return "var"
+	}
+	return "declaration"
+}
