@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	dohbench [-queries 100] [-rate 10] [-every 25] [-delay 1s] [-seed N] [-series]
+//	dohbench [-queries 100] [-rate 10] [-every 25] [-delay 1s] [-seed N]
+//	         [-profile 3g] [-series]
 //
 // The default run matches the paper's parameters and takes roughly
 // 8×10 seconds of wall time. -series additionally dumps every (sent-at,
@@ -16,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dohcost/internal/core"
+	"dohcost/internal/netsim"
 )
 
 func main() {
@@ -28,10 +31,12 @@ func main() {
 	delay := flag.Duration("delay", time.Second, "injected delay")
 	seed := flag.Int64("seed", 2019, "simulation seed")
 	series := flag.Bool("series", false, "dump raw per-query series as TSV")
+	profile := flag.String("profile", "", "impairment profile on the client access link: "+strings.Join(netsim.ProfileNames(), ", ")+" (empty = ideal)")
 	flag.Parse()
 
 	res, err := core.RunFig2(core.Fig2Config{
 		Queries: *queries, Rate: *rate, DelayEvery: *every, Delay: *delay, Seed: *seed,
+		Profile: *profile,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dohbench:", err)

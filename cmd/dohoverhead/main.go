@@ -6,15 +6,17 @@
 //
 // Usage:
 //
-//	dohoverhead [-domains 500] [-seed N] [-fig3] [-fig4] [-fig5] [-raw]
+//	dohoverhead [-domains 500] [-seed N] [-profile 3g] [-fig3] [-fig4] [-fig5] [-raw]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dohcost/internal/core"
+	"dohcost/internal/netsim"
 )
 
 func main() {
@@ -24,9 +26,10 @@ func main() {
 	fig4 := flag.Bool("fig4", false, "only packets per resolution")
 	fig5 := flag.Bool("fig5", false, "only the layer breakdown")
 	raw := flag.Bool("raw", false, "dump every resolution's cost as TSV")
+	profile := flag.String("profile", "", "impairment profile on the client access link: "+strings.Join(netsim.ProfileNames(), ", ")+" (empty = ideal)")
 	flag.Parse()
 
-	res, err := core.RunOverhead(core.OverheadConfig{Domains: *domains, Seed: *seed})
+	res, err := core.RunOverhead(core.OverheadConfig{Domains: *domains, Seed: *seed, Profile: *profile})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dohoverhead:", err)
 		os.Exit(1)

@@ -30,6 +30,7 @@ import (
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/loadgen"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
 	"dohcost/internal/telemetry"
@@ -349,6 +350,42 @@ func (e *Environment) poolUpstream(from string, host ResolverHost) PoolUpstream 
 	}}
 }
 
+// Network impairment and multi-client load generation, re-exported from
+// internal/netsim and internal/loadgen. An ImpairmentProfile names one of
+// the degraded access-network regimes ("broadband", "4g", "3g",
+// "lossy-wifi", "satellite"); a LoadScenario replays an Alexa-derived
+// workload from N concurrent clients against a forwarding proxy over any
+// subset of the four transports under one of those profiles.
+type (
+	// ImpairmentProfile is a named access-network impairment (link delay,
+	// jitter, loss, reordering, MTU, bandwidth).
+	ImpairmentProfile = netsim.Profile
+	// LoadScenario configures one load-generation run.
+	LoadScenario = loadgen.Scenario
+	// LoadResult is one load-generation run's harvest.
+	LoadResult = loadgen.Result
+	// TransportLoadResult is one transport's slice of a LoadResult.
+	TransportLoadResult = loadgen.TransportResult
+)
+
+// Impairment profile registry and scenario rendering, re-exported.
+var (
+	// ImpairmentProfiles lists the built-in profiles.
+	ImpairmentProfiles = netsim.Profiles
+	// ImpairmentProfileNames lists the built-in profile names.
+	ImpairmentProfileNames = netsim.ProfileNames
+	// LookupImpairmentProfile resolves a profile by name.
+	LookupImpairmentProfile = netsim.LookupProfile
+	// RenderScenario formats a LoadResult as a per-transport table.
+	RenderScenario = loadgen.Render
+)
+
+// RunScenario executes a load-generation scenario: it deploys an upstream
+// resolver and a forwarding proxy on a fresh simulated network, applies the
+// scenario's impairment profile to every client's access link, replays the
+// workload per transport, and harvests the telemetry.
+func RunScenario(s LoadScenario) (*LoadResult, error) { return loadgen.Run(s) }
+
 // Experiment results and runners, re-exported from the study core.
 type (
 	// Figure1Result is the queries-per-page survey (Figure 1).
@@ -381,6 +418,14 @@ func RunFigure2(cfg core.Fig2Config) (*Figure2Result, error) { return core.RunFi
 // Alexa corpus.
 func RunOverhead(domains int, seed int64) (*OverheadResult, error) {
 	return core.RunOverhead(core.OverheadConfig{Domains: domains, Seed: seed})
+}
+
+// RunOverheadUnder is RunOverhead with the client's access link degraded by
+// the named impairment profile ("broadband", "4g", "3g", "lossy-wifi",
+// "satellite") — the §4 measurements re-run in the regimes where the cost
+// ranking shifts.
+func RunOverheadUnder(profile string, domains int, seed int64) (*OverheadResult, error) {
+	return core.RunOverhead(core.OverheadConfig{Domains: domains, Seed: seed, Profile: profile})
 }
 
 // RunFigure6 regenerates Figure 6.

@@ -2,7 +2,9 @@ package dohcost
 
 import (
 	"context"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestFacadeResolvers(t *testing.T) {
@@ -110,5 +112,36 @@ func TestFacadeFigure1(t *testing.T) {
 	}
 	if RenderFigure1(r) == "" {
 		t.Error("empty render")
+	}
+}
+
+func TestFacadeRunScenario(t *testing.T) {
+	if len(ImpairmentProfiles()) != 5 || len(ImpairmentProfileNames()) != 5 {
+		t.Fatalf("profile registry: %v", ImpairmentProfileNames())
+	}
+	p, ok := LookupImpairmentProfile("satellite")
+	if !ok || p.Link.Delay < 100*time.Millisecond {
+		t.Fatalf("LookupImpairmentProfile(satellite) = %+v, %v", p, ok)
+	}
+	res, err := RunScenario(LoadScenario{
+		Transports: []string{"udp", "doh"},
+		Clients:    2,
+		Queries:    16,
+		Names:      4,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerTransport) != 2 {
+		t.Fatalf("per-transport results = %d", len(res.PerTransport))
+	}
+	for _, tr := range res.PerTransport {
+		if tr.Queries != 16 || tr.Failures != 0 {
+			t.Errorf("%s: %+v", tr.Transport, tr)
+		}
+	}
+	if out := RenderScenario(res); !strings.Contains(out, "udp") || !strings.Contains(out, "doh") {
+		t.Errorf("render:\n%s", out)
 	}
 }

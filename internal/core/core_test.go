@@ -63,6 +63,9 @@ func TestFig1SmallRun(t *testing.T) {
 }
 
 func TestFig2ScaledDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario run under -short")
+	}
 	// Scaled-down Figure 2: 30 queries at 40 qps, every 10th delayed by
 	// 250 ms. The qualitative claims under test are exactly the paper's:
 	// UDP and HTTP/2 see only the injected delays; DoT and pipelined
@@ -111,6 +114,9 @@ func TestFig2ScaledDown(t *testing.T) {
 }
 
 func TestOverheadScaledDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario run under -short")
+	}
 	res, err := RunOverhead(OverheadConfig{Domains: 40, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -206,6 +212,9 @@ func TestOverheadScaledDown(t *testing.T) {
 }
 
 func TestFig6ScaledDown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario run under -short")
+	}
 	res, err := RunFig6(Fig6Config{Pages: 12, Loads: 1, Seed: 9, Workers: 6, PlanetLab: 2, PagesPerNode: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -275,6 +284,9 @@ func TestTablesEndToEnd(t *testing.T) {
 }
 
 func TestFig2ExtendedOutOfOrderDoT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario run under -short")
+	}
 	// Extension: a Cloudflare-style out-of-order DoT server behaves like
 	// UDP/HTTP2 under injected delays.
 	cfg := Fig2Config{
@@ -288,5 +300,39 @@ func TestFig2ExtendedOutOfOrderDoT(t *testing.T) {
 	injected := cfg.Queries / cfg.DelayEvery
 	if slow := KnockOnCount(res.Delayed["tls-ooo"], cfg.Delay/2); slow != injected {
 		t.Errorf("tls-ooo slow queries = %d, want %d (no knock-on)", slow, injected)
+	}
+}
+
+func TestTopologyImpairmentProfile(t *testing.T) {
+	// Unknown profiles must fail loudly, not silently run ideal links.
+	if _, err := NewTopology(TopologyConfig{Seed: 1, Profile: "5g"}); err == nil {
+		t.Fatal("NewTopology accepted an unknown impairment profile")
+	}
+	// A valid profile builds a working topology: resolve one name over UDP
+	// and check the access-link delay (profile + base RTT) is actually paid.
+	topo, err := NewTopology(TopologyConfig{Seed: 1, Profile: "broadband"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer topo.Close()
+	r, err := topo.UDPResolver(ClientHost, LocalHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	resp, err := r.Exchange(ctx, dnswire.NewQuery(0, "profiled.example.", dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RCode != dnswire.RCodeSuccess {
+		t.Fatalf("rcode = %v", resp.RCode)
+	}
+	// broadband is 10ms one-way: the round trip must cost >= ~20ms where
+	// the ideal local link would be ~0.4ms.
+	if rtt := time.Since(start); rtt < 18*time.Millisecond {
+		t.Errorf("profiled exchange took %v, want >= ~20ms of access-link delay", rtt)
 	}
 }

@@ -38,6 +38,12 @@ type Fig2Config struct {
 	// BaseRTT is the client↔resolver round trip; the paper ran on
 	// localhost, so the default is 200 µs.
 	BaseRTT time.Duration
+	// Profile names a netsim impairment profile applied to the client's
+	// access link (see TopologyConfig.Profile) — the knob that re-runs the
+	// head-of-line experiment under the degraded regimes where loss
+	// recovery, not resolver stalls, drives the knock-on effects. Empty
+	// keeps the paper's ideal links.
+	Profile string
 	// Transports defaults to Fig2Transports.
 	Transports []string
 }
@@ -115,6 +121,7 @@ func runFig2Scenario(cfg Fig2Config, transport string, delayed bool) ([]QuerySam
 		LocalRTT:      cfg.BaseRTT,
 		CFRTT:         cfg.BaseRTT,
 		GORTT:         cfg.BaseRTT,
+		Profile:       cfg.Profile,
 		HTTP1Only:     transport == "http1",
 		DoTOutOfOrder: transport == "tls-ooo",
 	})

@@ -25,6 +25,14 @@ type OverheadConfig struct {
 	// default keeps the runtime reasonable while the flag allows more).
 	Domains int
 	Seed    int64
+	// Profile names a netsim impairment profile applied to the client's
+	// access link (see TopologyConfig.Profile). Stream byte/packet costs
+	// stay loss-independent (TCP retransmissions are accounted separately
+	// in ConnStats), but UDP scenarios count every attempt's payload — a
+	// dropped datagram's retry really does cost wire bytes — so under
+	// lossy profiles the U/* columns inflate along with every scenario's
+	// duration. Empty keeps the paper's ideal links.
+	Profile string
 }
 
 func (c OverheadConfig) withDefaults() OverheadConfig {
@@ -93,7 +101,7 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 		domains = domains[:cfg.Domains]
 	}
 
-	topo, err := NewTopology(TopologyConfig{Seed: cfg.Seed})
+	topo, err := NewTopology(TopologyConfig{Seed: cfg.Seed, Profile: cfg.Profile})
 	if err != nil {
 		return nil, err
 	}

@@ -50,6 +50,13 @@ type TopologyConfig struct {
 	// (halved into per-direction link delays). Zero values use the study
 	// defaults: 0.4 ms local, 6 ms Cloudflare, 9 ms Google.
 	LocalRTT, CFRTT, GORTT time.Duration
+	// Profile names a netsim impairment profile ("broadband", "4g", "3g",
+	// "lossy-wifi", "satellite") applied to the client's access link. The
+	// profile's delay/jitter/loss/reorder/MTU/bandwidth replace the ideal
+	// client↔resolver links, with each resolver's base one-way delay
+	// (RTT/2) layered on top so the relative resolver distances survive.
+	// Empty keeps the ideal links of the paper's own testbed.
+	Profile string
 	// DoTOutOfOrder enables Cloudflare-style DoT reply scheduling.
 	DoTOutOfOrder bool
 	// HTTP1Only restricts DoH listeners to http/1.1 (Figure 2's H1 runs).
@@ -98,9 +105,19 @@ func (c TopologyConfig) withDefaults() TopologyConfig {
 func NewTopology(cfg TopologyConfig) (*Topology, error) {
 	cfg = cfg.withDefaults()
 	n := netsim.New(cfg.Seed)
-	n.SetLink(ClientHost, LocalHost, netsim.Link{Delay: cfg.LocalRTT / 2})
-	n.SetLink(ClientHost, CFHost, netsim.Link{Delay: cfg.CFRTT / 2, Jitter: cfg.CFRTT / 12})
-	n.SetLink(ClientHost, GOHost, netsim.Link{Delay: cfg.GORTT / 2, Jitter: cfg.GORTT / 12})
+	if cfg.Profile == "" {
+		n.SetLink(ClientHost, LocalHost, netsim.Link{Delay: cfg.LocalRTT / 2})
+		n.SetLink(ClientHost, CFHost, netsim.Link{Delay: cfg.CFRTT / 2, Jitter: cfg.CFRTT / 12})
+		n.SetLink(ClientHost, GOHost, netsim.Link{Delay: cfg.GORTT / 2, Jitter: cfg.GORTT / 12})
+	} else {
+		prof, ok := netsim.LookupProfile(cfg.Profile)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown impairment profile %q (have %v)", cfg.Profile, netsim.ProfileNames())
+		}
+		n.ApplyProfile(ClientHost, LocalHost, prof.WithExtraDelay(cfg.LocalRTT/2))
+		n.ApplyProfile(ClientHost, CFHost, prof.WithExtraDelay(cfg.CFRTT/2))
+		n.ApplyProfile(ClientHost, GOHost, prof.WithExtraDelay(cfg.GORTT/2))
+	}
 
 	t := &Topology{Net: n}
 	var err error

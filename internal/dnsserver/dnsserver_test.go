@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dohcost/internal/dnswire"
+	"dohcost/internal/netsim"
 )
 
 // serveT runs a handler with a background context, failing the test on
@@ -260,4 +261,90 @@ func TestPadResponses(t *testing.T) {
 	if r2.EDNS != nil && len(r2.EDNS.Options) > 0 {
 		t.Error("padding applied with block size 0")
 	}
+}
+
+// startClampedUDP serves a many-answer handler over a simulated datagram
+// socket with the given MaxUDPSize and returns a client conn toward it.
+func startClampedUDP(t *testing.T, maxUDP, answers int) *netsim.PacketConn {
+	t.Helper()
+	n := netsim.New(1)
+	pc, err := n.ListenPacket("srv:53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	handler := HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		r := q.Reply()
+		for i := 0; i < answers; i++ {
+			r.Answers = append(r.Answers, dnswire.ResourceRecord{
+				Name: q.Question1().Name, Class: dnswire.ClassINET, TTL: 60,
+				Data: &dnswire.A{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)})},
+			})
+		}
+		return r, nil
+	})
+	srv := &UDPServer{Handler: handler, MaxUDPSize: maxUDP}
+	go srv.Serve(pc)
+	cli, err := n.ListenPacket("cli:5353")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+// exchangeRaw sends q and returns the raw response datagram.
+func exchangeRaw(t *testing.T, cli *netsim.PacketConn, q *dnswire.Message) []byte {
+	t.Helper()
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.WriteTo(wire, netsim.Addr("srv:53")); err != nil {
+		t.Fatal(err)
+	}
+	cli.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 65535)
+	nn, _, err := cli.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf[:nn]
+}
+
+// TestUDPMaxSizeClamp pins the max-udp-size policy: responses over the cap
+// are truncated even when the client's EDNS buffer allows more, the cap is
+// honored below RFC 1035's 512-byte default (small-MTU paths), and on
+// aggressive caps where even the referral would exceed the limit the OPT
+// record is shed to keep the TC=1 signal deliverable.
+func TestUDPMaxSizeClamp(t *testing.T) {
+	t.Run("clamp-below-edns", func(t *testing.T) {
+		cli := startClampedUDP(t, 484, 60) // ~1000-byte answer, cap in the sub-512 regime
+		raw := exchangeRaw(t, cli, dnswire.NewQuery(7, "big.example.", dnswire.TypeA))
+		if len(raw) > 484 {
+			t.Fatalf("response is %d bytes, want <= the 484-byte cap", len(raw))
+		}
+		var resp dnswire.Message
+		if err := resp.Unpack(raw); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Truncated || len(resp.Answers) != 0 {
+			t.Errorf("want empty TC=1 referral, got tc=%v answers=%d", resp.Truncated, len(resp.Answers))
+		}
+	})
+	t.Run("referral-sheds-opt", func(t *testing.T) {
+		long := strings.Repeat("verylonglabel.", 10) + "example."
+		cli := startClampedUDP(t, 80, 4)
+		raw := exchangeRaw(t, cli, dnswire.NewQuery(9, dnswire.Name(long), dnswire.TypeA))
+		var resp dnswire.Message
+		if err := resp.Unpack(raw); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Truncated {
+			t.Error("want TC=1 referral")
+		}
+		if resp.EDNS != nil {
+			t.Errorf("referral kept its OPT record (%d bytes) despite exceeding the cap", len(raw))
+		}
+	})
 }

@@ -28,6 +28,15 @@ type UDPServer struct {
 	// is context.Background. UDP is connectionless, so per-query contexts
 	// end with the server itself rather than with any one client.
 	BaseContext context.Context
+	// MaxUDPSize, when non-zero, caps response datagrams below the client's
+	// advertised EDNS buffer — the max-udp-size knob production resolvers
+	// use on small-MTU paths, where an honest TC=1 (and the RFC 7766 TCP
+	// retry it triggers) beats a blackholed oversized datagram. Responses
+	// over the cap are truncated. The cap is honored even below RFC 1035's
+	// 512-byte default: on a path whose MTU is under 540, rounding the cap
+	// up would re-blackhole exactly the responses it exists to save, and
+	// the TC=1 referral itself (header + question) stays tiny.
+	MaxUDPSize int
 	// Telemetry, when non-nil, receives one Transaction per parsed query.
 	Telemetry *telemetry.Metrics
 }
@@ -73,10 +82,14 @@ func (s *UDPServer) handlePacket(ctx context.Context, pc net.PacketConn, pkt []b
 		return
 	}
 	// Truncate to the client's advertised UDP capacity (RFC 6891), or the
-	// classic 512-byte limit without EDNS.
+	// classic 512-byte limit without EDNS, further capped by the server's
+	// own MaxUDPSize policy.
 	limit := 512
 	if q.EDNS != nil && int(q.EDNS.UDPSize) > limit {
 		limit = int(q.EDNS.UDPSize)
+	}
+	if s.MaxUDPSize > 0 && limit > s.MaxUDPSize {
+		limit = s.MaxUDPSize
 	}
 	if len(wire) > limit {
 		trunc := *resp
@@ -85,6 +98,16 @@ func (s *UDPServer) handlePacket(ctx context.Context, pc net.PacketConn, pkt []b
 		if wire, err = trunc.Pack(); err != nil {
 			tx.SetVerdict(telemetry.VerdictServFail)
 			return
+		}
+		if len(wire) > limit && trunc.EDNS != nil {
+			// On aggressive MaxUDPSize caps a long QNAME can push even the
+			// referral over the limit; the OPT record is the only thing
+			// left to shed (header + question cannot shrink further).
+			trunc.EDNS = nil
+			if wire, err = trunc.Pack(); err != nil {
+				tx.SetVerdict(telemetry.VerdictServFail)
+				return
+			}
 		}
 	}
 	pc.WriteTo(wire, from)
@@ -233,6 +256,9 @@ type Server struct {
 	// providers that pad encrypted responses (RFC 8467) but not classic
 	// UDP/TCP need the split.
 	DoHHandler Handler
+	// MaxUDPSize caps UDP response datagrams regardless of the client's
+	// EDNS buffer (see UDPServer.MaxUDPSize); zero applies no cap.
+	MaxUDPSize int
 	// Telemetry, when non-nil, is propagated to every listener so each
 	// query produces one cost Transaction (see internal/telemetry).
 	Telemetry *telemetry.Metrics
@@ -263,7 +289,7 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 		return nil, err
 	}
 	r.closers = append(r.closers, pc)
-	udp := &UDPServer{Handler: s.Handler, Telemetry: s.Telemetry}
+	udp := &UDPServer{Handler: s.Handler, MaxUDPSize: s.MaxUDPSize, Telemetry: s.Telemetry}
 	r.wg.Add(1)
 	go func() { defer r.wg.Done(); udp.Serve(pc) }()
 

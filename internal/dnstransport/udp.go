@@ -110,6 +110,12 @@ func (c *UDPClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.
 	tx := telemetry.FromContext(ctx)
 	var payloads []int
 	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			// A dropped query or response surfaces here as a per-attempt
+			// timeout; the retransmission is telemetry-visible so impaired
+			// paths show their loss rate, not just their tail latency.
+			tx.UDPRetransmit()
+		}
 		if _, err := c.pc.WriteTo(wire, c.server); err != nil {
 			c.unregister(id)
 			return nil, fmt.Errorf("dnstransport: udp send: %w", err)

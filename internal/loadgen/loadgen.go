@@ -1,0 +1,510 @@
+// Package loadgen drives multi-client workloads against the forwarding
+// proxy under configurable network impairment — the scenario harness the
+// paper's methodology implies but never ships. Where internal/core replays
+// the paper's controlled single-client experiments, loadgen answers the
+// production question: with N concurrent stub resolvers on a degraded
+// access network (3G, lossy Wi-Fi, satellite, …), how do Do53, TCP, DoT
+// and DoH compare on latency, bytes and failure rate?
+//
+// A Scenario deploys one upstream recursive resolver and one forwarding
+// proxy on a simulated network, gives every client its own host (and
+// therefore its own deterministically seeded impairment schedule — see
+// netsim), and replays an Alexa-derived query workload per transport under
+// a closed-loop (send, wait, think) or open-loop (Poisson arrivals)
+// model. All reported numbers are harvested from internal/telemetry: each
+// client query runs inside its own Transaction, so latency quantiles,
+// byte counts, retransmissions, TC fallbacks and failure verdicts come
+// from the same accounting subsystem the proxy exposes in production.
+//
+// Closed-loop runs with one seed reproduce their aggregate counters
+// (queries, failures, retransmissions, bytes, cache events) exactly:
+// every client's traffic is sequential, so the per-link RNGs replay the
+// same loss/jitter/reorder schedule on every run. Open-loop arrivals
+// allow in-flight overlap per client, which trades that exactness for
+// arrival realism.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"dohcost/internal/alexa"
+	"dohcost/internal/dnscache"
+	"dohcost/internal/dnsserver"
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/dnswire"
+	"dohcost/internal/netsim"
+	"dohcost/internal/proxy"
+	"dohcost/internal/telemetry"
+	"dohcost/internal/tlsx"
+)
+
+// Simulated host names of a scenario deployment.
+const (
+	// ProxyHost is where the forwarding proxy serves all four transports.
+	ProxyHost = "proxy.dns"
+	// UpstreamHost is the recursive resolver behind the proxy.
+	UpstreamHost = "recursive.upstream"
+)
+
+// Transports lists every transport a Scenario can drive, in the paper's
+// comparison order.
+var Transports = []string{"udp", "tcp", "dot", "doh"}
+
+// Scenario configures one load-generation run. The zero value is usable:
+// defaults are filled by Run.
+type Scenario struct {
+	// Profile names the netsim impairment profile on every client's access
+	// link ("broadband", "4g", "3g", "lossy-wifi", "satellite"); empty runs
+	// ideal links. The proxy↔upstream link is always clean — the degraded
+	// regime under study is the access network, as in Hounsel et al.
+	Profile string
+	// Transports is the subset of transports to drive, in order; nil runs
+	// all four.
+	Transports []string
+	// Clients is the number of concurrent simulated clients per transport
+	// (default 10). Each client gets its own simulated host.
+	Clients int
+	// Queries is the total query count per transport, split across clients
+	// (default 1000).
+	Queries int
+	// Seed drives the workload, the arrival processes, and (via netsim)
+	// every link's impairment schedule.
+	Seed int64
+	// Arrival selects the load model: "closed" (default) has each client
+	// wait for a response (plus Think) before its next query; "open" issues
+	// queries at per-client Poisson arrival times regardless of completions.
+	Arrival string
+	// Rate is the open-loop per-client arrival rate in queries/second
+	// (default 20).
+	Rate float64
+	// Think is the closed-loop pause between a response and the client's
+	// next query (default 0: back-to-back).
+	Think time.Duration
+	// Names is how many distinct query names each client cycles through
+	// (default 16). Smaller means a hotter proxy cache. Names are disjoint
+	// across clients and transports, so cache behaviour is per-client
+	// deterministic.
+	Names int
+	// Timeout bounds one whole client query, fallback legs included
+	// (default 10s).
+	Timeout time.Duration
+	// UDPAttemptTimeout is the UDP client's per-attempt wait before it
+	// retransmits; zero derives max(6×(profile delay+jitter), 500ms) so
+	// impaired paths retry on genuine loss, not on their own tail latency.
+	UDPAttemptTimeout time.Duration
+	// UDPRetries is how many retransmissions follow a timed-out UDP
+	// attempt (default 2, the stub-resolver classic).
+	UDPRetries int
+	// UpstreamRTT is the clean proxy↔upstream round trip (default 4ms).
+	UpstreamRTT time.Duration
+}
+
+// withDefaults fills unset fields.
+func (s Scenario) withDefaults() (Scenario, netsim.Profile, error) {
+	var prof netsim.Profile
+	if s.Profile != "" {
+		p, ok := netsim.LookupProfile(s.Profile)
+		if !ok {
+			return s, prof, fmt.Errorf("loadgen: unknown impairment profile %q (have %v)", s.Profile, netsim.ProfileNames())
+		}
+		prof = p
+	}
+	if s.Transports == nil {
+		s.Transports = Transports
+	}
+	for _, tr := range s.Transports {
+		switch tr {
+		case "udp", "tcp", "dot", "doh":
+		default:
+			return s, prof, fmt.Errorf("loadgen: unknown transport %q (have %v)", tr, Transports)
+		}
+	}
+	if s.Clients <= 0 {
+		s.Clients = 10
+	}
+	if s.Queries <= 0 {
+		s.Queries = 1000
+	}
+	switch s.Arrival {
+	case "":
+		s.Arrival = "closed"
+	case "closed", "open":
+	default:
+		return s, prof, fmt.Errorf("loadgen: unknown arrival model %q (want closed or open)", s.Arrival)
+	}
+	if s.Rate <= 0 {
+		s.Rate = 20
+	}
+	if s.Names <= 0 {
+		s.Names = 16
+	}
+	if s.Timeout <= 0 {
+		s.Timeout = 10 * time.Second
+	}
+	if s.UDPAttemptTimeout <= 0 {
+		s.UDPAttemptTimeout = 6 * (prof.Link.Delay + prof.Link.Jitter)
+		if s.UDPAttemptTimeout < 500*time.Millisecond {
+			s.UDPAttemptTimeout = 500 * time.Millisecond
+		}
+	}
+	if s.UDPRetries <= 0 {
+		s.UDPRetries = 2
+	}
+	if s.UpstreamRTT <= 0 {
+		s.UpstreamRTT = 4 * time.Millisecond
+	}
+	return s, prof, nil
+}
+
+// TransportResult is one transport's harvest, sourced from the client-side
+// telemetry sink (one Transaction per query).
+type TransportResult struct {
+	// Transport is "udp", "tcp", "dot" or "doh".
+	Transport string `json:"transport"`
+	// Queries is the number of completed transactions.
+	Queries uint64 `json:"queries"`
+	// Failures counts queries that errored, timed out, or returned a
+	// non-success RCode.
+	Failures uint64 `json:"failures"`
+	// UDPRetransmits counts query attempts re-sent after per-attempt
+	// timeouts (UDP only; loss made visible).
+	UDPRetransmits uint64 `json:"udp_retransmits"`
+	// TCFallbacks counts truncated UDP answers retried over TCP.
+	TCFallbacks uint64 `json:"tc_fallbacks"`
+	// BytesSent and BytesReceived are DNS message bytes on the client side
+	// (retransmitted attempts count each time).
+	BytesSent     uint64 `json:"bytes_sent"`
+	BytesReceived uint64 `json:"bytes_received"`
+	// P50Ms, P95Ms, P99Ms and MeanMs summarize client-observed resolution
+	// latency in milliseconds.
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	// Elapsed is the wall-clock span of the transport's run; QPS is
+	// Queries/Elapsed.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	QPS     float64       `json:"qps"`
+}
+
+// Result is one scenario run: per-transport client-side harvests plus the
+// proxy's own server-side view of the same traffic.
+type Result struct {
+	// Scenario echoes the configuration with defaults resolved.
+	Scenario Scenario `json:"scenario"`
+	// Profile is the resolved impairment profile (zero Name on ideal links).
+	Profile netsim.Profile `json:"profile"`
+	// PerTransport holds one harvest per driven transport, in run order.
+	PerTransport []TransportResult `json:"per_transport"`
+	// Server is the proxy-side telemetry snapshot across all transports.
+	Server *telemetry.Snapshot `json:"server"`
+	// Cache is the proxy cache's effectiveness over the whole run.
+	Cache dnscache.Stats `json:"cache"`
+}
+
+// Run executes the scenario and returns the harvest.
+func Run(s Scenario) (*Result, error) {
+	s, prof, err := s.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	n := netsim.New(s.Seed)
+	n.SetLink(ProxyHost, UpstreamHost, netsim.Link{Delay: s.UpstreamRTT / 2})
+	if s.Profile != "" {
+		for c := 0; c < s.Clients; c++ {
+			n.ApplyProfile(clientHost(c), ProxyHost, prof)
+		}
+	}
+
+	upstream := &dnsserver.Server{Handler: dnsserver.Static(netip.MustParseAddr("192.0.2.53"), 300)}
+	upRun, err := upstream.Start(n, UpstreamHost)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: starting upstream: %w", err)
+	}
+	defer upRun.Close()
+
+	chain, err := tlsx.GenerateChain(tlsx.CloudflareLike(ProxyHost))
+	if err != nil {
+		return nil, err
+	}
+	maxUDP := 0
+	if prof.Link.MTU > 0 {
+		// Clamp UDP responses to the path MTU so oversized answers come
+		// back as honest TC=1 (driving the RFC 7766 TCP fallback) instead
+		// of being blackholed by the link.
+		maxUDP = prof.Link.MTU - netsim.DatagramHeaderBytes
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstreams: []dnstransport.PoolUpstream{{
+			Name: UpstreamHost,
+			Dial: func() (dnstransport.Resolver, error) {
+				return dnstransport.NewTCPClient(func() (net.Conn, error) {
+					return n.Dial(ProxyHost, UpstreamHost+":53")
+				}), nil
+			},
+		}},
+		Chain:      chain,
+		Endpoints:  []dnsserver.Endpoint{{Path: "/dns-query", Wire: true, JSON: true}},
+		MaxUDPSize: maxUDP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	if err := p.Start(n, ProxyHost); err != nil {
+		return nil, err
+	}
+
+	// The shared third-party pool gives clients realistic name popularity;
+	// the per-client prefix (see clientNames) keeps cache interaction
+	// deterministic by construction.
+	corpus := alexa.Generate(alexa.Config{Pages: s.Clients*s.Names/15 + 20, Seed: s.Seed})
+	domains := corpus.AllDomains()
+
+	res := &Result{Scenario: s, Profile: prof}
+	for _, tr := range s.Transports {
+		trRes, err := runTransport(n, chain, s, tr, domains)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: transport %s: %w", tr, err)
+		}
+		res.PerTransport = append(res.PerTransport, trRes)
+	}
+	res.Server = p.Telemetry().Snapshot()
+	res.Cache = p.CacheStats()
+	return res, nil
+}
+
+// clientHost names client c's simulated host. Every client owning its own
+// host is what gives it a private access link — and with it a private,
+// seed-stable impairment schedule.
+func clientHost(c int) string { return fmt.Sprintf("c%d", c) }
+
+// clientNames builds client c's query-name cycle for one transport:
+// Alexa-derived base domains under a client+transport-unique label, so no
+// two clients (and no two transports) ever contend for a cache entry.
+func clientNames(tr string, c, count int, domains []string) []dnswire.Name {
+	names := make([]dnswire.Name, count)
+	for j := 0; j < count; j++ {
+		d := domains[(c*count+j)%len(domains)]
+		names[j] = dnswire.Name(fmt.Sprintf("%s-c%d.%s.", tr, c, d))
+	}
+	return names
+}
+
+// transportSeed decorrelates the per-client workload RNG across transports
+// (open-loop arrival schedules must differ between, say, the udp and doh
+// legs of one scenario).
+func transportSeed(tr string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, tr)
+	return int64(h.Sum64() >> 1)
+}
+
+// protoFor maps a transport label to its telemetry proto.
+func protoFor(tr string) telemetry.Proto {
+	switch tr {
+	case "udp":
+		return telemetry.ProtoUDP
+	case "dot":
+		return telemetry.ProtoDoT
+	case "doh":
+		return telemetry.ProtoDoH
+	}
+	return telemetry.ProtoTCP
+}
+
+// runTransport drives one transport's full workload and harvests its
+// client-side telemetry sink.
+func runTransport(n *netsim.Network, chain *tlsx.Chain, s Scenario, tr string, domains []string) (TransportResult, error) {
+	m := telemetry.New()
+	proto := protoFor(tr)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, s.Clients)
+	start := time.Now()
+	for c := 0; c < s.Clients; c++ {
+		count := s.Queries / s.Clients
+		if c < s.Queries%s.Clients {
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		names := clientNames(tr, c, s.Names, domains)
+		wg.Add(1)
+		go func(c, count int, names []dnswire.Name) {
+			defer wg.Done()
+			if err := runClient(n, chain, s, tr, m, proto, c, count, names); err != nil {
+				errs <- fmt.Errorf("client %d: %w", c, err)
+			}
+		}(c, count, names)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return TransportResult{}, err
+	default:
+	}
+
+	snap := m.Snapshot()
+	out := TransportResult{
+		Transport:      tr,
+		UDPRetransmits: snap.UDPRetransmits,
+		TCFallbacks:    snap.TCFallbacks,
+		BytesSent:      snap.UpstreamBytesSent,
+		BytesReceived:  snap.UpstreamBytesReceived,
+		Elapsed:        elapsed,
+	}
+	for _, v := range snap.Queries {
+		out.Queries += v
+	}
+	for verdict, v := range snap.Verdicts {
+		if verdict != telemetry.VerdictOK.String() {
+			out.Failures += v
+		}
+	}
+	// All of this transport's transactions live in one proto bucket: the
+	// proto is fixed at Begin, so even a UDP query that completed over the
+	// TCP fallback is charged to the udp series.
+	if d := snap.Latency[proto.String()]; d != nil {
+		out.P50Ms, out.P95Ms, out.P99Ms, out.MeanMs = d.P50Ms, d.P95Ms, d.P99Ms, d.MeanMs
+	}
+	if elapsed > 0 {
+		out.QPS = float64(out.Queries) / elapsed.Seconds()
+	}
+	return out, nil
+}
+
+// runClient executes one client's share of the workload: resolver setup,
+// then closed- or open-loop query issue.
+func runClient(n *netsim.Network, chain *tlsx.Chain, s Scenario, tr string, m *telemetry.Metrics, proto telemetry.Proto, c, count int, names []dnswire.Name) error {
+	r, err := newResolver(n, chain, s, tr, c)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	rng := rand.New(rand.NewSource(s.Seed + 7919*int64(c) + transportSeed(tr)))
+	if s.Arrival == "open" {
+		t0 := time.Now()
+		var qwg sync.WaitGroup
+		at := time.Duration(0)
+		for i := 0; i < count; i++ {
+			at += time.Duration(rng.ExpFloat64() / s.Rate * float64(time.Second))
+			qwg.Add(1)
+			go func(i int, at time.Duration) {
+				defer qwg.Done()
+				time.Sleep(time.Until(t0.Add(at)))
+				query(m, proto, r, names[i%len(names)], s.Timeout)
+			}(i, at)
+		}
+		qwg.Wait()
+		return nil
+	}
+	for i := 0; i < count; i++ {
+		query(m, proto, r, names[i%len(names)], s.Timeout)
+		if s.Think > 0 {
+			time.Sleep(s.Think)
+		}
+	}
+	return nil
+}
+
+// query runs one resolution inside its own telemetry Transaction: the
+// transport layers annotate bytes and retransmissions through the context,
+// and the verdict records success, failure or non-success RCode.
+func query(m *telemetry.Metrics, proto telemetry.Proto, r dnstransport.Resolver, name dnswire.Name, timeout time.Duration) {
+	tx := m.Begin(proto)
+	defer tx.Finish()
+	ctx, cancel := context.WithTimeout(telemetry.NewContext(context.Background(), tx), timeout)
+	defer cancel()
+	resp, err := r.Exchange(ctx, dnswire.NewQuery(0, name, dnswire.TypeA))
+	switch {
+	case err != nil:
+		tx.SetVerdict(telemetry.VerdictServFail)
+	case resp.RCode != dnswire.RCodeSuccess:
+		tx.SetVerdict(telemetry.VerdictServFail)
+	default:
+		tx.SetVerdict(telemetry.VerdictOK)
+	}
+}
+
+// newResolver opens client c's resolver toward the proxy over one
+// transport. UDP carries the RFC 7766 TCP fallback for truncated answers.
+func newResolver(n *netsim.Network, chain *tlsx.Chain, s Scenario, tr string, c int) (dnstransport.Resolver, error) {
+	host := clientHost(c)
+	dial53 := func() (net.Conn, error) { return n.Dial(host, ProxyHost+":53") }
+	switch tr {
+	case "udp":
+		pc, err := n.ListenPacket(fmt.Sprintf("%s:%d", host, 5353))
+		if err != nil {
+			return nil, err
+		}
+		u := dnstransport.NewUDPClient(pc, netsim.Addr(ProxyHost+":53"))
+		u.Timeout = s.UDPAttemptTimeout
+		u.Retries = s.UDPRetries
+		u.Fallback = dnstransport.NewTCPClient(dial53)
+		return u, nil
+	case "tcp":
+		return dnstransport.NewTCPClient(dial53), nil
+	case "dot":
+		return dnstransport.NewDoTClient(func() (net.Conn, error) {
+			return n.Dial(host, ProxyHost+":853")
+		}, chain.ClientConfig(ProxyHost)), nil
+	case "doh":
+		return &dnstransport.DoHClient{
+			Dial:       func() (net.Conn, error) { return n.Dial(host, ProxyHost+":443") },
+			TLS:        chain.ClientConfig(ProxyHost),
+			Mode:       dnstransport.ModeH2,
+			Persistent: true,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown transport %q", tr)
+}
+
+// Render formats the result as the comparison table the paper's figures
+// distil: one row per transport, latency quantiles, wire bytes, failures.
+func Render(r *Result) string {
+	var sb strings.Builder
+	label := r.Profile.Name
+	if label == "" {
+		label = "ideal"
+	}
+	fmt.Fprintf(&sb, "scenario: %d clients × %s arrivals, %d queries/transport, profile %s, seed %d\n",
+		r.Scenario.Clients, r.Scenario.Arrival, r.Scenario.Queries, label, r.Scenario.Seed)
+	if r.Profile.Name != "" {
+		fmt.Fprintf(&sb, "access link: %s\n", r.Profile)
+	}
+	fmt.Fprintf(&sb, "\n%-6s %8s %8s %8s %8s | %9s %9s %9s | %11s %8s\n",
+		"proto", "queries", "fail", "rexmit", "tc-tcp", "p50", "p95", "p99", "bytes", "qps")
+	for _, t := range r.PerTransport {
+		fmt.Fprintf(&sb, "%-6s %8d %8d %8d %8d | %7.1fms %7.1fms %7.1fms | %11d %8.0f\n",
+			t.Transport, t.Queries, t.Failures, t.UDPRetransmits, t.TCFallbacks,
+			t.P50Ms, t.P95Ms, t.P99Ms, t.BytesSent+t.BytesReceived, t.QPS)
+	}
+	cs := r.Cache
+	total := cs.Hits + cs.Misses + cs.Coalesced
+	ratio := 0.0
+	if total > 0 {
+		ratio = float64(cs.Hits) / float64(total) * 100
+	}
+	fmt.Fprintf(&sb, "\nproxy: %d hits / %d misses / %d coalesced (%.1f%% hit rate)",
+		cs.Hits, cs.Misses, cs.Coalesced, ratio)
+	if r.Server != nil {
+		fmt.Fprintf(&sb, "; upstream %d exchanges, %d B up, %d B down\n",
+			r.Server.PoolExchanges, r.Server.UpstreamBytesSent, r.Server.UpstreamBytesReceived)
+	} else {
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -27,10 +27,12 @@ type halfConn struct {
 	lastAt   time.Time // monotone delivery horizon (keeps FIFO under jitter)
 
 	// Wire accounting, updated per push. Packets counts MSS-sized slices of
-	// each segment: one Write that fits in the MSS is one packet.
+	// each segment: one Write that fits in the MSS is one packet. Retrans
+	// counts packets the link lost and the simulated TCP re-sent.
 	bytes    int64
 	segments int64
 	packets  int64
+	retrans  int64
 }
 
 func newHalf() *halfConn {
@@ -41,8 +43,9 @@ func newHalf() *halfConn {
 
 // push enqueues a copy of data for delivery after delay (plus serialization
 // at the link rate). It never blocks: the sender has already paid its
-// modelled costs, and TCP send buffers absorb the rest.
-func (h *halfConn) push(data []byte, delay, transmission time.Duration, mss int) {
+// modelled costs, and TCP send buffers absorb the rest. packets and retrans
+// are the flight's wire accounting, already sampled by the caller.
+func (h *halfConn) push(data []byte, delay, transmission time.Duration, packets, retrans int64) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	now := time.Now()
@@ -56,19 +59,17 @@ func (h *halfConn) push(data []byte, delay, transmission time.Duration, mss int)
 	h.queue = append(h.queue, segment{data: cp, at: at})
 	h.bytes += int64(len(data))
 	h.segments++
-	if mss <= 0 {
-		mss = DefaultMSS
-	}
-	h.packets += int64((len(data) + mss - 1) / mss)
+	h.packets += packets
+	h.retrans += retrans
 	h.mu.Unlock()
 	h.cond.Broadcast()
 }
 
 // stats returns the accumulated push-side counters.
-func (h *halfConn) stats() (bytes, segments, packets int64) {
+func (h *halfConn) stats() (bytes, segments, packets, retrans int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.bytes, h.segments, h.packets
+	return h.bytes, h.segments, h.packets, h.retrans
 }
 
 // closeWrite marks the stream finished; readers drain then see EOF.
@@ -142,9 +143,9 @@ func (h *halfConn) read(p []byte) (int, error) {
 // Conn is one end of a simulated stream connection. It implements net.Conn.
 type Conn struct {
 	local, remote Addr
-	in            *halfConn // peer → us
-	out           *halfConn // us → peer
-	link          Link      // applied to our writes
+	in            *halfConn  // peer → us
+	out           *halfConn  // us → peer
+	link          *linkState // applied to our writes
 	net           *Network
 
 	mu     sync.Mutex
@@ -170,7 +171,12 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Write implements net.Conn. Each call becomes one segment on the wire.
+// Write implements net.Conn. Each call becomes one segment on the wire,
+// packetized at the link's effective MSS. On lossy links, lost packets are
+// retransmitted by the simulated TCP: delivery of the segment (and, via
+// FIFO ordering, of everything behind it) is delayed one RTO per
+// retransmission, which is exactly the loss-induced head-of-line cost the
+// degraded-network experiments measure.
 func (c *Conn) Write(p []byte) (int, error) {
 	c.mu.Lock()
 	closed := c.closed
@@ -181,20 +187,30 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
-	c.out.push(p, c.net.delayFor(c.link), c.link.transmission(len(p)), c.net.mssValue())
+	mss := c.link.mss(c.net.mssValue())
+	packets := int64((len(p) + mss - 1) / mss)
+	retrans := c.link.streamRetransmits(packets)
+	delay := c.link.delay() + time.Duration(retrans)*c.link.rto()
+	c.out.push(p, delay, c.link.transmission(len(p)), packets, retrans)
 	return len(p), nil
 }
 
 // ConnStats is the wire-level accounting of one stream connection:
-// bytes, write flights (segments), and MSS-sized packets per direction.
-// "Out" is this endpoint's transmissions, "In" is the peer's.
+// bytes, write flights (segments), MSS-sized packets, and loss-triggered
+// retransmissions per direction. "Out" is this endpoint's transmissions,
+// "In" is the peer's. Retransmissions are counted separately from Packets
+// so the paper's steady-state byte/packet figures stay comparable across
+// impairment profiles; the latency cost of each retransmission is already
+// charged on the wire as one RTO of added delivery delay.
 type ConnStats struct {
 	OutBytes    int64
 	OutSegments int64
 	OutPackets  int64
+	OutRetrans  int64
 	InBytes     int64
 	InSegments  int64
 	InPackets   int64
+	InRetrans   int64
 }
 
 // Total returns the byte total across both directions.
@@ -207,20 +223,22 @@ func (s ConnStats) Sub(prev ConnStats) ConnStats {
 		OutBytes:    s.OutBytes - prev.OutBytes,
 		OutSegments: s.OutSegments - prev.OutSegments,
 		OutPackets:  s.OutPackets - prev.OutPackets,
+		OutRetrans:  s.OutRetrans - prev.OutRetrans,
 		InBytes:     s.InBytes - prev.InBytes,
 		InSegments:  s.InSegments - prev.InSegments,
 		InPackets:   s.InPackets - prev.InPackets,
+		InRetrans:   s.InRetrans - prev.InRetrans,
 	}
 }
 
 // Stats snapshots the connection's wire counters. Both directions are
 // visible from either endpoint.
 func (c *Conn) Stats() ConnStats {
-	ob, os, op := c.out.stats()
-	ib, is, ip := c.in.stats()
+	ob, os, op, or := c.out.stats()
+	ib, is, ip, ir := c.in.stats()
 	return ConnStats{
-		OutBytes: ob, OutSegments: os, OutPackets: op,
-		InBytes: ib, InSegments: is, InPackets: ip,
+		OutBytes: ob, OutSegments: os, OutPackets: op, OutRetrans: or,
+		InBytes: ib, InSegments: is, InPackets: ip, InRetrans: ir,
 	}
 }
 

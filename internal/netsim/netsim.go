@@ -1,9 +1,17 @@
 // Package netsim provides an in-memory network for the DoH cost study: named
 // hosts, stream connections with TCP-like reliable ordered delivery, and
 // datagram endpoints with UDP-like loss. Links carry configurable one-way
-// delay, jitter, loss (datagrams only) and bandwidth, so experiments that the
+// delay, jitter, loss, reordering, MTU and bandwidth, so experiments that the
 // paper ran across a university network, two cloud resolvers, and PlanetLab
-// can run hermetically and deterministically.
+// can run hermetically and deterministically — including the degraded-network
+// regimes (lossy 3G/4G, satellite) where the paper's follow-ups found the
+// transport ranking inverts. Named impairment Profiles bundle the settings.
+//
+// Every link draws its random decisions (jitter, loss, reordering, stream
+// retransmissions) from its own RNG, seeded from the network seed and the
+// directed host pair. Traffic on one link therefore sees the same schedule
+// on every run with the same seed, no matter how goroutines on other links
+// interleave.
 //
 // Conns preserve write boundaries: each Write becomes one timed segment on
 // the link, which is what lets the metering layer (internal/meter) translate
@@ -16,6 +24,8 @@ package netsim
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math/rand"
 	"net"
 	"strings"
@@ -29,13 +39,32 @@ type Link struct {
 	Delay time.Duration
 	// Jitter adds a uniform random extra delay in [0, Jitter).
 	Jitter time.Duration
-	// Loss is the probability in [0,1] that a datagram is dropped.
-	// Stream segments are never dropped (TCP retransmission is modelled as
-	// already having happened; loss on streams shows up as added delay).
+	// Loss is the per-packet loss probability in [0,1]. A lost datagram is
+	// dropped outright (the receiver never sees it; clients observe a
+	// timeout). A lost stream packet is retransmitted by the simulated TCP:
+	// the segment still arrives, but its delivery is delayed by one RTO per
+	// retransmission and the retransmission is counted in ConnStats.
 	Loss float64
 	// Bandwidth, when non-zero, is the link rate in bytes/second;
 	// transmission time len/Bandwidth is added per segment.
 	Bandwidth int64
+	// Reorder is the probability in [0,1] that a datagram is held back an
+	// extra ReorderDelay, letting datagrams sent after it overtake. Stream
+	// conns are immune: TCP resequences, so reordering there surfaces (like
+	// loss) only as delay, which the Jitter knob already models.
+	Reorder float64
+	// ReorderDelay is the extra hold applied to reordered datagrams; zero
+	// derives Delay/2 + Jitter.
+	ReorderDelay time.Duration
+	// MTU, when non-zero, is the maximum on-wire packet size in bytes
+	// including network/transport headers. Datagrams whose payload plus the
+	// 28-byte IP+UDP header exceed it are dropped (DF-style blackholing —
+	// the failure mode RFC 7766 §5's TCP fallback exists for), and stream
+	// segments packetize at min(network MSS, MTU-40).
+	MTU int
+	// RTO is the retransmission timeout charged per lost stream packet;
+	// zero derives max(2*(Delay+Jitter), 50ms).
+	RTO time.Duration
 }
 
 // transmission returns the serialization time for n bytes.
@@ -44,6 +73,37 @@ func (l Link) transmission(n int) time.Duration {
 		return 0
 	}
 	return time.Duration(float64(n) / float64(l.Bandwidth) * float64(time.Second))
+}
+
+// rto returns the retransmission timeout for lost stream packets.
+func (l Link) rto() time.Duration {
+	if l.RTO > 0 {
+		return l.RTO
+	}
+	if d := 2 * (l.Delay + l.Jitter); d > 50*time.Millisecond {
+		return d
+	}
+	return 50 * time.Millisecond
+}
+
+// DatagramHeaderBytes is the IP+UDP header cost counted against a link MTU
+// (20 bytes IPv4 + 8 bytes UDP, matching internal/meter's accounting).
+// A datagram fits a link when payload + DatagramHeaderBytes <= MTU; anyone
+// sizing payloads to a path (e.g. a resolver's max-udp-size clamp) should
+// derive the cap from this constant rather than re-guessing the header.
+const DatagramHeaderBytes = 28
+
+// mss returns the stream packetization size for this link: the network MSS
+// capped by the link MTU minus 40 bytes of IP+TCP headers.
+func (l Link) mss(networkMSS int) int {
+	mss := networkMSS
+	if mss <= 0 {
+		mss = DefaultMSS
+	}
+	if l.MTU > 40 && l.MTU-40 < mss {
+		mss = l.MTU - 40
+	}
+	return mss
 }
 
 // Addr is a netsim endpoint address. Its network is "sim" and its string
@@ -75,10 +135,11 @@ const DefaultMSS = 1460
 // construct with New.
 type Network struct {
 	mu        sync.Mutex
-	rng       *rand.Rand
+	seed      int64
 	def       Link
 	mss       int
 	links     map[linkKey]Link
+	states    map[linkKey]*linkState
 	listeners map[Addr]*Listener
 	packets   map[Addr]*PacketConn
 	nextEphem int
@@ -101,11 +162,13 @@ func (n *Network) mssValue() int {
 }
 
 // New returns an empty network whose links default to zero delay. seed
-// drives jitter and loss decisions so runs are reproducible.
+// drives jitter, loss, reordering and retransmission decisions so runs are
+// reproducible.
 func New(seed int64) *Network {
 	return &Network{
-		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
 		links:     make(map[linkKey]Link),
+		states:    make(map[linkKey]*linkState),
 		listeners: make(map[Addr]*Listener),
 		packets:   make(map[Addr]*PacketConn),
 	}
@@ -117,46 +180,126 @@ func (n *Network) SetDefaultLink(l Link) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.def = l
+	// Links without a specific profile resolve through the default; their
+	// cached states (including RNG position) must restart from it.
+	for k := range n.states {
+		if _, specific := n.links[k]; !specific {
+			delete(n.states, k)
+		}
+	}
 }
 
 // SetLink installs a symmetric link profile between two hosts (both
-// directions).
+// directions). Installing a profile resets the pair's random schedule, so
+// configure links before traffic flows for reproducible runs.
 func (n *Network) SetLink(a, b string, l Link) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.links[linkKey{Addr(a).host(), Addr(b).host()}] = l
-	n.links[linkKey{Addr(b).host(), Addr(a).host()}] = l
+	ab := linkKey{Addr(a).host(), Addr(b).host()}
+	ba := linkKey{Addr(b).host(), Addr(a).host()}
+	n.links[ab] = l
+	n.links[ba] = l
+	delete(n.states, ab)
+	delete(n.states, ba)
 }
 
-// linkFor returns the directed profile from → to.
-func (n *Network) linkFor(from, to Addr) Link {
+// linkState joins a directed link's profile with its private RNG. One state
+// exists per directed host pair; all random decisions for traffic on that
+// direction draw from it in operation order, which is what makes per-link
+// schedules independent of unrelated goroutine interleaving.
+type linkState struct {
+	Link
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// stateFor returns (creating if needed) the directed link state from → to.
+func (n *Network) stateFor(from, to Addr) *linkState {
+	key := linkKey{from.host(), to.host()}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if l, ok := n.links[linkKey{from.host(), to.host()}]; ok {
-		return l
+	if ls, ok := n.states[key]; ok {
+		return ls
 	}
-	return n.def
+	l, ok := n.links[key]
+	if !ok {
+		l = n.def
+	}
+	ls := &linkState{Link: l, rng: rand.New(rand.NewSource(n.seed ^ linkSeed(key)))}
+	n.states[key] = ls
+	return ls
 }
 
-// delayFor samples the per-segment delay (propagation + jitter) from → to.
-func (n *Network) delayFor(l Link) time.Duration {
-	d := l.Delay
-	if l.Jitter > 0 {
-		n.mu.Lock()
-		d += time.Duration(n.rng.Int63n(int64(l.Jitter)))
-		n.mu.Unlock()
+// linkSeed derives a stable per-directed-link seed component from the host
+// pair (FNV-1a over "from\x00to").
+func linkSeed(k linkKey) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, k.from)
+	h.Write([]byte{0})
+	io.WriteString(h, k.to)
+	return int64(h.Sum64())
+}
+
+// delay samples one propagation + jitter delay.
+func (ls *linkState) delay() time.Duration {
+	d := ls.Delay
+	if ls.Jitter > 0 {
+		ls.mu.Lock()
+		d += time.Duration(ls.rng.Int63n(int64(ls.Jitter)))
+		ls.mu.Unlock()
 	}
 	return d
 }
 
 // dropDatagram samples the loss decision for one datagram.
-func (n *Network) dropDatagram(l Link) bool {
-	if l.Loss <= 0 {
+func (ls *linkState) dropDatagram() bool {
+	if ls.Loss <= 0 {
 		return false
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.rng.Float64() < l.Loss
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.rng.Float64() < ls.Loss
+}
+
+// reorderExtra samples the reordering decision for one datagram: zero, or
+// the extra hold that lets later datagrams overtake this one.
+func (ls *linkState) reorderExtra() time.Duration {
+	if ls.Reorder <= 0 {
+		return 0
+	}
+	ls.mu.Lock()
+	hit := ls.rng.Float64() < ls.Reorder
+	ls.mu.Unlock()
+	if !hit {
+		return 0
+	}
+	if ls.ReorderDelay > 0 {
+		return ls.ReorderDelay
+	}
+	return ls.Delay/2 + ls.Jitter
+}
+
+// maxStreamRetransmits caps per-packet retransmission attempts; the
+// simulated TCP never aborts the connection, it just stops re-rolling.
+const maxStreamRetransmits = 8
+
+// streamRetransmits samples how many retransmissions a flight of packets
+// suffers: each packet is re-sent (and re-rolled) until it survives the
+// per-packet loss probability, up to maxStreamRetransmits.
+func (ls *linkState) streamRetransmits(packets int64) int64 {
+	if ls.Loss <= 0 || packets <= 0 {
+		return 0
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	var lost int64
+	for i := int64(0); i < packets; i++ {
+		for tries := 0; tries < maxStreamRetransmits && ls.rng.Float64() < ls.Loss; tries++ {
+			lost++
+		}
+	}
+	return lost
 }
 
 // ephemeral mints a unique client address for dialers that don't name one.
@@ -203,13 +346,13 @@ func (n *Network) Dial(from, to string) (net.Conn, error) {
 
 	c2s := newHalf()
 	s2c := newHalf()
-	fwd := n.linkFor(local, remote)
-	rev := n.linkFor(remote, local)
+	fwd := n.stateFor(local, remote)
+	rev := n.stateFor(remote, local)
 	client := &Conn{local: local, remote: remote, in: s2c, out: c2s, link: fwd, net: n}
 	server := &Conn{local: remote, remote: local, in: c2s, out: s2c, link: rev, net: n}
 
 	// SYN / SYN-ACK round trip before the connection is usable.
-	handshake := n.delayFor(fwd) + n.delayFor(rev)
+	handshake := fwd.delay() + rev.delay()
 	if handshake > 0 {
 		time.Sleep(handshake)
 	}

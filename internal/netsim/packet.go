@@ -48,8 +48,11 @@ func (n *Network) ListenPacket(addr string) (*PacketConn, error) {
 	return p, nil
 }
 
-// WriteTo sends one datagram toward addr, subject to the link's loss and
-// delay. A dropped datagram still counts as sent (the bytes left this host).
+// WriteTo sends one datagram toward addr, subject to the link's loss, MTU,
+// reordering and delay. A dropped datagram still counts as sent (the bytes
+// left this host); the receiver simply never sees it, so clients observe
+// the drop as a read timeout — the failure mode their retransmission logic
+// exists for.
 func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 	p.mu.Lock()
 	closed := p.closed
@@ -65,13 +68,19 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 		// UDP is fire-and-forget: writing to a dead host is not an error.
 		return len(b), nil
 	}
-	link := p.net.linkFor(p.addr, dst)
-	if p.net.dropDatagram(link) {
+	link := p.net.stateFor(p.addr, dst)
+	if link.MTU > 0 && len(b)+DatagramHeaderBytes > link.MTU {
+		// Oversized for the path: blackholed, DF-style. No RNG draw — MTU
+		// drops are structural, not stochastic.
+		return len(b), nil
+	}
+	if link.dropDatagram() {
 		return len(b), nil
 	}
 	cp := make([]byte, len(b))
 	copy(cp, b)
-	at := time.Now().Add(p.net.delayFor(link)).Add(link.transmission(len(b)))
+	delay := link.delay() + link.reorderExtra()
+	at := time.Now().Add(delay).Add(link.transmission(len(b)))
 	target.mu.Lock()
 	target.queue = append(target.queue, datagram{data: cp, from: p.addr, at: at})
 	target.mu.Unlock()
@@ -92,12 +101,16 @@ func (p *PacketConn) ReadFrom(b []byte) (int, net.Addr, error) {
 		if !p.deadline.IsZero() && !now.Before(p.deadline) {
 			return 0, nil, &timeoutError{op: "read"}
 		}
-		// Find the earliest deliverable datagram.
+		// Find the deliverable datagram that arrived first. Scanning for
+		// the minimum at (rather than the first deliverable in send order)
+		// is what lets a reorder-held datagram actually be overtaken.
 		idx := -1
 		for i := range p.queue {
-			if !p.queue[i].at.After(now) {
+			if p.queue[i].at.After(now) {
+				continue
+			}
+			if idx < 0 || p.queue[i].at.Before(p.queue[idx].at) {
 				idx = i
-				break
 			}
 		}
 		if idx >= 0 {

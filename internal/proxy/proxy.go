@@ -55,6 +55,11 @@ type Config struct {
 	// otherwise the production default (the paper found only Cloudflare
 	// did this, and credits it for DoT's best-case behaviour).
 	InOrderDoT bool
+	// MaxUDPSize caps UDP response datagrams below the client's EDNS
+	// buffer (resolver max-udp-size policy); responses over the cap are
+	// truncated so clients retry over TCP instead of losing oversized
+	// datagrams on small-MTU paths. Zero applies no cap.
+	MaxUDPSize int
 	// Telemetry, when non-nil, is the metrics sink shared with the caller;
 	// nil makes the proxy create its own (telemetry is always on — its
 	// hot path is sharded atomics, cheap enough to never gate).
@@ -123,6 +128,7 @@ func New(cfg Config) (*Proxy, error) {
 		Chain:         cfg.Chain,
 		Endpoints:     cfg.Endpoints,
 		DoTOutOfOrder: !cfg.InOrderDoT,
+		MaxUDPSize:    cfg.MaxUDPSize,
 		Telemetry:     tel,
 	}
 	return p, nil

@@ -118,6 +118,8 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		"Failed upstream attempts (checkout, dial or exchange) before failover.", s.PoolFailures)
 	t.counter("dohcost_udp_tc_tcp_retries_total",
 		"Truncated UDP answers retried over TCP (RFC 7766).", s.TCFallbacks)
+	t.counter("dohcost_udp_retransmits_total",
+		"UDP query attempts re-sent after per-attempt timeouts.", s.UDPRetransmits)
 	t.counter("dohcost_upstream_bytes_sent_total",
 		"DNS message bytes sent to upstreams.", s.UpstreamBytesSent)
 	t.counter("dohcost_upstream_bytes_received_total",

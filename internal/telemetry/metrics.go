@@ -23,6 +23,7 @@ type shard struct {
 	poolExchanges  atomic.Uint64
 	poolFailures   atomic.Uint64
 	tcFallbacks    atomic.Uint64
+	udpRetransmits atomic.Uint64
 	bytesSent      atomic.Uint64
 	bytesRecv      atomic.Uint64
 
@@ -181,6 +182,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 		s.PoolExchanges += sh.poolExchanges.Load()
 		s.PoolFailures += sh.poolFailures.Load()
 		s.TCFallbacks += sh.tcFallbacks.Load()
+		s.UDPRetransmits += sh.udpRetransmits.Load()
 		s.UpstreamBytesSent += sh.bytesSent.Load()
 		s.UpstreamBytesReceived += sh.bytesRecv.Load()
 		c, sum := s.UpstreamLatency.merge(&sh.upstreamLatency)
@@ -238,6 +240,9 @@ type Snapshot struct {
 	PoolFailures uint64 `json:"pool_failures_total"`
 	// TCFallbacks counts truncated UDP answers retried over TCP.
 	TCFallbacks uint64 `json:"udp_tc_tcp_retries_total"`
+	// UDPRetransmits counts UDP query attempts re-sent after a per-attempt
+	// timeout — the client-visible face of datagram loss on the path.
+	UDPRetransmits uint64 `json:"udp_retransmits_total"`
 	// UpstreamBytesSent / UpstreamBytesReceived are upstream message
 	// bytes, the paper's Figure 3 axis.
 	UpstreamBytesSent     uint64 `json:"upstream_bytes_sent_total"`

@@ -158,6 +158,7 @@ type Transaction struct {
 	upstream   string
 	sent, recv int
 	tcRetry    bool
+	udpRetries int
 	finished   bool
 }
 
@@ -183,6 +184,9 @@ type Summary struct {
 	// TCFallback reports a UDP answer that arrived truncated and was
 	// retried over TCP (RFC 7766 §5).
 	TCFallback bool
+	// UDPRetransmits counts query attempts re-sent after per-attempt
+	// timeouts within this transaction.
+	UDPRetransmits int
 	// Start is when the server accepted the query.
 	Start time.Time
 }
@@ -277,6 +281,16 @@ func (t *Transaction) TCFallback() {
 	}
 }
 
+// UDPRetransmit counts one UDP query attempt re-sent after a per-attempt
+// timeout. On impaired links this is how datagram loss becomes visible in
+// the aggregate: each retransmission is a drop the client recovered from.
+func (t *Transaction) UDPRetransmit() {
+	if t != nil {
+		t.udpRetries++
+		t.sh.udpRetransmits.Add(1)
+	}
+}
+
 // Finish closes the record: the accept-to-now latency lands in the proto's
 // histogram, every counter the transaction accumulated becomes visible in
 // snapshots, and the Listener (if any) receives the Summary. Finish must
@@ -295,15 +309,16 @@ func (t *Transaction) Finish() {
 	sh.latency[t.proto].observe(d)
 	if l := t.m.listener.Load(); l != nil {
 		l.l.OnTransaction(&Summary{
-			Proto:         t.proto.String(),
-			Server:        t.upstream,
-			Verdict:       t.verdict.String(),
-			Cache:         t.cache.String(),
-			Latency:       d,
-			BytesSent:     t.sent,
-			BytesReceived: t.recv,
-			TCFallback:    t.tcRetry,
-			Start:         t.start,
+			Proto:          t.proto.String(),
+			Server:         t.upstream,
+			Verdict:        t.verdict.String(),
+			Cache:          t.cache.String(),
+			Latency:        d,
+			BytesSent:      t.sent,
+			BytesReceived:  t.recv,
+			TCFallback:     t.tcRetry,
+			UDPRetransmits: t.udpRetries,
+			Start:          t.start,
 		})
 	}
 	txPool.Put(t)
