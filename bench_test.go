@@ -537,6 +537,84 @@ func BenchmarkCacheHitPathShardedVsMutex(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheHitWirePath compares the two cache-hit serving pipelines
+// head to head, each mirroring what the UDP server runs per datagram:
+//
+//   - wire-path (the default): dnswire.ParseQuery on the packet, a
+//     telemetry transaction, and Cache.ServeWire copying the stored packed
+//     response into a reusable buffer with ID and TTLs patched in place.
+//     No Message is built; the loop should report ~0 allocs/op.
+//   - message-path (the pre-wire-path behaviour, kept benchmarkable behind
+//     dnscache.WithMessageEntries): Message.Unpack of the query, a
+//     Cache.Exchange hit served by deep clone, and Message.Pack of the
+//     response.
+//
+// The wire path must hold a ≥2x ns/op advantage and ≤2 allocs/op; the
+// bench CI job tracks both across commits.
+func BenchmarkCacheHitWirePath(b *testing.B) {
+	queryWire, err := dnswire.NewQuery(4242, "hot00.bench.example.", dnswire.TypeA).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prime := func(b *testing.B, c *dnscache.Cache) {
+		b.Helper()
+		if _, err := c.Exchange(context.Background(), dnswire.NewQuery(0, "hot00.bench.example.", dnswire.TypeA)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("wire-path", func(b *testing.B) {
+		c := dnscache.New(staticResolver{})
+		defer c.Close()
+		prime(b, c)
+		tel := telemetry.New()
+		dst := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q, ok := dnswire.ParseQuery(queryWire)
+			if !ok {
+				b.Fatal("fast parse failed")
+			}
+			tx := tel.Begin(telemetry.ProtoUDP)
+			resp, outcome, ok := c.ServeWire(&q, dst[:0], 4096)
+			if !ok {
+				b.Fatal("wire hit lost")
+			}
+			tx.SetCache(outcome)
+			tx.SetVerdict(telemetry.VerdictOK)
+			tx.Finish()
+			_ = resp
+		}
+	})
+
+	b.Run("message-path", func(b *testing.B) {
+		c := dnscache.New(staticResolver{}, dnscache.WithMessageEntries())
+		defer c.Close()
+		prime(b, c)
+		tel := telemetry.New()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var q dnswire.Message
+			if err := q.Unpack(queryWire); err != nil {
+				b.Fatal(err)
+			}
+			tx := tel.Begin(telemetry.ProtoUDP)
+			ctx := telemetry.NewContext(context.Background(), tx)
+			resp, err := c.Exchange(ctx, &q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := resp.Pack(); err != nil {
+				b.Fatal(err)
+			}
+			tx.SetVerdict(telemetry.VerdictOK)
+			tx.Finish()
+		}
+	})
+}
+
 // staticResolver is an in-process upstream for cache micro-benchmarks.
 type staticResolver struct{}
 

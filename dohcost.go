@@ -192,6 +192,10 @@ var (
 	CacheTTLBounds   = dnscache.WithTTLBounds
 	CacheShards      = dnscache.WithShards
 	CacheNegativeTTL = dnscache.WithNegativeTTL
+	// CacheMessageEntries restores the pre-wire-path storage (*Message
+	// entries served by deep clone) — kept for comparison benchmarks; the
+	// default packed-wire entries are both faster and immutable.
+	CacheMessageEntries = dnscache.WithMessageEntries
 )
 
 // Upstream pooling, re-exported from dnstransport.

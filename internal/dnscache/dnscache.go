@@ -9,6 +9,15 @@
 // NODATA) are cached with the RFC 2308 TTL: the minimum of the authority
 // SOA record's TTL and its MINIMUM field.
 //
+// Entries are stored as packed wire bytes with their TTL field offsets
+// recorded at insert time, and are immutable from then on. A hit is served
+// by copying the stored bytes, restamping the transaction ID and decaying
+// the TTLs in place (ServeWire — no Unpack, no clone, no Pack), or, for
+// callers that need a *dnswire.Message, by unpacking a fresh message that
+// shares nothing with the stored entry. The pre-wire-path behaviour —
+// *Message entries served by deep clone — remains available behind
+// WithMessageEntries for comparison benchmarks.
+//
 // The paper deliberately cleared caches between page loads to measure worst
 // cases; this package is the production counterpart — and the knob for the
 // cache ablation, which shows how quickly a warm cache erases the DoH
@@ -28,17 +37,40 @@ import (
 	"dohcost/internal/telemetry"
 )
 
-// key identifies a cacheable question.
-type key struct {
-	name  dnswire.Name
-	qtype dnswire.Type
-	class dnswire.Class
+// keyBufLen bounds a stack-allocated key buffer: a canonical name is at
+// most 254 presentation octets, followed by four octets of type and class.
+const keyBufLen = 260
+
+// appendKey renders the cache key for (name, qtype, class): the canonical
+// name followed by the big-endian type and class. Keys are plain strings so
+// the hit path can look them up with a zero-copy []byte→string conversion.
+func appendKey(dst []byte, name dnswire.Name, qtype dnswire.Type, class dnswire.Class) []byte {
+	return appendKeyTail(append(dst, string(name)...), qtype, class)
 }
 
-// entry is one cached response.
+// appendKeyTail appends the four type/class octets that close a key whose
+// name part is already rendered (the wire fast path renders it from the
+// packed question directly).
+func appendKeyTail(dst []byte, qtype dnswire.Type, class dnswire.Class) []byte {
+	return append(dst, byte(qtype>>8), byte(qtype), byte(class>>8), byte(class))
+}
+
+// entry is one cached response. After insertion an entry is immutable —
+// wire, ttlOffsets and msg are never written again — so the hit path may
+// read it outside the shard lock; safety no longer depends on every reader
+// remembering to deep-copy.
 type entry struct {
-	key     key
-	resp    *dnswire.Message
+	key string
+	// wire is the packed response, still carrying the upstream exchange's
+	// transaction ID (hits restamp their own copy); ttlOffsets locate its
+	// TTL fields for in-place decay. Unused in message-entry mode.
+	wire       []byte
+	ttlOffsets []int
+	// negative records the RFC 2308 NXDOMAIN/NODATA classification, so the
+	// wire hit path can label telemetry without parsing.
+	negative bool
+	// msg holds the response in message-entry mode (WithMessageEntries).
+	msg     *dnswire.Message
 	expires time.Time
 	elem    *list.Element
 }
@@ -71,9 +103,9 @@ type flight struct {
 // and singleflight table.
 type shard struct {
 	mu         sync.Mutex
-	entries    map[key]*entry
+	entries    map[string]*entry
 	lru        *list.List // front = most recent
-	flights    map[key]*flight
+	flights    map[string]*flight
 	stats      Stats
 	maxEntries int
 }
@@ -95,6 +127,9 @@ type Cache struct {
 	// response carries no SOA (RFC 2308 leaves that response uncacheable;
 	// we hold it briefly, the way production resolvers do).
 	negTTL time.Duration
+	// messageEntries selects the legacy *Message storage (see
+	// WithMessageEntries); the default is packed wire entries.
+	messageEntries bool
 	// now is the clock, replaceable in tests.
 	now func() time.Time
 }
@@ -118,6 +153,13 @@ func WithShards(n int) Option { return func(c *Cache) { c.nshards = n } }
 // WithNegativeTTL caps how long NXDOMAIN/NODATA answers are cached; it is
 // also the TTL used when a negative response carries no SOA.
 func WithNegativeTTL(d time.Duration) Option { return func(c *Cache) { c.negTTL = d } }
+
+// WithMessageEntries stores cached responses as unpacked *dnswire.Message
+// values and serves hits by deep-cloning them — the behaviour before the
+// wire fast path existed. It disables ServeWire (every query takes the
+// Message path) and exists to keep the old hit path measurable:
+// BenchmarkCacheHitWirePath runs both modes side by side.
+func WithMessageEntries() Option { return func(c *Cache) { c.messageEntries = true } }
 
 // withClock replaces the clock (tests).
 func withClock(now func() time.Time) Option { return func(c *Cache) { c.now = now } }
@@ -154,9 +196,9 @@ func New(upstream dnstransport.Resolver, opts ...Option) *Cache {
 			max++
 		}
 		c.shards = append(c.shards, &shard{
-			entries:    make(map[key]*entry),
+			entries:    make(map[string]*entry),
 			lru:        list.New(),
-			flights:    make(map[key]*flight),
+			flights:    make(map[string]*flight),
 			maxEntries: max,
 		})
 	}
@@ -167,14 +209,11 @@ func New(upstream dnstransport.Resolver, opts ...Option) *Cache {
 // responses without an SOA, and the default cap for those with one.
 const DefaultNegativeTTL = 30 * time.Second
 
-// shardFor hashes a key to its partition. maphash.String is the runtime's
-// AES-based string hash — cheap enough that sharding never shows up next
-// to the per-hit response clone.
-func (c *Cache) shardFor(k key) *shard {
-	h := maphash.String(c.seed, string(k.name))
-	// Fold type and class in with an xor-multiply mix.
-	h ^= uint64(k.qtype)<<16 | uint64(k.class)
-	h *= 0x9e3779b97f4a7c15
+// shardFor hashes a key to its partition. maphash.Bytes is the runtime's
+// AES-based hash — cheap enough that sharding never shows up next to the
+// per-hit response copy.
+func (c *Cache) shardFor(kb []byte) *shard {
+	h := maphash.Bytes(c.seed, kb)
 	return c.shards[(h>>32)&uint64(len(c.shards)-1)]
 }
 
@@ -211,10 +250,54 @@ func (c *Cache) Shards() int { return len(c.shards) }
 func (c *Cache) Flush() {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
-		sh.entries = make(map[key]*entry)
+		sh.entries = make(map[string]*entry)
 		sh.lru.Init()
 		sh.mu.Unlock()
 	}
+}
+
+// ServeWire is the zero-allocation cache-hit path: it answers a fast-parsed
+// wire query by appending a complete response — the stored packed bytes
+// with the client's transaction ID and decayed TTLs patched in — to dst
+// (typically sliced from a pooled buffer) and returns the extended slice
+// plus the telemetry outcome to record. ok=false sends the caller to the
+// Message path without anything having been counted: a miss or an expired
+// entry (the Message path re-counts and refreshes it), a response larger
+// than limit (truncation needs Message-level surgery), or a cache in
+// message-entry mode.
+func (c *Cache) ServeWire(q *dnswire.Query, dst []byte, limit int) ([]byte, telemetry.CacheOutcome, bool) {
+	if c.messageEntries {
+		return nil, telemetry.CacheNone, false
+	}
+	var kbuf [keyBufLen]byte
+	kb := appendKeyTail(q.AppendCanonicalName(kbuf[:0]), q.Type, q.Class)
+	sh := c.shardFor(kb)
+
+	sh.mu.Lock()
+	e, ok := sh.entries[string(kb)]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, telemetry.CacheNone, false
+	}
+	now := c.now()
+	if !now.Before(e.expires) || (limit > 0 && len(e.wire) > limit) {
+		sh.mu.Unlock()
+		return nil, telemetry.CacheNone, false
+	}
+	sh.lru.MoveToFront(e.elem)
+	sh.stats.Hits++
+	remaining := e.expires.Sub(now)
+	sh.mu.Unlock()
+
+	// The entry is immutable, so the copy and patch run outside the lock.
+	resp := append(dst[:0], e.wire...)
+	dnswire.PatchID(resp, q.ID)
+	dnswire.DecayTTLs(resp, e.ttlOffsets, uint32(remaining/time.Second))
+	outcome := telemetry.CacheHit
+	if e.negative {
+		outcome = telemetry.CacheNegativeHit
+	}
+	return resp, outcome, true
 }
 
 // Exchange implements Resolver. Cache hits are answered with the stored
@@ -232,28 +315,32 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 		tx.SetCache(telemetry.CacheBypass)
 		return c.upstream.Exchange(ctx, q)
 	}
-	k := key{name: qq.Name.Canonical(), qtype: qq.Type, class: qq.Class}
-	sh := c.shardFor(k)
+	var kbuf [keyBufLen]byte
+	kb := appendKey(kbuf[:0], qq.Name.Canonical(), qq.Type, qq.Class)
+	sh := c.shardFor(kb)
 
 	sh.mu.Lock()
-	if e, ok := sh.entries[k]; ok {
+	if e, ok := sh.entries[string(kb)]; ok {
 		now := c.now()
 		if now.Before(e.expires) {
 			sh.lru.MoveToFront(e.elem)
 			sh.stats.Hits++
-			resp, expires := e.resp, e.expires
+			remaining := e.expires.Sub(now)
 			sh.mu.Unlock()
-			if negative(resp) {
+			if e.negative {
 				tx.SetCache(telemetry.CacheNegativeHit)
 			} else {
 				tx.SetCache(telemetry.CacheHit)
 			}
-			return cloneResponse(resp, q.ID, expires.Sub(now)), nil
+			if c.messageEntries {
+				return cloneResponse(e.msg, q.ID, remaining), nil
+			}
+			return unpackEntry(e, q.ID, remaining)
 		}
 		sh.removeLocked(e)
 	}
 	// Miss: join or start a flight.
-	if f, ok := sh.flights[k]; ok {
+	if f, ok := sh.flights[string(kb)]; ok {
 		sh.stats.Coalesced++
 		sh.mu.Unlock()
 		tx.SetCache(telemetry.CacheCoalesced)
@@ -267,6 +354,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 			return nil, ctx.Err()
 		}
 	}
+	k := string(kb)
 	f := &flight{done: make(chan struct{})}
 	sh.flights[k] = f
 	sh.stats.Misses++
@@ -287,12 +375,15 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	resp, err := c.upstream.Exchange(exCtx, q)
 	f.resp, f.err = resp, err
 
+	var e *entry
+	if err == nil && cacheable(resp) {
+		e = c.buildEntry(k, resp)
+	}
+
 	evicted := 0
 	sh.mu.Lock()
 	delete(sh.flights, k)
-	if err == nil && cacheable(resp) {
-		ttl := c.clampTTL(c.ttlOf(resp))
-		e := &entry{key: k, resp: resp, expires: c.now().Add(ttl)}
+	if e != nil {
 		e.elem = sh.lru.PushFront(e)
 		sh.entries[k] = e
 		for len(sh.entries) > sh.maxEntries {
@@ -312,6 +403,58 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 		return nil, err
 	}
 	return cloneResponse(resp, q.ID, 0), nil
+}
+
+// buildEntry packs resp into an immutable cache entry (or records the
+// message itself in message-entry mode). It runs outside the shard lock —
+// packing is the expensive part of a miss's insert, and the miss has
+// already paid an upstream round trip. A response the codec cannot
+// re-pack (never seen in practice: it was just unpacked by the transport)
+// is simply not cached.
+func (c *Cache) buildEntry(k string, resp *dnswire.Message) *entry {
+	e := &entry{
+		key:      k,
+		negative: negative(resp),
+		expires:  c.now().Add(c.clampTTL(c.ttlOf(resp))),
+	}
+	if c.messageEntries {
+		e.msg = resp
+		return e
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return nil
+	}
+	offsets, err := dnswire.TTLOffsets(wire)
+	if err != nil {
+		return nil
+	}
+	e.wire, e.ttlOffsets = wire, offsets
+	return e
+}
+
+// unpackEntry rebuilds a Message from an immutable packed entry: a fresh
+// unpack shares no mutable state with the cache, which is what lets every
+// caller mutate its response freely (the shared-EDNS hazard the old deep
+// clone left open). The unpack cannot fail — the entry's bytes came from
+// our own packer — but the error is propagated rather than swallowed.
+func unpackEntry(e *entry, id uint16, remaining time.Duration) (*dnswire.Message, error) {
+	m := new(dnswire.Message)
+	if err := m.Unpack(e.wire); err != nil {
+		return nil, err
+	}
+	m.ID = id
+	if remaining > 0 {
+		rem := uint32(remaining / time.Second)
+		for _, rrs := range [][]dnswire.ResourceRecord{m.Answers, m.Authorities, m.Additionals} {
+			for i := range rrs {
+				if rrs[i].TTL > rem {
+					rrs[i].TTL = rem
+				}
+			}
+		}
+	}
+	return m, nil
 }
 
 // removeLocked unlinks an entry. Caller holds sh.mu.
@@ -394,7 +537,10 @@ func (c *Cache) negativeTTL(resp *dnswire.Message) time.Duration {
 }
 
 // cloneResponse copies resp, restamps the transaction ID, and decays TTLs
-// by the entry's age (remaining > 0 selects decay toward `remaining`).
+// by the entry's age (remaining > 0 selects decay toward `remaining`). It
+// serves singleflight waiters (whose shared response is a live Message) and
+// message-entry-mode hits; the RData payloads and EDNS are shared between
+// the clones, which is the shallowness the wire-entry default eliminates.
 func cloneResponse(resp *dnswire.Message, id uint16, remaining time.Duration) *dnswire.Message {
 	cp := *resp
 	cp.ID = id

@@ -1,0 +1,216 @@
+package dnscache
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"dohcost/internal/dnswire"
+	"dohcost/internal/telemetry"
+)
+
+// fastParse packs q and fast-parses it, failing the test on either step.
+func fastParse(t *testing.T, q *dnswire.Message) (dnswire.Query, []byte) {
+	t.Helper()
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fq, ok := dnswire.ParseQuery(wire)
+	if !ok {
+		t.Fatalf("query %s not fast-parseable", q.Question1())
+	}
+	return fq, wire
+}
+
+func TestServeWireHitMatchesMessagePath(t *testing.T) {
+	now := time.Unix(1000, 0)
+	up := &countingUpstream{ttl: 300}
+	c := New(up, withClock(func() time.Time { return now }))
+	defer c.Close()
+
+	// Prime via the Message path.
+	if _, err := c.Exchange(context.Background(), dnswire.NewQuery(1, "wire.example.", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+
+	// 45 seconds later, a different client asks with a different ID.
+	now = now.Add(45 * time.Second)
+	query := dnswire.NewQuery(0x4242, "Wire.Example.", dnswire.TypeA) // case-insensitive
+	fq, _ := fastParse(t, query)
+	resp, outcome, ok := c.ServeWire(&fq, make([]byte, 0, 4096), 4096)
+	if !ok {
+		t.Fatal("wire path missed a primed entry")
+	}
+	if outcome != telemetry.CacheHit {
+		t.Errorf("outcome = %v, want hit", outcome)
+	}
+
+	// The bytes must equal what the Message path would serve: same answer,
+	// client's ID, TTL decayed by 45s.
+	msg, err := c.Exchange(context.Background(), dnswire.NewQuery(0x4242, "wire.example.", dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := msg.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, want) {
+		t.Errorf("wire path bytes diverge from Message path:\n wire %x\n msg  %x", resp, want)
+	}
+	var m dnswire.Message
+	if err := m.Unpack(resp); err != nil {
+		t.Fatal(err)
+	}
+	if m.ID != 0x4242 {
+		t.Errorf("ID = %#x, want 0x4242", m.ID)
+	}
+	if got := m.Answers[0].TTL; got != 255 {
+		t.Errorf("decayed TTL = %d, want 255", got)
+	}
+	if up.calls.Load() != 1 {
+		t.Errorf("upstream called %d times, want 1", up.calls.Load())
+	}
+	if s := c.Stats(); s.Hits != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss", s)
+	}
+}
+
+func TestServeWireDeclines(t *testing.T) {
+	now := time.Unix(2000, 0)
+	up := &countingUpstream{ttl: 60}
+	c := New(up, withClock(func() time.Time { return now }))
+	defer c.Close()
+
+	fq, _ := fastParse(t, dnswire.NewQuery(1, "miss.example.", dnswire.TypeA))
+	if _, _, ok := c.ServeWire(&fq, nil, 0); ok {
+		t.Error("wire path served an uncached name")
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("a declined lookup must count nothing, got %+v", s)
+	}
+
+	if _, err := c.Exchange(context.Background(), dnswire.NewQuery(1, "miss.example.", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Response larger than the limit: decline so the Message path can
+	// truncate, and count nothing (Exchange will count the hit).
+	if _, _, ok := c.ServeWire(&fq, nil, 20); ok {
+		t.Error("wire path served past the size limit")
+	}
+	if s := c.Stats(); s.Hits != 0 {
+		t.Errorf("declined oversized hit counted: %+v", s)
+	}
+
+	// Expired entries decline too; the Message path refreshes them.
+	now = now.Add(2 * time.Minute)
+	if _, _, ok := c.ServeWire(&fq, nil, 0); ok {
+		t.Error("wire path served an expired entry")
+	}
+
+	// Message-entry mode disables the wire path entirely.
+	cm := New(&countingUpstream{ttl: 60}, WithMessageEntries())
+	defer cm.Close()
+	if _, err := cm.Exchange(context.Background(), dnswire.NewQuery(1, "miss.example.", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := cm.ServeWire(&fq, nil, 0); ok {
+		t.Error("wire path active in message-entry mode")
+	}
+}
+
+func TestServeWireNegativeHit(t *testing.T) {
+	up := &countingUpstream{rcode: dnswire.RCodeNameError, authority: []dnswire.ResourceRecord{{
+		Name: "example.", Class: dnswire.ClassINET, TTL: 600,
+		Data: &dnswire.SOA{MName: "ns.example.", RName: "root.example.", Minimum: 300},
+	}}}
+	c := New(up)
+	defer c.Close()
+	if _, err := c.Exchange(context.Background(), dnswire.NewQuery(1, "nx.example.", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	fq, _ := fastParse(t, dnswire.NewQuery(2, "nx.example.", dnswire.TypeA))
+	resp, outcome, ok := c.ServeWire(&fq, nil, 0)
+	if !ok {
+		t.Fatal("negative entry not served")
+	}
+	if outcome != telemetry.CacheNegativeHit {
+		t.Errorf("outcome = %v, want negative hit", outcome)
+	}
+	var m dnswire.Message
+	if err := m.Unpack(resp); err != nil {
+		t.Fatal(err)
+	}
+	if m.RCode != dnswire.RCodeNameError || m.ID != 2 {
+		t.Errorf("served %s id=%d, want NXDOMAIN id=2", m.RCode, m.ID)
+	}
+}
+
+func TestServeWireHitAllocFree(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	c := New(up)
+	defer c.Close()
+	if _, err := c.Exchange(context.Background(), dnswire.NewQuery(1, "hot.example.", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	fq, _ := fastParse(t, dnswire.NewQuery(7, "hot.example.", dnswire.TypeA))
+	dst := make([]byte, 0, 4096)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, ok := c.ServeWire(&fq, dst[:0], 4096); !ok {
+			t.Fatal("hit lost")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("wire hit allocates %.1f per query, want 0", allocs)
+	}
+}
+
+func TestServeWireEntriesAreImmutable(t *testing.T) {
+	up := &countingUpstream{ttl: 300}
+	c := New(up)
+	defer c.Close()
+	if _, err := c.Exchange(context.Background(), dnswire.NewQuery(1, "imm.example.", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	fq, _ := fastParse(t, dnswire.NewQuery(2, "imm.example.", dnswire.TypeA))
+	first, _, ok := c.ServeWire(&fq, nil, 0)
+	if !ok {
+		t.Fatal("hit lost")
+	}
+	snapshot := append([]byte(nil), first...)
+	for i := range first {
+		first[i] = 0xFF // a hostile caller scribbles on its response
+	}
+	second, _, ok := c.ServeWire(&fq, nil, 0)
+	if !ok {
+		t.Fatal("hit lost")
+	}
+	if !bytes.Equal(second, snapshot) {
+		t.Error("stored entry mutated through a served response")
+	}
+	// Message-path responses from the same entry are fully independent too:
+	// mutating one caller's EDNS must not leak into the next response
+	// (the shared-EDNS hazard the old deep clone left open).
+	r1, err := c.Exchange(context.Background(), dnswire.NewQuery(3, "imm.example.", dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.EDNS != nil {
+		r1.EDNS.UDPSize = 1
+		r1.EDNS.Options = append(r1.EDNS.Options, dnswire.EDNS0Option{Code: 12, Data: make([]byte, 8)})
+	}
+	r1.Answers[0].Data.(*dnswire.TXT).Strings[0] = "scribbled"
+	r2, err := c.Exchange(context.Background(), dnswire.NewQuery(4, "imm.example.", dnswire.TypeA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.EDNS != nil && (r2.EDNS.UDPSize == 1 || len(r2.EDNS.Options) != 0) {
+		t.Error("EDNS shared between cache hits")
+	}
+	if r2.Answers[0].Data.(*dnswire.TXT).Strings[0] != "cached?" {
+		t.Error("rdata shared between cache hits")
+	}
+}

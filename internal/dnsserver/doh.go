@@ -142,16 +142,14 @@ func (d *DoH) serve(ctx context.Context, method, rawPath, contentType string, bo
 
 	values := u.Query()
 	wantJSON := false
+	var rawQ []byte
 	var q *dnswire.Message
 	switch method {
 	case "POST":
 		if contentType != ContentTypeWire || !ep.Wire {
 			return 415, "", nil
 		}
-		q = new(dnswire.Message)
-		if err := q.Unpack(body); err != nil {
-			return 400, "", nil
-		}
+		rawQ = body
 	case "GET":
 		if dns := values.Get("dns"); dns != "" {
 			if !ep.Wire {
@@ -161,10 +159,7 @@ func (d *DoH) serve(ctx context.Context, method, rawPath, contentType string, bo
 			if err != nil {
 				return 400, "", nil
 			}
-			q = new(dnswire.Message)
-			if err := q.Unpack(raw); err != nil {
-				return 400, "", nil
-			}
+			rawQ = raw
 		} else if values.Get("name") != "" {
 			if !ep.JSON {
 				return 415, "", nil
@@ -185,7 +180,35 @@ func (d *DoH) serve(ctx context.Context, method, rawPath, contentType string, bo
 	// HTTP framing and socket write below this layer are not included
 	// (UDP and stream servers include their single write syscall, a few
 	// microseconds of skew at most).
-	tx := d.Telemetry.Begin(telemetry.ProtoDoH)
+	var tx *telemetry.Transaction
+	if rawQ != nil {
+		// Wire-format queries get the serving fast path when the handler
+		// offers one: a cache hit's packed bytes become the HTTP body with
+		// no Message in between. The body escapes into the HTTP response,
+		// so it is appended to a fresh slice rather than a pooled buffer.
+		if wr, ok := d.Handler.(WireResponder); ok {
+			if fq, ok := dnswire.ParseQuery(rawQ); ok {
+				tx = d.Telemetry.Begin(telemetry.ProtoDoH)
+				if out, handled := wr.ServeDNSWire(tx, &fq, nil, dnswire.MaxMessageLen); handled {
+					tx.SetVerdict(telemetry.VerdictOK)
+					tx.Finish()
+					return 200, ContentTypeWire, out
+				}
+				// Unhandled: the Message path below reuses the transaction.
+			}
+		}
+		q = new(dnswire.Message)
+		if err := q.Unpack(rawQ); err != nil {
+			if tx != nil {
+				tx.SetVerdict(telemetry.VerdictServFail)
+				tx.Finish()
+			}
+			return 400, "", nil
+		}
+	}
+	if tx == nil {
+		tx = d.Telemetry.Begin(telemetry.ProtoDoH)
+	}
 	defer tx.Finish()
 	ctx = telemetry.NewContext(ctx, tx)
 	// Handler failures surface as DNS-level SERVFAIL in an HTTP 200, the

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -19,9 +20,47 @@ import (
 	"dohcost/internal/tlsx"
 )
 
+// WireResponder is implemented by handlers that can answer some queries
+// entirely in packed wire form — the serving fast path. Servers consult it
+// (when their Handler implements it) after a successful dnswire.ParseQuery
+// and before any Message is built: a handled query's response bytes are
+// appended to dst, a pooled buffer the server writes and reclaims, with no
+// Unpack, clone or Pack in between.
+//
+// tx is the query's telemetry transaction, already begun by the server,
+// which also finishes it; implementations annotate it (cache outcome) but
+// must not call Finish. handled=false sends the server to the Message path
+// with the same transaction — a miss, an uncacheable shape, or a response
+// that needs Message-level surgery (truncation over limit). dst may be
+// sliced from a pooled buffer: the returned slice must be its extension
+// (or a reallocation the caller only uses before reclaiming dst), and
+// implementations must not retain it.
+type WireResponder interface {
+	ServeDNSWire(tx *telemetry.Transaction, q *dnswire.Query, dst []byte, limit int) ([]byte, bool)
+}
+
+// bufLen is the pooled scratch size: a maximum DNS message plus the
+// two-octet stream length prefix, so one pool serves packet reads,
+// response packing and stream frames without reallocation.
+const bufLen = 2 + dnswire.MaxMessageLen
+
+// bufPool recycles serving-path scratch buffers. Pointers-to-slices keep
+// the pool allocation-free (a bare []byte would be boxed on every Put).
+var bufPool = sync.Pool{New: func() any { b := make([]byte, bufLen); return &b }}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
 // UDPServer serves classic DNS over a datagram endpoint. Queries are
 // handled concurrently — UDP has no ordering, which is why Figure 2 shows
 // it immune to slow-query knock-on effects.
+//
+// The serve loop is a small pipeline: Readers goroutines pull datagrams
+// from the socket into pooled buffers and feed a bounded pool of Workers
+// goroutines, which answer on the wire fast path when the Handler offers
+// one (WireResponder) and on the Unpack → Respond → AppendPack Message
+// path otherwise. Both paths pack and write from pooled buffers; the
+// cache-hit fast path allocates nothing per query.
 type UDPServer struct {
 	Handler Handler
 	// BaseContext, when non-nil, parents every query's context; the default
@@ -37,12 +76,34 @@ type UDPServer struct {
 	// up would re-blackhole exactly the responses it exists to save, and
 	// the TC=1 referral itself (header + question) stays tiny.
 	MaxUDPSize int
+	// Readers is the number of goroutines blocked in ReadFrom; 0 means 2.
+	// Real sockets benefit from several concurrent receivers; every reader
+	// reads into a pooled buffer handed off to the workers, never copied.
+	Readers int
+	// Workers sizes the resident worker pool; 0 means 4×GOMAXPROCS. The
+	// pool absorbs the steady state — fast-path hits take microseconds, so
+	// a handful of workers serve enormous hit rates with zero goroutine
+	// churn. When every worker is busy and the queue is full (a burst of
+	// slow queries blocking on upstream or emulated delays), the reader
+	// spills the packet to a transient goroutine rather than stalling the
+	// socket: slow queries cost a goroutine each, exactly as the
+	// goroutine-per-packet design did, while the hot path never does.
+	Workers int
 	// Telemetry, when non-nil, receives one Transaction per parsed query.
 	Telemetry *telemetry.Metrics
 }
 
+// packet is one received datagram travelling from a reader to a worker,
+// carrying its pooled buffer.
+type packet struct {
+	buf  *[]byte
+	n    int
+	from net.Addr
+}
+
 // Serve reads queries from pc until it closes. Every in-flight handler's
-// context is cancelled when the serve loop exits.
+// context is cancelled when the serve loop exits, which also drains and
+// stops the worker pool.
 func (s *UDPServer) Serve(pc net.PacketConn) error {
 	base := s.BaseContext
 	if base == nil {
@@ -50,52 +111,167 @@ func (s *UDPServer) Serve(pc net.PacketConn) error {
 	}
 	ctx, cancel := context.WithCancel(base)
 	defer cancel()
-	buf := make([]byte, 65535)
-	for {
-		n, from, err := pc.ReadFrom(buf)
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
-			}
-			return err
-		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		go s.handlePacket(ctx, pc, pkt, from)
+
+	readers := s.Readers
+	if readers <= 0 {
+		readers = 2
 	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = 4 * runtime.GOMAXPROCS(0)
+	}
+
+	work := make(chan packet, workers)
+	var workerWG sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for pkt := range work {
+				s.servePacket(ctx, pc, (*pkt.buf)[:pkt.n], pkt.from)
+				putBuf(pkt.buf)
+			}
+		}()
+	}
+
+	var (
+		readerWG sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			consecutive := 0
+			for {
+				buf := getBuf()
+				n, from, err := pc.ReadFrom(*buf)
+				if err != nil {
+					putBuf(buf)
+					if errors.Is(err, net.ErrClosed) {
+						return
+					}
+					// Transient read errors (ICMP-induced, momentary
+					// resource pressure) must not kill a reader and
+					// silently shrink read capacity; retry with a small
+					// pause. A reader that gives up closes the socket so
+					// its peers unblock and Serve fails fast with the
+					// first error instead of limping at reduced capacity
+					// (the socket is persistently broken at that point —
+					// closing it destroys nothing usable).
+					consecutive++
+					if consecutive >= maxReadRetries {
+						errOnce.Do(func() { firstErr = err; pc.Close() })
+						return
+					}
+					time.Sleep(readRetryPause)
+					continue
+				}
+				consecutive = 0
+				pkt := packet{buf: buf, n: n, from: from}
+				select {
+				case work <- pkt:
+				default:
+					// Pool saturated: spill to a transient goroutine so a
+					// burst of slow queries never head-of-line blocks the
+					// socket (UDP's Figure 2 immunity depends on it).
+					go func() {
+						s.servePacket(ctx, pc, (*pkt.buf)[:pkt.n], pkt.from)
+						putBuf(pkt.buf)
+					}()
+				}
+			}
+		}()
+	}
+	readerWG.Wait()
+	// Readers are done (socket closed or broken): cancel every in-flight
+	// handler context before draining the workers, so shutdown is never
+	// held hostage by queries parked on a slow upstream — the property
+	// the goroutine-per-packet loop had by returning immediately.
+	cancel()
+	close(work)
+	workerWG.Wait()
+	return firstErr
 }
 
-func (s *UDPServer) handlePacket(ctx context.Context, pc net.PacketConn, pkt []byte, from net.Addr) {
+// Reader-loop error policy: how many consecutive failed ReadFrom calls a
+// reader tolerates (pausing between attempts) before declaring the socket
+// dead and shutting the serve loop down.
+const (
+	maxReadRetries = 100
+	readRetryPause = 5 * time.Millisecond
+)
+
+// udpLimit derives the response size cap: the client's advertised EDNS
+// buffer (RFC 6891) or the classic 512-byte default, further capped by the
+// server's own MaxUDPSize policy.
+func (s *UDPServer) udpLimit(hasEDNS bool, udpSize uint16) int {
+	limit := 512
+	if hasEDNS && int(udpSize) > limit {
+		limit = int(udpSize)
+	}
+	if s.MaxUDPSize > 0 && limit > s.MaxUDPSize {
+		limit = s.MaxUDPSize
+	}
+	return limit
+}
+
+// servePacket answers one datagram: wire fast path first, Message path as
+// fallback, both writing from a pooled buffer.
+func (s *UDPServer) servePacket(ctx context.Context, pc net.PacketConn, pkt []byte, from net.Addr) {
+	// One pooled response buffer serves both paths: the fast path appends
+	// the patched cache bytes into it, and on fallthrough the Message path
+	// reuses it for AppendPack.
+	out := getBuf()
+	defer putBuf(out)
+	var tx *telemetry.Transaction
+	if wr, ok := s.Handler.(WireResponder); ok {
+		if q, ok := dnswire.ParseQuery(pkt); ok {
+			tx = s.Telemetry.Begin(telemetry.ProtoUDP)
+			if resp, handled := wr.ServeDNSWire(tx, &q, (*out)[:0], s.udpLimit(q.HasEDNS, q.UDPSize)); handled {
+				pc.WriteTo(resp, from)
+				tx.SetVerdict(telemetry.VerdictOK)
+				tx.Finish()
+				return
+			}
+			// Fall through to the Message path with the same transaction.
+		}
+	}
 	var q dnswire.Message
 	if err := q.Unpack(pkt); err != nil {
-		return // drop unparseable datagrams, like real servers
+		// Drop unparseable datagrams, like real servers. ParseQuery is
+		// strictly narrower than Unpack, so a fast-parse success cannot
+		// leave an open transaction here — but close one defensively.
+		if tx != nil {
+			tx.SetVerdict(telemetry.VerdictServFail)
+			tx.Finish()
+		}
+		return
 	}
-	tx := s.Telemetry.Begin(telemetry.ProtoUDP)
+	if tx == nil {
+		tx = s.Telemetry.Begin(telemetry.ProtoUDP)
+	}
 	defer tx.Finish()
 	ctx = telemetry.NewContext(ctx, tx)
 	resp := Respond(ctx, s.Handler, &q)
-	wire, err := resp.Pack()
+	wire, err := resp.AppendPack((*out)[:0])
 	if err != nil {
 		// The client receives nothing; don't let Respond's ok verdict
 		// stand for a reply that never left.
 		tx.SetVerdict(telemetry.VerdictServFail)
 		return
 	}
-	// Truncate to the client's advertised UDP capacity (RFC 6891), or the
-	// classic 512-byte limit without EDNS, further capped by the server's
-	// own MaxUDPSize policy.
-	limit := 512
-	if q.EDNS != nil && int(q.EDNS.UDPSize) > limit {
-		limit = int(q.EDNS.UDPSize)
+	var udpSize uint16
+	if q.EDNS != nil {
+		udpSize = q.EDNS.UDPSize
 	}
-	if s.MaxUDPSize > 0 && limit > s.MaxUDPSize {
-		limit = s.MaxUDPSize
-	}
+	limit := s.udpLimit(q.EDNS != nil, udpSize)
 	if len(wire) > limit {
 		trunc := *resp
 		trunc.Truncated = true
 		trunc.Answers, trunc.Authorities, trunc.Additionals = nil, nil, nil
-		if wire, err = trunc.Pack(); err != nil {
+		if wire, err = trunc.AppendPack((*out)[:0]); err != nil {
 			tx.SetVerdict(telemetry.VerdictServFail)
 			return
 		}
@@ -104,7 +280,7 @@ func (s *UDPServer) handlePacket(ctx context.Context, pc net.PacketConn, pkt []b
 			// referral over the limit; the OPT record is the only thing
 			// left to shed (header + question cannot shrink further).
 			trunc.EDNS = nil
-			if wire, err = trunc.Pack(); err != nil {
+			if wire, err = trunc.AppendPack((*out)[:0]); err != nil {
 				tx.SetVerdict(telemetry.VerdictServFail)
 				return
 			}
@@ -121,6 +297,11 @@ func (s *UDPServer) handlePacket(ctx context.Context, pc net.PacketConn, pkt []b
 // slow query blocks every reply behind it (the paper found only Cloudflare
 // implemented out-of-order responses, and identifies this serialization as
 // a key reason DoT underperforms).
+//
+// Like the UDP server, a Handler that implements WireResponder gets the
+// wire fast path: cache hits are answered inline from the read loop —
+// packed bytes behind a length prefix in one pooled write — before slower
+// queries are (with OutOfOrder) dispatched to their own goroutines.
 type StreamServer struct {
 	Handler    Handler
 	OutOfOrder bool
@@ -156,48 +337,107 @@ func (s *StreamServer) ServeConn(conn net.Conn) error {
 	var writeMu sync.Mutex
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	rbuf := getBuf()
+	defer putBuf(rbuf)
+	wr, fast := s.Handler.(WireResponder)
 	for {
-		wire, err := ReadStreamMessage(conn)
+		wire, err := readStreamMessageInto(conn, (*rbuf)[:dnswire.MaxMessageLen])
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return nil
 			}
 			return err
 		}
+		var tx *telemetry.Transaction
+		if fast {
+			if q, ok := dnswire.ParseQuery(wire); ok {
+				tx = s.Telemetry.Begin(s.Proto)
+				handled, err := s.answerWire(conn, &writeMu, wr, tx, &q)
+				if handled {
+					if err != nil {
+						return err
+					}
+					continue
+				}
+				// Unhandled: the Message path below reuses the transaction.
+			}
+		}
 		var q dnswire.Message
 		if err := q.Unpack(wire); err != nil {
+			if tx != nil {
+				tx.SetVerdict(telemetry.VerdictServFail)
+				tx.Finish()
+			}
 			return fmt.Errorf("dnsserver: bad query on stream: %w", err)
 		}
 		if s.OutOfOrder {
 			qc := q // copy; the loop reuses nothing, Unpack reallocated slices
+			txc := tx
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				s.answerStream(ctx, conn, &writeMu, &qc)
+				s.answerStream(ctx, conn, &writeMu, &qc, txc)
 			}()
 			continue
 		}
-		if err := s.answerStream(ctx, conn, &writeMu, &q); err != nil {
+		if err := s.answerStream(ctx, conn, &writeMu, &q, tx); err != nil {
 			return err
 		}
 	}
 }
 
-func (s *StreamServer) answerStream(ctx context.Context, conn net.Conn, writeMu *sync.Mutex, q *dnswire.Message) error {
-	tx := s.Telemetry.Begin(s.Proto)
+// answerWire serves one query on the wire fast path: the response is
+// appended behind a two-octet length prefix in a pooled buffer and written
+// in one flight. handled=false leaves the connection untouched (and tx
+// unfinished) for the Message path.
+func (s *StreamServer) answerWire(conn net.Conn, writeMu *sync.Mutex, wr WireResponder, tx *telemetry.Transaction, q *dnswire.Query) (bool, error) {
+	out := getBuf()
+	resp, handled := wr.ServeDNSWire(tx, q, (*out)[2:2], dnswire.MaxMessageLen)
+	if !handled || len(resp) < 12 /* DNS header */ || len(resp) > dnswire.MaxMessageLen {
+		putBuf(out)
+		return false, nil
+	}
+	if &resp[0] != &(*out)[2] {
+		// The responder reallocated (or returned its own storage); fold
+		// the bytes back behind the prefix — cap suffices, resp fits.
+		resp = append((*out)[2:2], resp...)
+	}
+	frame := (*out)[:2+len(resp)]
+	binary.BigEndian.PutUint16(frame, uint16(len(resp)))
+	writeMu.Lock()
+	_, err := conn.Write(frame)
+	writeMu.Unlock()
+	putBuf(out)
+	tx.SetVerdict(telemetry.VerdictOK)
+	tx.Finish()
+	return true, err
+}
+
+// answerStream runs the Message path for one query. tx is the transaction
+// an attempted fast path already began, or nil to begin one here.
+func (s *StreamServer) answerStream(ctx context.Context, conn net.Conn, writeMu *sync.Mutex, q *dnswire.Message, tx *telemetry.Transaction) error {
+	if tx == nil {
+		tx = s.Telemetry.Begin(s.Proto)
+	}
 	defer tx.Finish()
 	ctx = telemetry.NewContext(ctx, tx)
 	resp := Respond(ctx, s.Handler, q)
-	wire, err := resp.Pack()
+	out := getBuf()
+	defer putBuf(out)
+	// Pack directly behind the length prefix (AppendPack keeps compression
+	// pointers message-relative) so the reply leaves in one pooled write.
+	buf, err := resp.AppendPack((*out)[:2])
 	if err != nil {
 		// The connection is being torn down without this reply; the
 		// verdict must not read ok.
 		tx.SetVerdict(telemetry.VerdictServFail)
 		return err
 	}
+	binary.BigEndian.PutUint16(buf, uint16(len(buf)-2))
 	writeMu.Lock()
 	defer writeMu.Unlock()
-	return WriteStreamMessage(conn, wire)
+	_, err = conn.Write(buf)
+	return err
 }
 
 // ReadStreamMessage reads one length-prefixed DNS message.
@@ -206,8 +446,22 @@ func ReadStreamMessage(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint16(lenBuf[:])
-	msg := make([]byte, n)
+	msg := make([]byte, binary.BigEndian.Uint16(lenBuf[:]))
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// readStreamMessageInto reads one length-prefixed DNS message into buf,
+// which must hold dnswire.MaxMessageLen bytes — the pooled no-allocation
+// variant of ReadStreamMessage used by the serving loop.
+func readStreamMessageInto(r io.Reader, buf []byte) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	msg := buf[:binary.BigEndian.Uint16(lenBuf[:])]
 	if _, err := io.ReadFull(r, msg); err != nil {
 		return nil, err
 	}
@@ -215,12 +469,15 @@ func ReadStreamMessage(r io.Reader) ([]byte, error) {
 }
 
 // WriteStreamMessage writes one length-prefixed DNS message as a single
-// flight.
+// flight. The frame is assembled in a pooled buffer, not allocated per
+// write.
 func WriteStreamMessage(w io.Writer, msg []byte) error {
 	if len(msg) > dnswire.MaxMessageLen {
 		return dnswire.ErrMessageTooLarge
 	}
-	buf := make([]byte, 2+len(msg))
+	out := getBuf()
+	defer putBuf(out)
+	buf := (*out)[:2+len(msg)]
 	binary.BigEndian.PutUint16(buf, uint16(len(msg)))
 	copy(buf[2:], msg)
 	_, err := w.Write(buf)
@@ -259,6 +516,9 @@ type Server struct {
 	// MaxUDPSize caps UDP response datagrams regardless of the client's
 	// EDNS buffer (see UDPServer.MaxUDPSize); zero applies no cap.
 	MaxUDPSize int
+	// UDPReaders/UDPWorkers tune the UDP listener's reader and worker
+	// pools (see UDPServer.Readers/Workers); zero uses the defaults.
+	UDPReaders, UDPWorkers int
 	// Telemetry, when non-nil, is propagated to every listener so each
 	// query produces one cost Transaction (see internal/telemetry).
 	Telemetry *telemetry.Metrics
@@ -289,7 +549,13 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 		return nil, err
 	}
 	r.closers = append(r.closers, pc)
-	udp := &UDPServer{Handler: s.Handler, MaxUDPSize: s.MaxUDPSize, Telemetry: s.Telemetry}
+	udp := &UDPServer{
+		Handler:    s.Handler,
+		MaxUDPSize: s.MaxUDPSize,
+		Readers:    s.UDPReaders,
+		Workers:    s.UDPWorkers,
+		Telemetry:  s.Telemetry,
+	}
 	r.wg.Add(1)
 	go func() { defer r.wg.Done(); udp.Serve(pc) }()
 

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"dohcost/internal/dnswire"
@@ -103,6 +104,25 @@ func cloneWithID(q *dnswire.Message, id uint16) *dnswire.Message {
 	cp := *q
 	cp.ID = id
 	return &cp
+}
+
+// packBufPool recycles per-exchange query-packing scratch. Queries are
+// small (a question plus OPT), so the buffers start at 512 bytes and the
+// pool keeps whatever growth padding or long names forced.
+var packBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// packQuery serializes m into a pooled buffer. The returned release
+// func recycles the buffer; the wire slice must not be used after calling
+// it (writes to the network copy the bytes before release is due).
+func packQuery(m *dnswire.Message) (wire []byte, release func(), err error) {
+	bp := packBufPool.Get().(*[]byte)
+	wire, err = m.AppendPack((*bp)[:0])
+	if err != nil {
+		packBufPool.Put(bp)
+		return nil, nil, err
+	}
+	*bp = wire[:0] // keep any growth for the next exchange
+	return wire, func() { packBufPool.Put(bp) }, nil
 }
 
 // delivery is one demultiplexed response together with its wire size —

@@ -172,18 +172,23 @@ func (c *StreamClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswi
 	c.mu.Unlock()
 
 	msg := cloneWithID(q, id)
-	wire, err := msg.Pack()
+	// Pooled pack scratch: WriteStreamMessage copies the bytes into its
+	// own pooled frame, so the buffer is free again right after the write.
+	wire, release, err := packQuery(msg)
 	if err != nil {
 		c.unregister(id)
 		return nil, fmt.Errorf("dnstransport: packing query: %w", err)
 	}
-	if err := dnsserver.WriteStreamMessage(conn, wire); err != nil {
+	sent := len(wire)
+	werr := dnsserver.WriteStreamMessage(conn, wire)
+	release()
+	if werr != nil {
 		c.unregister(id)
 		c.dropConn(conn)
-		return nil, fmt.Errorf("dnstransport: stream send: %w", err)
+		return nil, fmt.Errorf("dnstransport: stream send: %w", werr)
 	}
 	tx := telemetry.FromContext(ctx)
-	tx.AddBytesSent(len(wire))
+	tx.AddBytesSent(sent)
 
 	select {
 	case d, ok := <-ch:

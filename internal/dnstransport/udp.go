@@ -101,11 +101,14 @@ func (c *UDPClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.
 	c.mu.Unlock()
 
 	msg := cloneWithID(q, id)
-	wire, err := msg.Pack()
+	// The packed query lives in a pooled buffer across every retransmit;
+	// WriteTo copies it onto the wire, so releasing on return is safe.
+	wire, release, err := packQuery(msg)
 	if err != nil {
 		c.unregister(id)
 		return nil, fmt.Errorf("dnstransport: packing query: %w", err)
 	}
+	defer release()
 
 	tx := telemetry.FromContext(ctx)
 	var payloads []int

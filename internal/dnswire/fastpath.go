@@ -1,0 +1,267 @@
+package dnswire
+
+import "encoding/binary"
+
+// This file is the allocation-free fast layer of the codec: a Query view
+// that exposes a packed query's header and question without building a
+// Message, and in-place patch helpers that let a cache serve stored wire
+// bytes directly — restamping the transaction ID and decaying TTLs by
+// rewriting the packed form, with no Unpack → mutate → Pack round trip.
+// The helpers are proven byte-equivalent to the Message path by
+// FuzzWireRewriteEquivalence.
+
+// Query is a zero-allocation view of a packed DNS query: the header fields
+// and first question parsed in place from Raw, which the view borrows (the
+// caller must keep the packet alive and unmodified while the Query is in
+// use). It is produced by ParseQuery and consumed by the wire-level serving
+// fast path; anything ParseQuery cannot represent takes the Message path.
+type Query struct {
+	// Raw is the complete packet the view was parsed from.
+	Raw []byte
+	// ID is the client's transaction ID.
+	ID uint16
+	// Type and Class are the first (only) question's type and class.
+	Type  Type
+	Class Class
+	// RecursionDesired mirrors the header RD bit.
+	RecursionDesired bool
+	// HasEDNS reports a well-formed trailing OPT record; UDPSize is its
+	// advertised requestor payload size (0 without EDNS).
+	HasEDNS bool
+	UDPSize uint16
+	// nameEnd is the offset of the question name's terminal zero octet.
+	nameEnd int
+}
+
+// ParseQuery attempts the fast parse of a packed query. It accepts only the
+// common stub shape — a non-truncated, non-response QUERY with exactly one
+// question, no answer or authority records, an uncompressed question name,
+// and at most one additional record which must be a root-name version-0 OPT
+// (RFC 6891) — and reports ok=false for everything else, malformed or
+// merely unusual; the caller falls back to Message.Unpack, which decides
+// which of the two it was. A successful parse allocates nothing.
+func ParseQuery(data []byte) (Query, bool) {
+	var q Query
+	if len(data) < headerLen+1+4 {
+		return q, false
+	}
+	flags := binary.BigEndian.Uint16(data[2:])
+	// QR, a non-QUERY opcode, or TC: not a plain query.
+	if flags&(1<<15) != 0 || OpCode(flags>>11&0xF) != OpCodeQuery || flags&(1<<9) != 0 {
+		return q, false
+	}
+	if binary.BigEndian.Uint16(data[4:]) != 1 || // QDCOUNT
+		binary.BigEndian.Uint16(data[6:]) != 0 || // ANCOUNT
+		binary.BigEndian.Uint16(data[8:]) != 0 { // NSCOUNT
+		return q, false
+	}
+	ar := binary.BigEndian.Uint16(data[10:])
+	if ar > 1 {
+		return q, false
+	}
+	// Walk the question name: plain labels only (real queries never
+	// compress their own name, and rejecting pointers keeps the view a
+	// contiguous borrow of Raw). Labels must be ASCII: the Message path
+	// canonicalizes names with a UTF-8-aware lower-casing that rewrites
+	// arbitrary high bytes, so a cache keyed on the raw label bytes would
+	// diverge from one keyed on Name.Canonical — non-ASCII names (IDN is
+	// punycode on the wire, so real traffic never hits this) take the
+	// Message path where one canonicalization rules.
+	off := headerLen
+	nameLen := 0
+	for {
+		if off >= len(data) {
+			return q, false
+		}
+		b := data[off]
+		if b == 0 {
+			off++
+			break
+		}
+		if b&0xC0 != 0 {
+			return q, false
+		}
+		nameLen += int(b) + 1
+		if nameLen+1 > maxNameLen || off+1+int(b) > len(data) {
+			return q, false
+		}
+		for _, c := range data[off+1 : off+1+int(b)] {
+			if c >= 0x80 {
+				return q, false
+			}
+		}
+		off += 1 + int(b)
+	}
+	if off+4 > len(data) {
+		return q, false
+	}
+	q.nameEnd = off - 1
+	q.Type = Type(binary.BigEndian.Uint16(data[off:]))
+	q.Class = Class(binary.BigEndian.Uint16(data[off+2:]))
+	off += 4
+	if ar == 1 {
+		// The only additional the fast path understands is a root-name OPT:
+		// 00 | TYPE | CLASS=udpsize | TTL=ext-rcode/version/flags | RDLEN.
+		if off+11 > len(data) || data[off] != 0 {
+			return q, false
+		}
+		if Type(binary.BigEndian.Uint16(data[off+1:])) != TypeOPT {
+			return q, false
+		}
+		ttl := binary.BigEndian.Uint32(data[off+5:])
+		if uint8(ttl>>16) != 0 { // unknown EDNS version
+			return q, false
+		}
+		rdlen := int(binary.BigEndian.Uint16(data[off+9:]))
+		if off+11+rdlen > len(data) {
+			return q, false
+		}
+		// Validate the option TLVs (without retaining them) so that a
+		// fast-parse success implies the full codec accepts the record
+		// too — otherwise a query with a mangled option would be answered
+		// on a cache hit but rejected on the Message-path miss, making
+		// its fate depend on cache contents.
+		for opt := data[off+11 : off+11+rdlen]; len(opt) > 0; {
+			if len(opt) < 4 {
+				return q, false
+			}
+			n := int(binary.BigEndian.Uint16(opt[2:]))
+			if 4+n > len(opt) {
+				return q, false
+			}
+			opt = opt[4+n:]
+		}
+		q.HasEDNS = true
+		q.UDPSize = binary.BigEndian.Uint16(data[off+3:])
+		off += 11 + rdlen
+	}
+	if off != len(data) {
+		return q, false
+	}
+	q.ID = binary.BigEndian.Uint16(data)
+	q.RecursionDesired = flags&(1<<8) != 0
+	q.Raw = data
+	return q, true
+}
+
+// AppendCanonicalName appends the canonical presentation form of the
+// question name — lower-cased labels joined and terminated by dots, "." for
+// the root — to dst and returns the extended slice. It renders exactly what
+// readName followed by Name.Canonical would produce for the same wire
+// bytes, so wire-keyed and Message-keyed cache lookups agree, without
+// allocating when dst has capacity.
+func (q *Query) AppendCanonicalName(dst []byte) []byte {
+	off := headerLen
+	if q.nameEnd <= off {
+		return append(dst, '.')
+	}
+	for off < q.nameEnd {
+		l := int(q.Raw[off])
+		off++
+		for i := 0; i < l; i++ {
+			c := q.Raw[off+i]
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			dst = append(dst, c)
+		}
+		dst = append(dst, '.')
+		off += l
+	}
+	return dst
+}
+
+// PatchID overwrites the transaction ID of a packed message in place — the
+// wire-path equivalent of unpacking, restamping Message.ID and repacking.
+func PatchID(wire []byte, id uint16) {
+	if len(wire) >= 2 {
+		binary.BigEndian.PutUint16(wire, id)
+	}
+}
+
+// TTLOffsets walks a packed message and records the byte offset of every
+// resource record's TTL field, skipping OPT pseudo-records (their TTL field
+// encodes EDNS flags, not a lifetime — exactly the records the Message
+// codec diverts into Message.EDNS). A cache computes the offsets once at
+// insert time; each hit then decays the stored answer with DecayTTLs
+// instead of a full unpack/repack cycle.
+func TTLOffsets(wire []byte) ([]int, error) {
+	if len(wire) < headerLen {
+		return nil, ErrShortMessage
+	}
+	qd := int(binary.BigEndian.Uint16(wire[4:]))
+	rrs := int(binary.BigEndian.Uint16(wire[6:])) +
+		int(binary.BigEndian.Uint16(wire[8:])) +
+		int(binary.BigEndian.Uint16(wire[10:]))
+	off := headerLen
+	var err error
+	for i := 0; i < qd; i++ {
+		if off, err = skipPackedName(wire, off); err != nil {
+			return nil, err
+		}
+		if off+4 > len(wire) {
+			return nil, ErrShortMessage
+		}
+		off += 4
+	}
+	var offsets []int
+	for i := 0; i < rrs; i++ {
+		if off, err = skipPackedName(wire, off); err != nil {
+			return nil, err
+		}
+		if off+10 > len(wire) {
+			return nil, ErrShortMessage
+		}
+		typ := Type(binary.BigEndian.Uint16(wire[off:]))
+		rdlen := int(binary.BigEndian.Uint16(wire[off+8:]))
+		if typ != TypeOPT {
+			offsets = append(offsets, off+4)
+		}
+		off += 10 + rdlen
+		if off > len(wire) {
+			return nil, ErrRDataOutOfBounds
+		}
+	}
+	if off != len(wire) {
+		return nil, ErrTrailingGarbage
+	}
+	return offsets, nil
+}
+
+// DecayTTLs caps every recorded TTL at remaining seconds, rewriting the
+// packed message in place. Offsets must come from TTLOffsets over the same
+// bytes; out-of-range offsets are ignored rather than panicking.
+func DecayTTLs(wire []byte, offsets []int, remaining uint32) {
+	for _, off := range offsets {
+		if off < 0 || off+4 > len(wire) {
+			continue
+		}
+		if binary.BigEndian.Uint32(wire[off:]) > remaining {
+			binary.BigEndian.PutUint32(wire[off:], remaining)
+		}
+	}
+}
+
+// skipPackedName advances past the name starting at off: consecutive plain
+// labels ended by a terminal zero octet or a compression pointer.
+func skipPackedName(wire []byte, off int) (int, error) {
+	for {
+		if off >= len(wire) {
+			return 0, ErrShortMessage
+		}
+		b := wire[off]
+		switch {
+		case b == 0:
+			return off + 1, nil
+		case b&0xC0 == 0xC0:
+			if off+2 > len(wire) {
+				return 0, ErrShortMessage
+			}
+			return off + 2, nil
+		case b&0xC0 != 0:
+			return 0, ErrShortMessage
+		default:
+			off += 1 + int(b)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// fuzzSeeds packs a corpus of messages covering the shapes the wire
+// rewrite helpers must stay equivalent on: compressed names shared across
+// sections, EDNS OPT records (whose TTL field is flags, not a lifetime),
+// negative answers with SOA authorities, and plain queries.
+func fuzzSeeds(f *testing.F) {
+	seeds := []*Message{
+		NewQuery(1, "www.example.com.", TypeA),
+		respFixtureFuzz(),
+		{ // NXDOMAIN with SOA authority (negative-cache shape).
+			ID: 9, Response: true, RCode: RCodeNameError,
+			Questions: []Question{{Name: "nx.example.org.", Type: TypeAAAA, Class: ClassINET}},
+			Authorities: []ResourceRecord{
+				{Name: "example.org.", Class: ClassINET, TTL: 900,
+					Data: &SOA{MName: "ns.example.org.", RName: "root.example.org.",
+						Serial: 2, Refresh: 1, Retry: 2, Expire: 3, Minimum: 60}},
+			},
+		},
+		{ // EDNS with options and extended flags.
+			ID: 11, Response: true,
+			Questions: []Question{{Name: "opt.example.", Type: TypeTXT, Class: ClassINET}},
+			Answers: []ResourceRecord{{Name: "opt.example.", Class: ClassINET, TTL: 1,
+				Data: &TXT{Strings: []string{"hello"}}}},
+			EDNS: &EDNS{UDPSize: 1232, DO: true,
+				Options: []EDNS0Option{{Code: 12, Data: make([]byte, 16)}}},
+		},
+	}
+	for _, m := range seeds {
+		wire, err := m.Pack()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire, uint16(0xABCD), uint32(30))
+	}
+}
+
+func respFixtureFuzz() *Message {
+	return &Message{
+		ID: 0xBEEF, Response: true, RecursionAvailable: true,
+		Questions: []Question{{Name: "www.example.com.", Type: TypeA, Class: ClassINET}},
+		Answers: []ResourceRecord{
+			{Name: "www.example.com.", Class: ClassINET, TTL: 300,
+				Data: &CNAME{Target: "cdn.example.com."}},
+			{Name: "cdn.example.com.", Class: ClassINET, TTL: 60,
+				Data: &A{Addr: netip.MustParseAddr("192.0.2.53")}},
+		},
+		EDNS: &EDNS{UDPSize: 4096},
+	}
+}
+
+// FuzzWireRewriteEquivalence proves the in-place rewrite helpers are
+// byte-equivalent to the Message path: for any unpackable input, patching
+// the ID and decaying the TTLs of the canonically re-packed wire must
+// produce exactly the bytes of unpack → mutate → pack. This is the
+// property the packed-response cache rests on — a hit's patched bytes are
+// indistinguishable from a full serialization round trip.
+func FuzzWireRewriteEquivalence(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte, id uint16, rem uint32) {
+		var m Message
+		if err := m.Unpack(data); err != nil {
+			t.Skip()
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			t.Skip() // unpackable but not re-packable (e.g. >64KiB growth)
+		}
+		offsets, err := TTLOffsets(wire)
+		if err != nil {
+			t.Fatalf("TTLOffsets rejects our own packer's output: %v", err)
+		}
+
+		fast := append([]byte(nil), wire...)
+		PatchID(fast, id)
+		DecayTTLs(fast, offsets, rem)
+
+		var m2 Message
+		if err := m2.Unpack(wire); err != nil {
+			t.Fatalf("unpacking our own packer's output: %v", err)
+		}
+		m2.ID = id
+		for _, rrs := range [][]ResourceRecord{m2.Answers, m2.Authorities, m2.Additionals} {
+			for i := range rrs {
+				if rrs[i].TTL > rem {
+					rrs[i].TTL = rem
+				}
+			}
+		}
+		slow, err := m2.Pack()
+		if err != nil {
+			t.Fatalf("repacking mutated message: %v", err)
+		}
+		if !bytes.Equal(fast, slow) {
+			t.Errorf("rewrite diverges from unpack→mutate→pack for id=%#x rem=%d:\n fast %x\n slow %x",
+				id, rem, fast, slow)
+		}
+	})
+}
+
+// FuzzParseQueryConsistency checks the fast view against the full codec:
+// whenever ParseQuery accepts bytes, Message.Unpack must agree on every
+// field the view exposes, and the canonical name must match.
+func FuzzParseQueryConsistency(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte, _ uint16, _ uint32) {
+		q, ok := ParseQuery(data)
+		if !ok {
+			t.Skip()
+		}
+		var m Message
+		if err := m.Unpack(data); err != nil {
+			// ParseQuery validates everything the full codec does on the
+			// shapes it accepts (including OPT option TLVs), so a query's
+			// fate can never depend on which path examined it — a hit
+			// answered by the fast path is a query the Message path would
+			// also have accepted.
+			t.Fatalf("ParseQuery accepted what Unpack rejects: %v", err)
+		}
+		qq := m.Question1()
+		if q.ID != m.ID || q.Type != qq.Type || q.Class != qq.Class ||
+			q.RecursionDesired != m.RecursionDesired {
+			t.Errorf("view %+v disagrees with Unpack", q)
+		}
+		if got, want := Name(q.AppendCanonicalName(nil)), qq.Name.Canonical(); got != want {
+			t.Errorf("canonical name %q != %q", got, want)
+		}
+		if q.HasEDNS != (m.EDNS != nil) || (m.EDNS != nil && q.UDPSize != m.EDNS.UDPSize) {
+			t.Errorf("EDNS view (%v, %d) disagrees with %+v", q.HasEDNS, q.UDPSize, m.EDNS)
+		}
+	})
+}

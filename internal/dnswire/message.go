@@ -158,14 +158,13 @@ func (m *Message) Pack() ([]byte, error) {
 	return m.AppendPack(make([]byte, 0, 512))
 }
 
-// AppendPack serializes the message onto buf and returns the extended slice.
-// Compression offsets are relative to the start of the appended message, so
-// buf must be empty or the caller must slice the result accordingly; the DNS
-// transports in this repository always pack into a fresh or reset buffer.
+// AppendPack serializes the message onto buf and returns the extended
+// slice. Compression pointers are relative to the start of the appended
+// message (the initial len(buf)), so a caller may pack after existing
+// bytes — the stream servers pack directly behind their two-octet length
+// prefix — and the serving hot path packs into pooled buffers.
 func (m *Message) AppendPack(buf []byte) ([]byte, error) {
-	if len(buf) != 0 {
-		return buf, fmt.Errorf("dnswire: AppendPack requires an empty buffer (len %d)", len(buf))
-	}
+	base := len(buf)
 	additionals := len(m.Additionals)
 	if m.EDNS != nil {
 		additionals++
@@ -182,7 +181,7 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authorities)))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(additionals))
 
-	cmap := make(compressionMap, 8)
+	cmap := compressionMap{offsets: make(map[string]int, 8), base: base}
 	var err error
 	for _, q := range m.Questions {
 		if buf, err = appendName(buf, q.Name, cmap); err != nil {
@@ -203,7 +202,7 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 			return buf, err
 		}
 	}
-	if len(buf) > MaxMessageLen {
+	if len(buf)-base > MaxMessageLen {
 		return buf, ErrMessageTooLarge
 	}
 	return buf, nil
@@ -235,7 +234,7 @@ func appendRR(buf []byte, rr ResourceRecord, cmap compressionMap) ([]byte, error
 
 func appendOPT(buf []byte, e *EDNS) ([]byte, error) {
 	var err error
-	if buf, err = appendName(buf, Root, nil); err != nil {
+	if buf, err = appendName(buf, Root, compressionMap{}); err != nil {
 		return buf, err
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(TypeOPT))
@@ -248,7 +247,7 @@ func appendOPT(buf []byte, e *EDNS) ([]byte, error) {
 	lenAt := len(buf)
 	buf = append(buf, 0, 0)
 	opt := &OPT{Options: e.Options}
-	if buf, err = opt.appendTo(buf, nil); err != nil {
+	if buf, err = opt.appendTo(buf, compressionMap{}); err != nil {
 		return buf, err
 	}
 	binary.BigEndian.PutUint16(buf[lenAt:], uint16(len(buf)-lenAt-2))

@@ -264,10 +264,37 @@ func TestPackRejectsNilRData(t *testing.T) {
 	}
 }
 
-func TestAppendPackRequiresEmptyBuffer(t *testing.T) {
-	m := NewQuery(1, "example.com.", TypeA)
-	if _, err := m.AppendPack(make([]byte, 2)); err == nil {
-		t.Error("non-empty buffer accepted")
+func TestAppendPackAfterPrefix(t *testing.T) {
+	// Packing behind existing bytes (a stream server's two-octet length
+	// prefix) must produce the same message octets as a fresh pack:
+	// compression pointers are message-relative, not buffer-relative.
+	m := &Message{
+		ID:       7,
+		Response: true,
+		Questions: []Question{
+			{Name: "www.example.com.", Type: TypeA, Class: ClassINET},
+		},
+		Answers: []ResourceRecord{
+			{Name: "www.example.com.", Class: ClassINET, TTL: 60,
+				Data: &CNAME{Target: "cdn.example.com."}},
+			{Name: "cdn.example.com.", Class: ClassINET, TTL: 60,
+				Data: &A{Addr: netip.MustParseAddr("192.0.2.1")}},
+		},
+	}
+	fresh, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixed, err := m.AppendPack(make([]byte, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(prefixed[2:], fresh) {
+		t.Errorf("prefixed pack differs from fresh pack:\n  %x\n  %x", prefixed[2:], fresh)
+	}
+	var rt Message
+	if err := rt.Unpack(prefixed[2:]); err != nil {
+		t.Fatalf("unpacking prefixed pack: %v", err)
 	}
 }
 

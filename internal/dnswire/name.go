@@ -81,15 +81,23 @@ func (n Name) validate() error {
 	return nil
 }
 
-// compressionMap records the wire offset at which each name suffix was first
-// emitted, so later occurrences can be replaced by a two-octet pointer
-// (RFC 1035 §4.1.4). Only offsets representable in 14 bits are usable.
-type compressionMap map[string]int
-
-// appendName packs n at the end of msg, consulting and updating cmap (nil
+// compressionMap records the message-relative offset at which each name
+// suffix was first emitted, so later occurrences can be replaced by a
+// two-octet pointer (RFC 1035 §4.1.4). Only offsets representable in 14
+// bits are usable. base is the buffer index of the message's first octet:
+// AppendPack may serialize after existing bytes (a stream server packs
+// past its two-octet length prefix), and pointers must stay relative to
+// the message start, not the buffer start. The zero value (nil offsets)
 // disables compression, as required inside OPT and in DNSSEC canonical
-// forms). The name is lower-cased on the wire; DNS names are
-// case-insensitive and the study never relies on 0x20 encoding.
+// forms.
+type compressionMap struct {
+	offsets map[string]int
+	base    int
+}
+
+// appendName packs n at the end of msg, consulting and updating cmap. The
+// name is lower-cased on the wire; DNS names are case-insensitive and the
+// study never relies on 0x20 encoding.
 func appendName(msg []byte, n Name, cmap compressionMap) ([]byte, error) {
 	if err := n.validate(); err != nil {
 		return msg, err
@@ -101,12 +109,12 @@ func appendName(msg []byte, n Name, cmap compressionMap) ([]byte, error) {
 	// Walk suffixes: "www.example.com." then "example.com." then "com.".
 	rest := c
 	for rest != "" {
-		if cmap != nil {
-			if off, ok := cmap[rest]; ok {
+		if cmap.offsets != nil {
+			if off, ok := cmap.offsets[rest]; ok {
 				return append(msg, 0xC0|byte(off>>8), byte(off)), nil
 			}
-			if off := len(msg); off <= 0x3FFF {
-				cmap[rest] = off
+			if off := len(msg) - cmap.base; off <= 0x3FFF {
+				cmap.offsets[rest] = off
 			}
 		}
 		dot := strings.IndexByte(rest, '.')

@@ -312,7 +312,7 @@ func (r *SRV) appendTo(msg []byte, _ compressionMap) ([]byte, error) {
 	msg = binary.BigEndian.AppendUint16(msg, r.Priority)
 	msg = binary.BigEndian.AppendUint16(msg, r.Weight)
 	msg = binary.BigEndian.AppendUint16(msg, r.Port)
-	return appendName(msg, r.Target, nil)
+	return appendName(msg, r.Target, compressionMap{})
 }
 
 func (r *SRV) decodeFrom(msg []byte, off, length int) error {

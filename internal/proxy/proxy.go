@@ -134,16 +134,43 @@ func New(cfg Config) (*Proxy, error) {
 	return p, nil
 }
 
+// fastHandler is the proxy's serving handler. It implements both serving
+// paths the servers know about: the Message path (ServeDNS: cache →
+// singleflight → upstream pool with a per-query timeout) and the wire fast
+// path (ServeDNSWire: a packed-cache hit copied, ID-patched and
+// TTL-decayed straight into the server's pooled buffer — no Unpack, no
+// clone, no Pack). Servers try the wire path first and fall back to the
+// Message path for misses and uncacheable shapes.
+type fastHandler struct{ p *Proxy }
+
+// ServeDNS implements dnsserver.Handler. Errors propagate to the server
+// layer, which synthesizes SERVFAIL.
+func (h fastHandler) ServeDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	ctx, cancel := context.WithTimeout(ctx, h.p.timeout)
+	defer cancel()
+	return h.p.cache.Exchange(ctx, q)
+}
+
+// ServeDNSWire implements dnsserver.WireResponder: the zero-allocation
+// cache-hit pipeline. Telemetry verdicts are unchanged from the Message
+// path — the server began tx and records the ok verdict; only the cache
+// outcome is annotated here.
+func (h fastHandler) ServeDNSWire(tx *telemetry.Transaction, q *dnswire.Query, dst []byte, limit int) ([]byte, bool) {
+	resp, outcome, ok := h.p.cache.ServeWire(q, dst, limit)
+	if !ok {
+		return nil, false
+	}
+	tx.SetCache(outcome)
+	return resp, true
+}
+
 // Handler returns the forwarding handler, usable behind any dnsserver
 // transport: answer from cache, coalesce concurrent identical misses, and
-// forward to the upstream pool with a per-query timeout. Errors propagate
-// to the server layer, which synthesizes SERVFAIL.
+// forward to the upstream pool with a per-query timeout. The handler also
+// implements dnsserver.WireResponder, so servers that consult the wire
+// fast path serve cache hits without building a Message.
 func (p *Proxy) Handler() dnsserver.Handler {
-	return dnsserver.HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
-		ctx, cancel := context.WithTimeout(ctx, p.timeout)
-		defer cancel()
-		return p.cache.Exchange(ctx, q)
-	})
+	return fastHandler{p: p}
 }
 
 // Start brings up the full listener set on a simulated network host

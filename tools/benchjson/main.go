@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so the CI bench job can archive one BENCH_<sha>.json artifact
+// per commit and the perf trajectory of the serving hot paths accumulates
+// in a machine-readable form.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./tools/benchjson -out BENCH_abc123.json
+//	go run ./tools/benchjson -in bench.txt -out BENCH_abc123.json
+//
+// Standard columns (ns/op, B/op, allocs/op) and custom ReportMetric units
+// (queries/s, hit-%, …) all land in the metrics map keyed by their unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in JSON form.
+type Result struct {
+	// Name is the benchmark name including sub-benchmarks, without the
+	// trailing -GOMAXPROCS suffix (which lands in Procs).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran under.
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value: "ns/op", "B/op", "allocs/op" and any
+	// custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the archived artifact: environment header plus results.
+type Document struct {
+	// Goos/Goarch/CPU/Pkg echo the go test header lines.
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in input"))
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse consumes go test -bench output: header key: value lines, then
+// result lines of the form
+//
+//	BenchmarkName-8   1000   1234 ns/op   12 B/op   2 allocs/op   5 custom/unit
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseResult(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			doc.Results = append(doc.Results, res)
+		}
+	}
+	return doc, sc.Err()
+}
+
+func parseResult(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, fmt.Errorf("too few columns")
+	}
+	res := Result{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Procs = p
+			res.Name = res.Name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	res.Iterations = n
+	// The remainder alternates value / unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, nil
+}
