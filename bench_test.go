@@ -26,6 +26,7 @@ import (
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
 	"dohcost/internal/stats"
+	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
 )
 
@@ -577,7 +578,7 @@ func BenchmarkCacheHitWirePath(b *testing.B) {
 				b.Fatal("fast parse failed")
 			}
 			tx := tel.Begin(telemetry.ProtoUDP)
-			resp, outcome, ok := c.ServeWire(&q, dst[:0], 4096)
+			resp, outcome, ok := c.ServeWire(tx, &q, dst[:0], 4096)
 			if !ok {
 				b.Fatal("wire hit lost")
 			}
@@ -613,6 +614,121 @@ func BenchmarkCacheHitWirePath(b *testing.B) {
 			tx.Finish()
 		}
 	})
+}
+
+// BenchmarkHedgedExchange measures the steering layer's hedged policy end
+// to end on the simulated network: the preferred upstream sits behind a
+// 20ms (one-way) link, the runner-up behind a clean one, and a 2ms hedge
+// delay races them. ns/op is dominated by the winner's round trip —
+// compare against the ~40ms the degraded upstream would cost — and
+// hedges/op reports how much of the traffic actually hedged once the
+// model learned the primary's latency.
+func BenchmarkHedgedExchange(b *testing.B) {
+	n := netsim.New(42)
+	for _, u := range []struct {
+		host  string
+		delay time.Duration
+	}{{"slow.upstream", 20 * time.Millisecond}, {"fast.upstream", 50 * time.Microsecond}} {
+		n.SetLink("steerer", u.host, netsim.Link{Delay: u.delay})
+		srv := &dnsserver.Server{Handler: dnsserver.Static(mustAddrBench, 300)}
+		run, err := srv.Start(n, u.host)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer run.Close()
+	}
+	mkUp := func(host string) dnstransport.PoolUpstream {
+		return dnstransport.PoolUpstream{Name: host, Dial: func() (dnstransport.Resolver, error) {
+			return dnstransport.NewTCPClient(func() (net.Conn, error) {
+				return n.Dial("steerer", host+":53")
+			}), nil
+		}}
+	}
+	pool, err := dnstransport.NewPool(
+		[]dnstransport.PoolUpstream{mkUp("slow.upstream"), mkUp("fast.upstream")},
+		dnstransport.PoolConfig{ConnsPerUpstream: 2},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := steer.New(pool, steer.Config{Policy: steer.PolicyHedged, HedgeDelay: 2 * time.Millisecond})
+	defer st.Close()
+	tel := telemetry.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := tel.Begin(telemetry.ProtoUDP)
+		ctx := telemetry.NewContext(context.Background(), tx)
+		q := dnswire.NewQuery(0, dnswire.Name(fmt.Sprintf("hedge%04d.bench.example.", i%4096)), dnswire.TypeA)
+		if _, err := st.Exchange(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+		tx.SetVerdict(telemetry.VerdictOK)
+		tx.Finish()
+	}
+	b.StopTimer()
+	if s := tel.Snapshot(); b.N > 0 {
+		b.ReportMetric(float64(s.HedgesFired)/float64(b.N), "hedges/op")
+	}
+}
+
+// primeOnceResolver answers its first exchange (the cache prime) and then
+// blocks until the caller's context ends — pinning every later lookup in
+// the stale regime so BenchmarkServeStaleHit measures the stale-hit serve
+// path, not a refresh storm: the first stale hit parks one background
+// refresh on the blocked upstream, and the singleflight table keeps every
+// subsequent hit refresh-free.
+type primeOnceResolver struct{ calls atomic.Int64 }
+
+func (r *primeOnceResolver) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	if r.calls.Add(1) > 1 {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return staticResolver{}.Exchange(ctx, q)
+}
+
+func (r *primeOnceResolver) Close() error { return nil }
+
+// BenchmarkServeStaleHit measures the RFC 8767 stale-hit wire path: an
+// expired-but-stale entry served by copy + ID patch + TTL cap while the
+// (blocked) background refresh holds the singleflight slot.
+func BenchmarkServeStaleHit(b *testing.B) {
+	clock := time.Unix(9000, 0)
+	c := dnscache.New(&primeOnceResolver{},
+		dnscache.WithServeStale(time.Hour),
+		dnscache.WithClock(func() time.Time { return clock }))
+	defer c.Close()
+	if _, err := c.Exchange(context.Background(), dnswire.NewQuery(1, "stale.bench.example.", dnswire.TypeA)); err != nil {
+		b.Fatal(err)
+	}
+	clock = clock.Add(2 * time.Hour / 4) // past the 300s TTL, inside the stale window
+	queryWire, err := dnswire.NewQuery(4242, "stale.bench.example.", dnswire.TypeA).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tel := telemetry.New()
+	dst := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, ok := dnswire.ParseQuery(queryWire)
+		if !ok {
+			b.Fatal("fast parse failed")
+		}
+		tx := tel.Begin(telemetry.ProtoUDP)
+		resp, outcome, ok := c.ServeWire(tx, &q, dst[:0], 4096)
+		if !ok {
+			b.Fatal("stale hit lost")
+		}
+		if outcome != telemetry.CacheStaleHit {
+			b.Fatalf("outcome = %v, want stale hit", outcome)
+		}
+		tx.SetCache(outcome)
+		tx.SetVerdict(telemetry.VerdictOK)
+		tx.Finish()
+		_ = resp
+	}
 }
 
 // staticResolver is an in-process upstream for cache micro-benchmarks.

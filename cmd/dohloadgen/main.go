@@ -10,11 +10,19 @@
 // the proxy side. Closed-loop runs with the same seed reproduce their
 // aggregate counters exactly.
 //
+// Steering sweeps compare upstream-selection policies end to end: -policy
+// picks failover/fastest/hedged, -upstreams deploys several recursive
+// resolvers behind the proxy, and -degraded-upstream-rtt slows the
+// preferred one — the regime where the policies separate.
+//
 // Usage:
 //
 //	dohloadgen [-profile 3g] [-transports udp,doh] [-clients 50]
 //	           [-queries 2000] [-seed 1] [-arrival closed|open]
-//	           [-rate 20] [-think 0] [-names 16] [-json]
+//	           [-rate 20] [-think 0] [-names 16]
+//	           [-policy hedged] [-hedge-delay 40ms] [-upstreams 2]
+//	           [-degraded-upstream-rtt 600ms] [-serve-stale 1m]
+//	           [-prefetch 10s] [-json]
 package main
 
 import (
@@ -43,6 +51,12 @@ func main() {
 		timeout     = flag.Duration("timeout", 10*time.Second, "whole-query client timeout")
 		udpTimeout  = flag.Duration("udp-attempt-timeout", 0, "UDP per-attempt wait before retransmitting (0 = derive from profile)")
 		upstreamRTT = flag.Duration("upstream-rtt", 4*time.Millisecond, "clean proxy-to-upstream round trip")
+		policy      = flag.String("policy", "failover", "proxy upstream steering policy: failover, fastest or hedged")
+		hedgeDelay  = flag.Duration("hedge-delay", 0, "hedged policy: wait before the second exchange (0 = adaptive)")
+		upstreams   = flag.Int("upstreams", 1, "recursive resolvers behind the proxy")
+		degradedRTT = flag.Duration("degraded-upstream-rtt", 0, "slow the preferred upstream's link to this round trip (0 = none)")
+		serveStale  = flag.Duration("serve-stale", 0, "proxy cache RFC 8767 stale window (0 disables)")
+		prefetch    = flag.Duration("prefetch", 0, "proxy cache near-expiry prefetch window (0 disables)")
 		asJSON      = flag.Bool("json", false, "print the full result as JSON instead of the table")
 	)
 	flag.Parse()
@@ -54,18 +68,24 @@ func main() {
 		}
 	}
 	res, err := loadgen.Run(loadgen.Scenario{
-		Profile:           *profile,
-		Transports:        trs,
-		Clients:           *clients,
-		Queries:           *queries,
-		Seed:              *seed,
-		Arrival:           *arrival,
-		Rate:              *rate,
-		Think:             *think,
-		Names:             *names,
-		Timeout:           *timeout,
-		UDPAttemptTimeout: *udpTimeout,
-		UpstreamRTT:       *upstreamRTT,
+		Profile:             *profile,
+		Transports:          trs,
+		Clients:             *clients,
+		Queries:             *queries,
+		Seed:                *seed,
+		Arrival:             *arrival,
+		Rate:                *rate,
+		Think:               *think,
+		Names:               *names,
+		Timeout:             *timeout,
+		UDPAttemptTimeout:   *udpTimeout,
+		UpstreamRTT:         *upstreamRTT,
+		Policy:              *policy,
+		HedgeDelay:          *hedgeDelay,
+		Upstreams:           *upstreams,
+		DegradedUpstreamRTT: *degradedRTT,
+		ServeStale:          *serveStale,
+		PrefetchWindow:      *prefetch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dohloadgen:", err)

@@ -14,6 +14,8 @@
 //
 //	dohproxy [-host proxy.dns] [-upstreams 2] [-conns 2] [-shards 16]
 //	         [-names 50] [-queries 400] [-upstream-rtt 8ms]
+//	         [-policy failover|fastest|hedged] [-hedge-delay 25ms]
+//	         [-serve-stale 1m] [-prefetch 10s]
 //	         [-metrics-addr 127.0.0.1:9090] [-hold 30s] [-cost-json]
 package main
 
@@ -47,6 +49,10 @@ type options struct {
 	names       int
 	queries     int
 	upstreamRTT time.Duration
+	policy      string
+	hedgeDelay  time.Duration
+	serveStale  time.Duration
+	prefetch    time.Duration
 	metricsAddr string
 	hold        time.Duration
 	costJSON    bool
@@ -61,6 +67,10 @@ func main() {
 	flag.IntVar(&o.names, "names", 50, "distinct query names (smaller = hotter cache)")
 	flag.IntVar(&o.queries, "queries", 400, "queries per transport")
 	flag.DurationVar(&o.upstreamRTT, "upstream-rtt", 8*time.Millisecond, "proxy↔upstream round-trip time")
+	flag.StringVar(&o.policy, "policy", "failover", "upstream steering policy: failover, fastest or hedged")
+	flag.DurationVar(&o.hedgeDelay, "hedge-delay", 0, "hedged policy: wait before the second exchange (0 = adaptive SRTT+4·RTTVAR)")
+	flag.DurationVar(&o.serveStale, "serve-stale", 0, "serve expired cache entries this long past expiry while refreshing in the background (RFC 8767; 0 disables)")
+	flag.DurationVar(&o.prefetch, "prefetch", 0, "refresh hot cache entries when a hit finds them within this much of expiry (0 disables)")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/cost on this real TCP address (e.g. 127.0.0.1:9090); empty disables")
 	flag.DurationVar(&o.hold, "hold", 0, "keep serving the observability endpoints this long after the workload")
 	flag.BoolVar(&o.costJSON, "cost-json", false, "print the /debug/cost JSON report to stdout at exit")
@@ -110,11 +120,15 @@ func run(o options) error {
 		return err
 	}
 	p, err := proxy.New(proxy.Config{
-		Upstreams:   poolUps,
-		Pool:        dnstransport.PoolConfig{ConnsPerUpstream: conns},
-		CacheShards: shards,
-		Chain:       chain,
-		Endpoints:   []dnsserver.Endpoint{{Path: "/dns-query", Wire: true, JSON: true}},
+		Upstreams:      poolUps,
+		Pool:           dnstransport.PoolConfig{ConnsPerUpstream: conns},
+		CacheShards:    shards,
+		Chain:          chain,
+		Endpoints:      []dnsserver.Endpoint{{Path: "/dns-query", Wire: true, JSON: true}},
+		Policy:         o.policy,
+		HedgeDelay:     o.hedgeDelay,
+		ServeStale:     o.serveStale,
+		PrefetchWindow: o.prefetch,
 	})
 	if err != nil {
 		return err
@@ -123,8 +137,8 @@ func run(o options) error {
 	if err := p.Start(n, host); err != nil {
 		return err
 	}
-	fmt.Printf("proxy up at %s: udp/tcp :53, dot :853, doh :443 — %d upstream(s) × %d conns, %d cache shards\n",
-		host, upstreams, conns, shards)
+	fmt.Printf("proxy up at %s: udp/tcp :53, dot :853, doh :443 — %d upstream(s) × %d conns, %d cache shards, policy %s\n",
+		host, upstreams, conns, shards, o.policy)
 
 	// The observability plane listens on a real socket so operators can
 	// scrape it while the simulated-network workload runs.
@@ -185,17 +199,22 @@ func run(o options) error {
 
 	cs := p.CacheStats()
 	hitRate := 0.0
-	if total := cs.Hits + cs.Misses + cs.Coalesced; total > 0 {
-		hitRate = float64(cs.Hits) / float64(total) * 100
+	if total := cs.Hits + cs.StaleHits + cs.Misses + cs.Coalesced; total > 0 {
+		hitRate = float64(cs.Hits+cs.StaleHits) / float64(total) * 100
 	}
-	fmt.Printf("\ncache: %d hits / %d misses / %d coalesced (%.1f%% hit rate), %d evictions\n",
-		cs.Hits, cs.Misses, cs.Coalesced, hitRate, cs.Evictions)
+	fmt.Printf("\ncache: %d hits / %d stale / %d misses / %d coalesced (%.1f%% hit rate), %d evictions\n",
+		cs.Hits, cs.StaleHits, cs.Misses, cs.Coalesced, hitRate, cs.Evictions)
 	for _, u := range p.UpstreamStats() {
 		state := "up"
 		if u.Down {
 			state = "down"
 		}
 		fmt.Printf("upstream %-22s %5d exchanges, %d failures, %s\n", u.Name, u.Exchanges, u.Failures, state)
+	}
+	steering := p.SteeringReport()
+	for _, u := range steering.Upstreams {
+		fmt.Printf("steer    %-22s srtt %.2fms ±%.2fms, success %.2f (%d samples)\n",
+			u.Name, u.SRTTMs, u.RTTVarMs, u.SuccessRate, u.Samples)
 	}
 
 	// Server-side view of the same workload, from the telemetry subsystem:

@@ -33,6 +33,7 @@ import (
 	"dohcost/internal/loadgen"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
+	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
 )
@@ -196,6 +197,15 @@ var (
 	// entries served by deep clone) — kept for comparison benchmarks; the
 	// default packed-wire entries are both faster and immutable.
 	CacheMessageEntries = dnscache.WithMessageEntries
+	// CacheServeStale keeps expired entries answerable for a window past
+	// expiry (RFC 8767), served immediately while one background refresh
+	// re-populates them.
+	CacheServeStale = dnscache.WithServeStale
+	// CachePrefetch refreshes hot entries in the background when a hit
+	// finds them within the window of expiry.
+	CachePrefetch = dnscache.WithPrefetch
+	// CacheRefreshTimeout bounds each background refresh exchange.
+	CacheRefreshTimeout = dnscache.WithRefreshTimeout
 )
 
 // Upstream pooling, re-exported from dnstransport.
@@ -214,6 +224,45 @@ type (
 // NewPool builds a pooled resolver over the given upstreams.
 func NewPool(upstreams []PoolUpstream, cfg PoolConfig) (*Pool, error) {
 	return dnstransport.NewPool(upstreams, cfg)
+}
+
+// Adaptive upstream steering, re-exported from internal/steer: the layer
+// between the cache and the pool that decides which upstream answers each
+// query from a live per-upstream EWMA SRTT + success model. A
+// ForwardingProxyConfig selects the policy by name (Policy, HedgeDelay,
+// ExploreEvery); these re-exports serve embedders composing the layers by
+// hand.
+type (
+	// Steerer routes queries over a pool's upstreams by policy.
+	Steerer = steer.Steerer
+	// SteeringPolicy selects failover, fastest or hedged routing.
+	SteeringPolicy = steer.Policy
+	// SteeringConfig tunes a Steerer.
+	SteeringConfig = steer.Config
+	// SteeringBackend is the upstream capability a Steerer drives (a *Pool).
+	SteeringBackend = steer.Backend
+	// SteeringReport is the steering section of a proxy cost report.
+	SteeringReport = steer.Report
+	// SteeringUpstreamScore is one upstream's live latency/health model.
+	SteeringUpstreamScore = steer.UpstreamScore
+)
+
+// The steering policies.
+const (
+	// SteerFailover preserves the pool's static preference order.
+	SteerFailover = steer.PolicyFailover
+	// SteerFastest routes to the lowest-SRTT upstream with exploration.
+	SteerFastest = steer.PolicyFastest
+	// SteerHedged races a delayed second exchange, first answer wins.
+	SteerHedged = steer.PolicyHedged
+)
+
+// ParseSteeringPolicy maps a policy name to its SteeringPolicy.
+var ParseSteeringPolicy = steer.ParsePolicy
+
+// NewSteerer wraps a pool (or any SteeringBackend) with a steering layer.
+func NewSteerer(backend SteeringBackend, cfg SteeringConfig) *Steerer {
+	return steer.New(backend, cfg)
 }
 
 // Forwarding proxy, re-exported from internal/proxy.

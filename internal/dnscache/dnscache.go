@@ -18,6 +18,14 @@
 // *Message entries served by deep clone — remains available behind
 // WithMessageEntries for comparison benchmarks.
 //
+// Two resilience mechanisms keep hot answers flowing when the upstream is
+// slow or down. With WithServeStale, expired entries stay answerable for a
+// window past expiry (RFC 8767): a stale hit is served immediately with
+// StaleTTL-capped TTLs while exactly one background refresh — singleflight
+// with any concurrent misses — re-populates the entry. With WithPrefetch,
+// a hit on a hot entry inside the prefetch window triggers the same
+// refresh before expiry, so popular names never go cold at all.
+//
 // The paper deliberately cleared caches between page loads to measure worst
 // cases; this package is the production counterpart — and the knob for the
 // cache ablation, which shows how quickly a warm cache erases the DoH
@@ -55,10 +63,11 @@ func appendKeyTail(dst []byte, qtype dnswire.Type, class dnswire.Class) []byte {
 	return append(dst, byte(qtype>>8), byte(qtype), byte(class>>8), byte(class))
 }
 
-// entry is one cached response. After insertion an entry is immutable —
-// wire, ttlOffsets and msg are never written again — so the hit path may
-// read it outside the shard lock; safety no longer depends on every reader
-// remembering to deep-copy.
+// entry is one cached response. After insertion an entry's payload is
+// immutable — wire, ttlOffsets and msg are never written again — so the
+// hit path may read it outside the shard lock; safety no longer depends on
+// every reader remembering to deep-copy. The hits counter is the one
+// mutable field, guarded by the shard lock.
 type entry struct {
 	key string
 	// wire is the packed response, still carrying the upstream exchange's
@@ -72,7 +81,13 @@ type entry struct {
 	// msg holds the response in message-entry mode (WithMessageEntries).
 	msg     *dnswire.Message
 	expires time.Time
-	elem    *list.Element
+	// ttl is the clamped lifetime the entry was inserted with; the
+	// prefetch gate compares it against the prefetch window.
+	ttl  time.Duration
+	elem *list.Element
+	// hits counts fresh hits since insertion — the hotness signal the
+	// near-expiry prefetch gates on. Guarded by the shard lock.
+	hits int
 }
 
 // Stats counts cache effectiveness, aggregated across shards. The JSON
@@ -83,6 +98,14 @@ type Stats struct {
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"` // queries answered by joining an in-flight exchange
 	Evictions int64 `json:"evictions"`
+	// StaleHits counts expired-but-stale answers served while a background
+	// refresh ran (RFC 8767 serve-stale).
+	StaleHits int64 `json:"stale_hits"`
+	// Prefetches counts near-expiry background refreshes triggered by hits
+	// on hot entries; Refreshes counts all background refreshes started
+	// (prefetch + serve-stale).
+	Prefetches int64 `json:"prefetches"`
+	Refreshes  int64 `json:"refreshes"`
 }
 
 func (s *Stats) add(o Stats) {
@@ -90,6 +113,9 @@ func (s *Stats) add(o Stats) {
 	s.Misses += o.Misses
 	s.Coalesced += o.Coalesced
 	s.Evictions += o.Evictions
+	s.StaleHits += o.StaleHits
+	s.Prefetches += o.Prefetches
+	s.Refreshes += o.Refreshes
 }
 
 // flight is one in-progress upstream exchange shared by coalesced callers.
@@ -130,6 +156,17 @@ type Cache struct {
 	// messageEntries selects the legacy *Message storage (see
 	// WithMessageEntries); the default is packed wire entries.
 	messageEntries bool
+	// staleWindow keeps expired entries answerable this long past expiry
+	// (RFC 8767 serve-stale); 0 disables.
+	staleWindow time.Duration
+	// prefetchWindow triggers a background refresh when a hit finds a hot
+	// entry within this much of expiry; 0 disables.
+	prefetchWindow time.Duration
+	// refreshTimeout bounds one background refresh exchange.
+	refreshTimeout time.Duration
+	// tel, when set, makes background refreshes report their upstream
+	// resource usage (WithTelemetry).
+	tel *telemetry.Metrics
 	// now is the clock, replaceable in tests.
 	now func() time.Time
 }
@@ -161,19 +198,57 @@ func WithNegativeTTL(d time.Duration) Option { return func(c *Cache) { c.negTTL 
 // BenchmarkCacheHitWirePath runs both modes side by side.
 func WithMessageEntries() Option { return func(c *Cache) { c.messageEntries = true } }
 
+// WithServeStale keeps expired entries answerable for window past expiry
+// (RFC 8767): a query hitting an expired-but-stale entry is answered
+// immediately from memory with StaleTTL-capped TTLs while exactly one
+// background refresh re-populates the entry. Both serving paths (wire and
+// Message) honor the window.
+func WithServeStale(window time.Duration) Option {
+	return func(c *Cache) { c.staleWindow = window }
+}
+
+// WithPrefetch refreshes hot entries before they expire: when a hit finds
+// an entry that has been hit at least twice and has less than window of
+// TTL left, one background refresh is started so the name never goes
+// cold. Negative entries are not prefetched.
+func WithPrefetch(window time.Duration) Option {
+	return func(c *Cache) { c.prefetchWindow = window }
+}
+
+// WithRefreshTimeout bounds each background refresh exchange (serve-stale
+// and prefetch); the default is 5s. Foreground misses are bounded by their
+// caller's context instead.
+func WithRefreshTimeout(d time.Duration) Option {
+	return func(c *Cache) { c.refreshTimeout = d }
+}
+
+// WithTelemetry attaches the metrics sink background refreshes report
+// their upstream resource usage to (pool dials, exchanges, failures,
+// bytes), via a background Transaction that counts no client query — so
+// serve-stale and prefetch traffic stays visible in the aggregate
+// upstream accounting. Foreground queries carry their own Transaction in
+// their context and are unaffected.
+func WithTelemetry(m *telemetry.Metrics) Option { return func(c *Cache) { c.tel = m } }
+
+// WithClock replaces the cache's clock. Exposed for tests and benchmarks
+// that need to age entries without sleeping (the serve-stale and prefetch
+// paths are clock-driven).
+func WithClock(now func() time.Time) Option { return func(c *Cache) { c.now = now } }
+
 // withClock replaces the clock (tests).
-func withClock(now func() time.Time) Option { return func(c *Cache) { c.now = now } }
+func withClock(now func() time.Time) Option { return WithClock(now) }
 
 // New wraps upstream with a cache.
 func New(upstream dnstransport.Resolver, opts ...Option) *Cache {
 	c := &Cache{
-		upstream:   upstream,
-		maxEntries: 4096,
-		nshards:    16,
-		maxTTL:     24 * time.Hour,
-		negTTL:     DefaultNegativeTTL,
-		now:        time.Now,
-		seed:       maphash.MakeSeed(),
+		upstream:       upstream,
+		maxEntries:     4096,
+		nshards:        16,
+		maxTTL:         24 * time.Hour,
+		negTTL:         DefaultNegativeTTL,
+		refreshTimeout: 5 * time.Second,
+		now:            time.Now,
+		seed:           maphash.MakeSeed(),
 	}
 	for _, o := range opts {
 		o(c)
@@ -208,6 +283,16 @@ func New(upstream dnstransport.Resolver, opts ...Option) *Cache {
 // DefaultNegativeTTL is the fallback negative-caching duration for
 // responses without an SOA, and the default cap for those with one.
 const DefaultNegativeTTL = 30 * time.Second
+
+// StaleTTL caps the TTLs of answers served from expired-but-stale entries,
+// per the RFC 8767 §4 recommendation (30 seconds): clients may briefly
+// re-cache stale data but re-ask soon.
+const StaleTTL = 30 * time.Second
+
+// prefetchMinHits is how many fresh hits an entry needs before a
+// near-expiry hit triggers a prefetch — the "hot name" gate that keeps
+// one-off lookups from paying refresh traffic.
+const prefetchMinHits = 2
 
 // shardFor hashes a key to its partition. maphash.Bytes is the runtime's
 // AES-based hash — cheap enough that sharding never shows up next to the
@@ -262,10 +347,17 @@ func (c *Cache) Flush() {
 // (typically sliced from a pooled buffer) and returns the extended slice
 // plus the telemetry outcome to record. ok=false sends the caller to the
 // Message path without anything having been counted: a miss or an expired
-// entry (the Message path re-counts and refreshes it), a response larger
-// than limit (truncation needs Message-level surgery), or a cache in
-// message-entry mode.
-func (c *Cache) ServeWire(q *dnswire.Query, dst []byte, limit int) ([]byte, telemetry.CacheOutcome, bool) {
+// entry past any stale window (the Message path re-counts and refreshes
+// it), a response larger than limit (truncation needs Message-level
+// surgery), or a cache in message-entry mode.
+//
+// With a serve-stale window configured, an expired-but-stale entry is
+// served with StaleTTL-capped TTLs while a singleflight background refresh
+// re-populates it; with a prefetch window, a hit on a hot near-expiry
+// entry triggers the same refresh early and charges tx (which may be nil)
+// with the prefetch. Only those resilience paths allocate; the fresh-hit
+// path stays allocation-free.
+func (c *Cache) ServeWire(tx *telemetry.Transaction, q *dnswire.Query, dst []byte, limit int) ([]byte, telemetry.CacheOutcome, bool) {
 	if c.messageEntries {
 		return nil, telemetry.CacheNone, false
 	}
@@ -280,24 +372,70 @@ func (c *Cache) ServeWire(q *dnswire.Query, dst []byte, limit int) ([]byte, tele
 		return nil, telemetry.CacheNone, false
 	}
 	now := c.now()
-	if !now.Before(e.expires) || (limit > 0 && len(e.wire) > limit) {
+	if limit > 0 && len(e.wire) > limit {
+		sh.mu.Unlock()
+		return nil, telemetry.CacheNone, false
+	}
+	stale := !now.Before(e.expires)
+	if stale && (c.staleWindow <= 0 || !now.Before(e.expires.Add(c.staleWindow))) {
 		sh.mu.Unlock()
 		return nil, telemetry.CacheNone, false
 	}
 	sh.lru.MoveToFront(e.elem)
-	sh.stats.Hits++
-	remaining := e.expires.Sub(now)
+	var remaining time.Duration
+	refresh, prefetch := false, false
+	if stale {
+		sh.stats.StaleHits++
+		remaining = StaleTTL
+		// Checked here, under the lock already held, so the steady state
+		// of an upstream outage — every hit stale, one refresh parked on
+		// the dead upstream — pays no extra lock round trip or key
+		// allocation per hit (the map index below does not materialize
+		// the string).
+		_, inflight := sh.flights[string(kb)]
+		refresh = !inflight
+	} else {
+		sh.stats.Hits++
+		e.hits++
+		remaining = e.expires.Sub(now)
+		if c.wantsPrefetch(e, remaining) {
+			_, inflight := sh.flights[string(kb)]
+			refresh, prefetch = !inflight, !inflight
+		}
+	}
 	sh.mu.Unlock()
+
+	if refresh {
+		// maybeRefresh re-checks the flight table under the lock, so the
+		// benign race with a just-started flight resolves to a no-op.
+		if started := c.maybeRefresh(sh, string(kb), prefetch); started && prefetch {
+			tx.Prefetch()
+		}
+	}
 
 	// The entry is immutable, so the copy and patch run outside the lock.
 	resp := append(dst[:0], e.wire...)
 	dnswire.PatchID(resp, q.ID)
 	dnswire.DecayTTLs(resp, e.ttlOffsets, uint32(remaining/time.Second))
 	outcome := telemetry.CacheHit
-	if e.negative {
+	switch {
+	case stale:
+		outcome = telemetry.CacheStaleHit
+	case e.negative:
 		outcome = telemetry.CacheNegativeHit
 	}
 	return resp, outcome, true
+}
+
+// wantsPrefetch decides whether a fresh hit should trigger the near-expiry
+// refresh. Entries whose whole lifetime fits inside the prefetch window
+// never qualify: for them "near expiry" is always true, and prefetching
+// would turn every couple of hits into upstream traffic — amplification,
+// where the feature exists to save misses on names that live longer than
+// the window. Caller holds sh.mu (it reads the entry's hit counter).
+func (c *Cache) wantsPrefetch(e *entry, remaining time.Duration) bool {
+	return c.prefetchWindow > 0 && !e.negative && e.ttl > c.prefetchWindow &&
+		e.hits >= prefetchMinHits && remaining <= c.prefetchWindow
 }
 
 // Exchange implements Resolver. Cache hits are answered with the stored
@@ -322,22 +460,49 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	sh.mu.Lock()
 	if e, ok := sh.entries[string(kb)]; ok {
 		now := c.now()
-		if now.Before(e.expires) {
+		switch {
+		case now.Before(e.expires):
 			sh.lru.MoveToFront(e.elem)
 			sh.stats.Hits++
+			e.hits++
 			remaining := e.expires.Sub(now)
+			prefetch := false
+			if c.wantsPrefetch(e, remaining) {
+				_, inflight := sh.flights[string(kb)]
+				prefetch = !inflight
+			}
 			sh.mu.Unlock()
 			if e.negative {
 				tx.SetCache(telemetry.CacheNegativeHit)
 			} else {
 				tx.SetCache(telemetry.CacheHit)
 			}
+			if prefetch && c.maybeRefresh(sh, string(kb), true) {
+				tx.Prefetch()
+			}
 			if c.messageEntries {
 				return cloneResponse(e.msg, q.ID, remaining), nil
 			}
 			return unpackEntry(e, q.ID, remaining)
+		case c.staleWindow > 0 && now.Before(e.expires.Add(c.staleWindow)):
+			// RFC 8767 serve-stale: answer immediately from the expired
+			// entry while one background refresh re-populates it — the
+			// client never waits on the upstream.
+			sh.lru.MoveToFront(e.elem)
+			sh.stats.StaleHits++
+			_, inflight := sh.flights[string(kb)]
+			sh.mu.Unlock()
+			tx.SetCache(telemetry.CacheStaleHit)
+			if !inflight {
+				c.maybeRefresh(sh, string(kb), false)
+			}
+			if c.messageEntries {
+				return cloneResponse(e.msg, q.ID, StaleTTL), nil
+			}
+			return unpackEntry(e, q.ID, StaleTTL)
+		default:
+			sh.removeLocked(e)
 		}
-		sh.removeLocked(e)
 	}
 	// Miss: join or start a flight.
 	if f, ok := sh.flights[string(kb)]; ok {
@@ -384,17 +549,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	sh.mu.Lock()
 	delete(sh.flights, k)
 	if e != nil {
-		e.elem = sh.lru.PushFront(e)
-		sh.entries[k] = e
-		for len(sh.entries) > sh.maxEntries {
-			oldest := sh.lru.Back()
-			if oldest == nil {
-				break
-			}
-			sh.removeLocked(oldest.Value.(*entry))
-			sh.stats.Evictions++
-			evicted++
-		}
+		evicted = sh.insertLocked(e)
 	}
 	sh.mu.Unlock()
 	tx.CacheEvicted(evicted)
@@ -412,10 +567,12 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 // re-pack (never seen in practice: it was just unpacked by the transport)
 // is simply not cached.
 func (c *Cache) buildEntry(k string, resp *dnswire.Message) *entry {
+	ttl := c.clampTTL(c.ttlOf(resp))
 	e := &entry{
 		key:      k,
 		negative: negative(resp),
-		expires:  c.now().Add(c.clampTTL(c.ttlOf(resp))),
+		ttl:      ttl,
+		expires:  c.now().Add(ttl),
 	}
 	if c.messageEntries {
 		e.msg = resp
@@ -461,6 +618,87 @@ func unpackEntry(e *entry, id uint16, remaining time.Duration) (*dnswire.Message
 func (sh *shard) removeLocked(e *entry) {
 	delete(sh.entries, e.key)
 	sh.lru.Remove(e.elem)
+}
+
+// insertLocked installs e — replacing any existing entry for its key, as a
+// background refresh of a still-present stale entry does — and evicts past
+// the shard bound, returning the eviction count. Caller holds sh.mu.
+func (sh *shard) insertLocked(e *entry) int {
+	if old, ok := sh.entries[e.key]; ok {
+		sh.removeLocked(old)
+	}
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[e.key] = e
+	evicted := 0
+	for len(sh.entries) > sh.maxEntries {
+		oldest := sh.lru.Back()
+		if oldest == nil {
+			break
+		}
+		sh.removeLocked(oldest.Value.(*entry))
+		sh.stats.Evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// maybeRefresh starts a background singleflight refresh of key k unless an
+// exchange for it is already in flight, reporting whether this call
+// started one. prefetch labels the trigger for stats. Caller must not hold
+// sh.mu.
+func (c *Cache) maybeRefresh(sh *shard, k string, prefetch bool) bool {
+	sh.mu.Lock()
+	if _, inflight := sh.flights[k]; inflight {
+		sh.mu.Unlock()
+		return false
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flights[k] = f
+	sh.stats.Refreshes++
+	if prefetch {
+		sh.stats.Prefetches++
+	}
+	sh.mu.Unlock()
+	go c.refresh(sh, k, f)
+	return true
+}
+
+// refresh is the background half of serve-stale and prefetch: one upstream
+// exchange re-populating k while foreground queries keep answering from
+// the existing entry. It holds the key's singleflight slot, so concurrent
+// misses for the same name join it instead of going upstream themselves.
+// A failed refresh leaves the old entry in place — within a serve-stale
+// window that is exactly the availability RFC 8767 wants.
+func (c *Cache) refresh(sh *shard, k string, f *flight) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.refreshTimeout)
+	defer cancel()
+	tx := c.tel.BeginBackground()
+	defer tx.Finish()
+	resp, err := c.upstream.Exchange(telemetry.NewContext(ctx, tx), refreshQuery(k))
+	f.resp, f.err = resp, err
+	var e *entry
+	if err == nil && cacheable(resp) {
+		e = c.buildEntry(k, resp)
+	}
+	sh.mu.Lock()
+	delete(sh.flights, k)
+	if e != nil {
+		sh.insertLocked(e)
+	}
+	sh.mu.Unlock()
+	close(f.done)
+}
+
+// refreshQuery rebuilds the question a cache key encodes — the canonical
+// name followed by four octets of type and class — into a fresh query
+// message for the background refresh.
+func refreshQuery(k string) *dnswire.Message {
+	name := dnswire.Name(k[:len(k)-4])
+	qtype := dnswire.Type(uint16(k[len(k)-4])<<8 | uint16(k[len(k)-3]))
+	class := dnswire.Class(uint16(k[len(k)-2])<<8 | uint16(k[len(k)-1]))
+	q := dnswire.NewQuery(0, name, qtype)
+	q.Questions[0].Class = class
+	return q
 }
 
 func (c *Cache) clampTTL(ttl time.Duration) time.Duration {

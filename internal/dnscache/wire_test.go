@@ -39,7 +39,7 @@ func TestServeWireHitMatchesMessagePath(t *testing.T) {
 	now = now.Add(45 * time.Second)
 	query := dnswire.NewQuery(0x4242, "Wire.Example.", dnswire.TypeA) // case-insensitive
 	fq, _ := fastParse(t, query)
-	resp, outcome, ok := c.ServeWire(&fq, make([]byte, 0, 4096), 4096)
+	resp, outcome, ok := c.ServeWire(nil, &fq, make([]byte, 0, 4096), 4096)
 	if !ok {
 		t.Fatal("wire path missed a primed entry")
 	}
@@ -85,7 +85,7 @@ func TestServeWireDeclines(t *testing.T) {
 	defer c.Close()
 
 	fq, _ := fastParse(t, dnswire.NewQuery(1, "miss.example.", dnswire.TypeA))
-	if _, _, ok := c.ServeWire(&fq, nil, 0); ok {
+	if _, _, ok := c.ServeWire(nil, &fq, nil, 0); ok {
 		t.Error("wire path served an uncached name")
 	}
 	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
@@ -98,7 +98,7 @@ func TestServeWireDeclines(t *testing.T) {
 
 	// Response larger than the limit: decline so the Message path can
 	// truncate, and count nothing (Exchange will count the hit).
-	if _, _, ok := c.ServeWire(&fq, nil, 20); ok {
+	if _, _, ok := c.ServeWire(nil, &fq, nil, 20); ok {
 		t.Error("wire path served past the size limit")
 	}
 	if s := c.Stats(); s.Hits != 0 {
@@ -107,7 +107,7 @@ func TestServeWireDeclines(t *testing.T) {
 
 	// Expired entries decline too; the Message path refreshes them.
 	now = now.Add(2 * time.Minute)
-	if _, _, ok := c.ServeWire(&fq, nil, 0); ok {
+	if _, _, ok := c.ServeWire(nil, &fq, nil, 0); ok {
 		t.Error("wire path served an expired entry")
 	}
 
@@ -117,7 +117,7 @@ func TestServeWireDeclines(t *testing.T) {
 	if _, err := cm.Exchange(context.Background(), dnswire.NewQuery(1, "miss.example.", dnswire.TypeA)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, ok := cm.ServeWire(&fq, nil, 0); ok {
+	if _, _, ok := cm.ServeWire(nil, &fq, nil, 0); ok {
 		t.Error("wire path active in message-entry mode")
 	}
 }
@@ -133,7 +133,7 @@ func TestServeWireNegativeHit(t *testing.T) {
 		t.Fatal(err)
 	}
 	fq, _ := fastParse(t, dnswire.NewQuery(2, "nx.example.", dnswire.TypeA))
-	resp, outcome, ok := c.ServeWire(&fq, nil, 0)
+	resp, outcome, ok := c.ServeWire(nil, &fq, nil, 0)
 	if !ok {
 		t.Fatal("negative entry not served")
 	}
@@ -159,7 +159,7 @@ func TestServeWireHitAllocFree(t *testing.T) {
 	fq, _ := fastParse(t, dnswire.NewQuery(7, "hot.example.", dnswire.TypeA))
 	dst := make([]byte, 0, 4096)
 	allocs := testing.AllocsPerRun(200, func() {
-		if _, _, ok := c.ServeWire(&fq, dst[:0], 4096); !ok {
+		if _, _, ok := c.ServeWire(nil, &fq, dst[:0], 4096); !ok {
 			t.Fatal("hit lost")
 		}
 	})
@@ -176,7 +176,7 @@ func TestServeWireEntriesAreImmutable(t *testing.T) {
 		t.Fatal(err)
 	}
 	fq, _ := fastParse(t, dnswire.NewQuery(2, "imm.example.", dnswire.TypeA))
-	first, _, ok := c.ServeWire(&fq, nil, 0)
+	first, _, ok := c.ServeWire(nil, &fq, nil, 0)
 	if !ok {
 		t.Fatal("hit lost")
 	}
@@ -184,7 +184,7 @@ func TestServeWireEntriesAreImmutable(t *testing.T) {
 	for i := range first {
 		first[i] = 0xFF // a hostile caller scribbles on its response
 	}
-	second, _, ok := c.ServeWire(&fq, nil, 0)
+	second, _, ok := c.ServeWire(nil, &fq, nil, 0)
 	if !ok {
 		t.Fatal("hit lost")
 	}

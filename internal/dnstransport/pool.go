@@ -2,7 +2,9 @@ package dnstransport
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,8 @@ type PoolConfig struct {
 
 	// now is the clock, replaceable in tests.
 	now func() time.Time
+	// rand is the backoff jitter source in [0,1), replaceable in tests.
+	rand func() float64
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -54,6 +58,9 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	if c.now == nil {
 		c.now = time.Now
 	}
+	if c.rand == nil {
+		c.rand = rand.Float64
+	}
 	return c
 }
 
@@ -69,7 +76,38 @@ type Pool struct {
 	cfg PoolConfig
 	ups []*poolUpstream
 
-	closed atomic.Bool
+	observer atomic.Pointer[ExchangeObserver]
+	closed   atomic.Bool
+}
+
+// ExchangeObserver receives the outcome of every exchange attempt the pool
+// runs: the upstream's name, the attempt's duration (connection checkout
+// included, so setup cost — the dominant DoH cost — is visible), and the
+// error (nil on success). Attempts abandoned by the caller's cancellation
+// are reported with context.Canceled; scorers should ignore those — a
+// cancelled hedge loser says nothing about the upstream. A deadline that
+// expired mid-exchange is charged like any failure, by the pool and by
+// scorers alike: an upstream that ate the whole budget is exactly what the
+// model must learn. Observers run inline on the exchange path and must be
+// fast and concurrency-safe.
+type ExchangeObserver func(upstream string, d time.Duration, err error)
+
+// SetExchangeObserver installs (or, with nil, removes) the per-attempt
+// outcome callback. Safe to call while exchanges run; the steering layer
+// installs its scorer here so every policy's traffic feeds the same model.
+func (p *Pool) SetExchangeObserver(fn ExchangeObserver) {
+	if fn == nil {
+		p.observer.Store(nil)
+		return
+	}
+	p.observer.Store(&fn)
+}
+
+// observe reports one attempt outcome to the installed observer, if any.
+func (p *Pool) observe(name string, d time.Duration, err error) {
+	if fn := p.observer.Load(); fn != nil {
+		(*fn)(name, d, err)
+	}
 }
 
 // poolConn is one persistent connection slot, lazily dialed.
@@ -176,7 +214,9 @@ func (u *poolUpstream) succeed() {
 }
 
 // nextBackoff advances an exponential backoff: base on the first failure,
-// doubling up to the cap afterwards.
+// doubling up to the cap afterwards. The growth itself is deterministic;
+// the delay actually slept is spread by jitterBackoff so peers broken at
+// the same instant do not retry in lockstep.
 func nextBackoff(cur time.Duration, cfg PoolConfig) time.Duration {
 	if cur == 0 {
 		return cfg.BackoffBase
@@ -187,15 +227,27 @@ func nextBackoff(cur time.Duration, cfg PoolConfig) time.Duration {
 	return cur
 }
 
+// jitterBackoff spreads a backoff delay uniformly over [d/2, d) — the
+// "equal jitter" scheme. Without it, every connection to an upstream that
+// died at one instant computes the same deterministic schedule and redials
+// in lockstep, aiming a thundering herd at the recovering upstream.
+func jitterBackoff(d time.Duration, cfg PoolConfig) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(cfg.rand()*float64(half))
+}
+
 // fail counts one failure and, past the threshold, marks the upstream down
-// with exponential backoff.
+// with jittered exponential backoff.
 func (u *poolUpstream) fail(cfg PoolConfig) {
 	u.mu.Lock()
 	u.errors++
 	u.failures++
 	if u.failures >= cfg.MaxFailures {
 		u.backoff = nextBackoff(u.backoff, cfg)
-		u.downUntil = cfg.now().Add(u.backoff)
+		u.downUntil = cfg.now().Add(jitterBackoff(u.backoff, cfg))
 	}
 	u.mu.Unlock()
 }
@@ -242,10 +294,12 @@ func (c *poolConn) drop(r Resolver, cfg PoolConfig) {
 	c.mu.Unlock()
 }
 
-// noteBroken advances the slot's redial backoff. Caller holds c.mu.
+// noteBroken advances the slot's redial backoff. The next dial time is
+// jittered so slots broken together spread their redials. Caller holds
+// c.mu.
 func (c *poolConn) noteBroken(cfg PoolConfig) {
 	c.backoff = nextBackoff(c.backoff, cfg)
-	c.redialAt = cfg.now().Add(c.backoff)
+	c.redialAt = cfg.now().Add(jitterBackoff(c.backoff, cfg))
 }
 
 // Exchange implements Resolver. The query goes to the first healthy
@@ -290,9 +344,16 @@ func (p *Pool) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Messa
 // exchangeVia runs one exchange attempt on u's next connection. The
 // query's telemetry Transaction (when present in ctx) is charged for the
 // checkout — fresh dials, failed attempts — and credited with the
-// answering upstream's name and exchange latency on success.
+// answering upstream's name and exchange latency on success; the pool's
+// ExchangeObserver (when installed) sees the attempt either way. An
+// exchange that failed because the caller *cancelled* charges nothing —
+// the upstream did nothing wrong, so neither the connection nor the
+// upstream's health pays for a hedge loser's cancellation or a departed
+// client. A deadline expiring mid-exchange is an ordinary failure: a
+// black-holing upstream must still be marked down.
 func (p *Pool) exchangeVia(ctx context.Context, u *poolUpstream, q *dnswire.Message) (*dnswire.Message, error) {
 	tx := telemetry.FromContext(ctx)
+	start := time.Now()
 	slot := u.conns[u.next.Add(1)%uint64(len(u.conns))]
 	r, dialed, err := slot.get(p, u)
 	if dialed {
@@ -301,19 +362,51 @@ func (p *Pool) exchangeVia(ctx context.Context, u *poolUpstream, q *dnswire.Mess
 	if err != nil {
 		tx.PoolFailure()
 		u.fail(p.cfg)
+		p.observe(u.name, time.Since(start), err)
 		return nil, err
 	}
 	t0 := time.Now()
 	resp, err := r.Exchange(ctx, q)
 	if err != nil {
-		tx.PoolFailure()
-		slot.drop(r, p.cfg)
-		u.fail(p.cfg)
+		if !errors.Is(ctx.Err(), context.Canceled) {
+			tx.PoolFailure()
+			slot.drop(r, p.cfg)
+			u.fail(p.cfg)
+		}
+		p.observe(u.name, time.Since(start), err)
 		return nil, err
 	}
 	tx.ObserveUpstream(u.name, time.Since(t0))
 	u.succeed()
+	p.observe(u.name, time.Since(start), nil)
 	return resp, nil
+}
+
+// NumUpstreams reports how many upstreams the pool multiplexes.
+func (p *Pool) NumUpstreams() int { return len(p.ups) }
+
+// UpstreamName returns the configured name of upstream i, in the
+// preference order NewPool received.
+func (p *Pool) UpstreamName(i int) string { return p.ups[i].name }
+
+// UpstreamHealthy reports whether upstream i is currently accepting
+// traffic (not marked down in failure backoff).
+func (p *Pool) UpstreamHealthy(i int) bool { return p.ups[i].healthy(p.cfg.now()) }
+
+// ExchangeUpstream runs one exchange against upstream i specifically — no
+// failover — so a steering layer can aim traffic by score instead of by
+// static preference order. Connection checkout, health accounting and
+// redial backoff work exactly as in Exchange; the upstream is tried even
+// when marked down, because a directed probe is how a steering policy
+// discovers recovery.
+func (p *Pool) ExchangeUpstream(ctx context.Context, i int, q *dnswire.Message) (*dnswire.Message, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	if i < 0 || i >= len(p.ups) {
+		return nil, fmt.Errorf("dnstransport: pool has no upstream %d", i)
+	}
+	return p.exchangeVia(ctx, p.ups[i], q)
 }
 
 var _ Resolver = (*Pool)(nil)

@@ -18,10 +18,15 @@ type fakeResolver struct {
 	exchanges atomic.Int64
 	fail      atomic.Bool
 	closed    atomic.Bool
+	slow      atomic.Bool // block until the context ends
 }
 
 func (f *fakeResolver) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 	f.exchanges.Add(1)
+	if f.slow.Load() {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
 	if f.fail.Load() {
 		return nil, fmt.Errorf("fake %s: injected failure", f.name)
 	}
@@ -275,5 +280,176 @@ func TestPoolConcurrentExchanges(t *testing.T) {
 	wg.Wait()
 	if up.dialed() > 4 {
 		t.Errorf("dialed %d conns, want ≤ 4", up.dialed())
+	}
+}
+
+// TestBackoffJitterSpreadsRedials breaks two connection slots at the same
+// instant with the same config and checks their next-dial times differ —
+// the anti-thundering-herd property — while both stay inside the
+// [base/2, base) jitter window.
+func TestBackoffJitterSpreadsRedials(t *testing.T) {
+	now := time.Now()
+	cfg := PoolConfig{BackoffBase: time.Second, now: func() time.Time { return now }}.withDefaults()
+	c1, c2 := &poolConn{}, &poolConn{}
+	c1.noteBroken(cfg)
+	c2.noteBroken(cfg)
+	if c1.redialAt.Equal(c2.redialAt) {
+		t.Errorf("two conns broken together redial at the same instant %v (lockstep herd)", c1.redialAt)
+	}
+	for i, c := range []*poolConn{c1, c2} {
+		d := c.redialAt.Sub(now)
+		if d < cfg.BackoffBase/2 || d >= cfg.BackoffBase {
+			t.Errorf("conn %d redial delay %v outside jitter window [%v, %v)", i, d, cfg.BackoffBase/2, cfg.BackoffBase)
+		}
+	}
+	// The underlying exponential growth stays deterministic: doubling, then
+	// capped.
+	if got := nextBackoff(time.Second, cfg); got != 2*time.Second {
+		t.Errorf("nextBackoff(1s) = %v, want 2s", got)
+	}
+	if got := nextBackoff(20*time.Second, cfg); got != cfg.BackoffMax {
+		t.Errorf("nextBackoff(20s) = %v, want cap %v", got, cfg.BackoffMax)
+	}
+}
+
+// TestExchangeUpstreamTargetsSpecific checks the steering entry point aims
+// one exchange at exactly the named upstream, bypassing preference order.
+func TestExchangeUpstreamTargetsSpecific(t *testing.T) {
+	prim := &fakeUpstream{name: "primary"}
+	sec := &fakeUpstream{name: "secondary"}
+	p, err := NewPool([]PoolUpstream{prim.poolUpstream(), sec.poolUpstream()}, PoolConfig{ConnsPerUpstream: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if got, want := p.NumUpstreams(), 2; got != want {
+		t.Fatalf("NumUpstreams = %d, want %d", got, want)
+	}
+	if p.UpstreamName(0) != "primary" || p.UpstreamName(1) != "secondary" {
+		t.Fatalf("names = %q, %q", p.UpstreamName(0), p.UpstreamName(1))
+	}
+	resp, err := p.ExchangeUpstream(context.Background(), 1, q("aim.example."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := answeredBy(t, resp); got != "secondary" {
+		t.Errorf("answered by %s, want secondary", got)
+	}
+	if prim.dialed() != 0 {
+		t.Error("primary dialed by a secondary-directed exchange")
+	}
+	if _, err := p.ExchangeUpstream(context.Background(), 5, q("oob.example.")); err == nil {
+		t.Error("out-of-range upstream index accepted")
+	}
+}
+
+// TestExchangeObserverSeesOutcomes installs an observer and checks it sees
+// both the success and the failure, with the right upstream names.
+func TestExchangeObserverSeesOutcomes(t *testing.T) {
+	up := &fakeUpstream{name: "watched"}
+	p, err := NewPool([]PoolUpstream{up.poolUpstream()}, PoolConfig{ConnsPerUpstream: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	type seen struct {
+		name string
+		err  error
+	}
+	var mu sync.Mutex
+	var outcomes []seen
+	p.SetExchangeObserver(func(name string, d time.Duration, err error) {
+		mu.Lock()
+		outcomes = append(outcomes, seen{name, err})
+		mu.Unlock()
+	})
+	if _, err := p.Exchange(context.Background(), q("ok.example.")); err != nil {
+		t.Fatal(err)
+	}
+	up.failAll(true)
+	p.Exchange(context.Background(), q("bad.example."))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(outcomes) != 2 {
+		t.Fatalf("observer saw %d outcomes, want 2: %v", len(outcomes), outcomes)
+	}
+	if outcomes[0].name != "watched" || outcomes[0].err != nil {
+		t.Errorf("first outcome = %+v, want watched success", outcomes[0])
+	}
+	if outcomes[1].err == nil {
+		t.Error("failure outcome reported as success")
+	}
+}
+
+// TestCancelledExchangeChargesNothing cancels an in-flight exchange and
+// checks the upstream's health and the connection slot are untouched: a
+// hedge loser's cancellation (or a departed client) must not mark a
+// healthy upstream down or force a redial.
+func TestCancelledExchangeChargesNothing(t *testing.T) {
+	up := &fakeUpstream{name: "innocent"}
+	p, err := NewPool([]PoolUpstream{up.poolUpstream()}, PoolConfig{ConnsPerUpstream: 1, MaxFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Warm the connection, then make it block.
+	if _, err := p.Exchange(context.Background(), q("warm.example.")); err != nil {
+		t.Fatal(err)
+	}
+	up.mu.Lock()
+	up.conns[0].slow.Store(true)
+	up.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Exchange(ctx, q("hung.example."))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled exchange returned no error")
+	}
+	stats := p.Stats()
+	if stats[0].Failures != 0 || stats[0].Down {
+		t.Errorf("cancellation charged the upstream: %+v", stats[0])
+	}
+	// The connection survived: the next exchange reuses it, no redial.
+	up.mu.Lock()
+	up.conns[0].slow.Store(false)
+	up.mu.Unlock()
+	if _, err := p.Exchange(context.Background(), q("after.example.")); err != nil {
+		t.Fatalf("exchange after cancellation: %v", err)
+	}
+	if up.dialed() != 1 {
+		t.Errorf("dialed %d conns, want 1 (cancellation must not drop the slot)", up.dialed())
+	}
+}
+
+// TestDeadlineExceededChargesUpstream is the counterpart of the
+// cancellation test: a deadline that expires mid-exchange IS charged —
+// health, failure counter, and connection drop — because a black-holing
+// upstream must still be marked down and redialed.
+func TestDeadlineExceededChargesUpstream(t *testing.T) {
+	up := &fakeUpstream{name: "blackhole"}
+	p, err := NewPool([]PoolUpstream{up.poolUpstream()}, PoolConfig{ConnsPerUpstream: 1, MaxFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.Exchange(context.Background(), q("warm.example.")); err != nil {
+		t.Fatal(err)
+	}
+	up.mu.Lock()
+	up.conns[0].slow.Store(true)
+	up.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := p.Exchange(ctx, q("hole.example.")); err == nil {
+		t.Fatal("black-holed exchange returned no error")
+	}
+	stats := p.Stats()
+	if stats[0].Failures != 1 || !stats[0].Down {
+		t.Errorf("deadline expiry not charged: %+v", stats[0])
 	}
 }

@@ -43,6 +43,7 @@ import (
 	"dohcost/internal/dnswire"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
+	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
 )
@@ -106,6 +107,26 @@ type Scenario struct {
 	UDPRetries int
 	// UpstreamRTT is the clean proxy↔upstream round trip (default 4ms).
 	UpstreamRTT time.Duration
+	// Upstreams is how many recursive resolvers stand behind the proxy
+	// (default 1); the pool prefers them in index order.
+	Upstreams int
+	// DegradedUpstreamRTT, when positive, slows the FIRST (preferred)
+	// upstream's proxy↔upstream link to this round trip while the others
+	// keep UpstreamRTT — the one-degraded-upstream regime where steering
+	// policies separate: static failover keeps paying the degraded RTT
+	// because the upstream still answers, while fastest/hedged route
+	// around it.
+	DegradedUpstreamRTT time.Duration
+	// Policy selects the proxy's upstream steering policy ("failover",
+	// "fastest", "hedged"); empty means failover.
+	Policy string
+	// HedgeDelay is the hedged policy's wait before its second exchange
+	// (0 = adaptive from the primary's live latency model).
+	HedgeDelay time.Duration
+	// ServeStale and PrefetchWindow configure the proxy cache's RFC 8767
+	// stale window and near-expiry prefetch (0 disables each).
+	ServeStale     time.Duration
+	PrefetchWindow time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -162,6 +183,12 @@ func (s Scenario) withDefaults() (Scenario, netsim.Profile, error) {
 	if s.UpstreamRTT <= 0 {
 		s.UpstreamRTT = 4 * time.Millisecond
 	}
+	if s.Upstreams <= 0 {
+		s.Upstreams = 1
+	}
+	if _, err := steer.ParsePolicy(s.Policy); err != nil {
+		return s, prof, fmt.Errorf("loadgen: %w", err)
+	}
 	return s, prof, nil
 }
 
@@ -209,6 +236,9 @@ type Result struct {
 	Server *telemetry.Snapshot `json:"server"`
 	// Cache is the proxy cache's effectiveness over the whole run.
 	Cache dnscache.Stats `json:"cache"`
+	// Steering is the proxy's end-of-run steering model: policy and
+	// per-upstream SRTT/success scores, best-ranked first.
+	Steering steer.Report `json:"steering"`
 }
 
 // Run executes the scenario and returns the harvest.
@@ -218,19 +248,35 @@ func Run(s Scenario) (*Result, error) {
 		return nil, err
 	}
 	n := netsim.New(s.Seed)
-	n.SetLink(ProxyHost, UpstreamHost, netsim.Link{Delay: s.UpstreamRTT / 2})
 	if s.Profile != "" {
 		for c := 0; c < s.Clients; c++ {
 			n.ApplyProfile(clientHost(c), ProxyHost, prof)
 		}
 	}
 
-	upstream := &dnsserver.Server{Handler: dnsserver.Static(netip.MustParseAddr("192.0.2.53"), 300)}
-	upRun, err := upstream.Start(n, UpstreamHost)
-	if err != nil {
-		return nil, fmt.Errorf("loadgen: starting upstream: %w", err)
+	var poolUps []dnstransport.PoolUpstream
+	for i := 0; i < s.Upstreams; i++ {
+		uhost := upstreamHost(i)
+		rtt := s.UpstreamRTT
+		if i == 0 && s.DegradedUpstreamRTT > 0 {
+			rtt = s.DegradedUpstreamRTT
+		}
+		n.SetLink(ProxyHost, uhost, netsim.Link{Delay: rtt / 2})
+		upstream := &dnsserver.Server{Handler: dnsserver.Static(netip.MustParseAddr("192.0.2.53"), 300)}
+		upRun, err := upstream.Start(n, uhost)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: starting upstream %s: %w", uhost, err)
+		}
+		defer upRun.Close()
+		poolUps = append(poolUps, dnstransport.PoolUpstream{
+			Name: uhost,
+			Dial: func() (dnstransport.Resolver, error) {
+				return dnstransport.NewTCPClient(func() (net.Conn, error) {
+					return n.Dial(ProxyHost, uhost+":53")
+				}), nil
+			},
+		})
 	}
-	defer upRun.Close()
 
 	chain, err := tlsx.GenerateChain(tlsx.CloudflareLike(ProxyHost))
 	if err != nil {
@@ -244,17 +290,14 @@ func Run(s Scenario) (*Result, error) {
 		maxUDP = prof.Link.MTU - netsim.DatagramHeaderBytes
 	}
 	p, err := proxy.New(proxy.Config{
-		Upstreams: []dnstransport.PoolUpstream{{
-			Name: UpstreamHost,
-			Dial: func() (dnstransport.Resolver, error) {
-				return dnstransport.NewTCPClient(func() (net.Conn, error) {
-					return n.Dial(ProxyHost, UpstreamHost+":53")
-				}), nil
-			},
-		}},
-		Chain:      chain,
-		Endpoints:  []dnsserver.Endpoint{{Path: "/dns-query", Wire: true, JSON: true}},
-		MaxUDPSize: maxUDP,
+		Upstreams:      poolUps,
+		Chain:          chain,
+		Endpoints:      []dnsserver.Endpoint{{Path: "/dns-query", Wire: true, JSON: true}},
+		MaxUDPSize:     maxUDP,
+		Policy:         s.Policy,
+		HedgeDelay:     s.HedgeDelay,
+		ServeStale:     s.ServeStale,
+		PrefetchWindow: s.PrefetchWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -280,6 +323,7 @@ func Run(s Scenario) (*Result, error) {
 	}
 	res.Server = p.Telemetry().Snapshot()
 	res.Cache = p.CacheStats()
+	res.Steering = p.SteeringReport()
 	return res, nil
 }
 
@@ -287,6 +331,15 @@ func Run(s Scenario) (*Result, error) {
 // host is what gives it a private access link — and with it a private,
 // seed-stable impairment schedule.
 func clientHost(c int) string { return fmt.Sprintf("c%d", c) }
+
+// upstreamHost names upstream i's simulated host; upstream 0 keeps the
+// historical single-upstream name.
+func upstreamHost(i int) string {
+	if i == 0 {
+		return UpstreamHost
+	}
+	return fmt.Sprintf("recursive%d.upstream", i)
+}
 
 // clientNames builds client c's query-name cycle for one transport:
 // Alexa-derived base domains under a client+transport-unique label, so no
@@ -480,8 +533,8 @@ func Render(r *Result) string {
 	if label == "" {
 		label = "ideal"
 	}
-	fmt.Fprintf(&sb, "scenario: %d clients × %s arrivals, %d queries/transport, profile %s, seed %d\n",
-		r.Scenario.Clients, r.Scenario.Arrival, r.Scenario.Queries, label, r.Scenario.Seed)
+	fmt.Fprintf(&sb, "scenario: %d clients × %s arrivals, %d queries/transport, profile %s, policy %s, seed %d\n",
+		r.Scenario.Clients, r.Scenario.Arrival, r.Scenario.Queries, label, r.Steering.Policy, r.Scenario.Seed)
 	if r.Profile.Name != "" {
 		fmt.Fprintf(&sb, "access link: %s\n", r.Profile)
 	}
@@ -493,13 +546,13 @@ func Render(r *Result) string {
 			t.P50Ms, t.P95Ms, t.P99Ms, t.BytesSent+t.BytesReceived, t.QPS)
 	}
 	cs := r.Cache
-	total := cs.Hits + cs.Misses + cs.Coalesced
+	total := cs.Hits + cs.StaleHits + cs.Misses + cs.Coalesced
 	ratio := 0.0
 	if total > 0 {
-		ratio = float64(cs.Hits) / float64(total) * 100
+		ratio = float64(cs.Hits+cs.StaleHits) / float64(total) * 100
 	}
-	fmt.Fprintf(&sb, "\nproxy: %d hits / %d misses / %d coalesced (%.1f%% hit rate)",
-		cs.Hits, cs.Misses, cs.Coalesced, ratio)
+	fmt.Fprintf(&sb, "\nproxy: %d hits / %d stale / %d misses / %d coalesced (%.1f%% hit rate)",
+		cs.Hits, cs.StaleHits, cs.Misses, cs.Coalesced, ratio)
 	if r.Server != nil {
 		fmt.Fprintf(&sb, "; upstream %d exchanges, %d B up, %d B down\n",
 			r.Server.PoolExchanges, r.Server.UpstreamBytesSent, r.Server.UpstreamBytesReceived)

@@ -152,3 +152,71 @@ func TestScenarioValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestHedgedBeatsFailoverWithDegradedUpstream is the steering acceptance
+// scenario: two upstreams behind the proxy, the preferred one degraded to
+// a 600ms round trip, clients on an impaired access link. Static failover
+// keeps paying the degraded RTT on every miss — the upstream still
+// answers, so the pool never fails over — while the hedged policy races
+// the clean runner-up after 40ms and must cut the client-observed p99.
+// Every query is a cache miss by construction (each client's name cycle is
+// as long as its query count), so the upstream leg is on every path.
+func TestHedgedBeatsFailoverWithDegradedUpstream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second impairment scenario")
+	}
+	for _, profile := range []string{"lossy-wifi", "satellite"} {
+		t.Run(profile, func(t *testing.T) {
+			base := Scenario{
+				Profile:             profile,
+				Transports:          []string{"doh"},
+				Clients:             3,
+				Queries:             18,
+				Names:               6, // = queries per client → all misses
+				Seed:                7,
+				Upstreams:           2,
+				UpstreamRTT:         4 * time.Millisecond,
+				DegradedUpstreamRTT: 600 * time.Millisecond,
+				HedgeDelay:          40 * time.Millisecond,
+				Timeout:             30 * time.Second,
+			}
+			run := func(policy string) *Result {
+				t.Helper()
+				s := base
+				s.Policy = policy
+				res, err := Run(s)
+				if err != nil {
+					t.Fatalf("%s run: %v", policy, err)
+				}
+				if len(res.PerTransport) != 1 || res.PerTransport[0].Queries == 0 {
+					t.Fatalf("%s run harvested nothing: %+v", policy, res.PerTransport)
+				}
+				return res
+			}
+			failover := run("failover")
+			hedged := run("hedged")
+
+			fp99 := failover.PerTransport[0].P99Ms
+			hp99 := hedged.PerTransport[0].P99Ms
+			// Failover pays the degraded 600ms upstream leg on every miss,
+			// so its p99 must carry it; hedging must beat it outright.
+			if fp99 < 500 {
+				t.Fatalf("failover p99 = %.1fms, expected ≥500ms through the degraded upstream", fp99)
+			}
+			if hp99 >= fp99 {
+				t.Errorf("hedged p99 = %.1fms did not beat failover p99 = %.1fms", hp99, fp99)
+			}
+			if hedged.Server.HedgesFired == 0 {
+				t.Error("hedged run fired no hedges")
+			}
+			if failover.Server.HedgesFired != 0 {
+				t.Errorf("failover run fired %d hedges, want 0", failover.Server.HedgesFired)
+			}
+			if hedged.Steering.Policy != "hedged" || failover.Steering.Policy != "failover" {
+				t.Errorf("policies reported as %q/%q", hedged.Steering.Policy, failover.Steering.Policy)
+			}
+			t.Logf("%s: failover p99 %.1fms vs hedged p99 %.1fms (%d hedges fired, %d won)",
+				profile, fp99, hp99, hedged.Server.HedgesFired, hedged.Server.HedgesWon)
+		})
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
 	"dohcost/internal/netsim"
+	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
 )
@@ -60,6 +61,26 @@ type Config struct {
 	// truncated so clients retry over TCP instead of losing oversized
 	// datagrams on small-MTU paths. Zero applies no cap.
 	MaxUDPSize int
+	// Policy selects the upstream steering policy: "failover" (default and
+	// the pre-steering behaviour: static preference order with health
+	// failover), "fastest" (SRTT-ranked with periodic exploration probes)
+	// or "hedged" (a delayed second exchange races the primary, first
+	// answer wins).
+	Policy string
+	// HedgeDelay is the hedged policy's wait before the second exchange;
+	// 0 adapts per query to the primary upstream's live SRTT + 4·RTTVAR.
+	HedgeDelay time.Duration
+	// ExploreEvery is the fastest policy's exploration cadence (every Nth
+	// query probes a non-best upstream); 0 means the steer default,
+	// negative disables exploration.
+	ExploreEvery int
+	// ServeStale keeps expired cache entries answerable this long past
+	// expiry (RFC 8767): stale hits are served immediately while one
+	// background refresh re-populates the entry. Zero disables.
+	ServeStale time.Duration
+	// PrefetchWindow refreshes hot cache entries in the background when a
+	// hit finds them within this much of expiry. Zero disables.
+	PrefetchWindow time.Duration
 	// Telemetry, when non-nil, is the metrics sink shared with the caller;
 	// nil makes the proxy create its own (telemetry is always on — its
 	// hot path is sharded atomics, cheap enough to never gate).
@@ -74,9 +95,13 @@ type Config struct {
 }
 
 // Proxy is a forwarding resolver deployment: cache → singleflight →
-// upstream pool, exposed over every transport the study compares.
+// steering → upstream pool, exposed over every transport the study
+// compares. The steering layer (internal/steer) decides which upstream a
+// miss is forwarded to — static failover order, SRTT-ranked fastest, or
+// hedged — and the cache can serve stale and prefetch around it.
 type Proxy struct {
 	pool    *dnstransport.Pool
+	steer   *steer.Steerer
 	cache   *dnscache.Cache
 	timeout time.Duration
 	server  *dnsserver.Server
@@ -91,6 +116,11 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	pool, err := dnstransport.NewPool(cfg.Upstreams, cfg.Pool)
 	if err != nil {
+		return nil, err
+	}
+	policy, err := steer.ParsePolicy(cfg.Policy)
+	if err != nil {
+		pool.Close()
 		return nil, err
 	}
 	var opts []dnscache.Option
@@ -110,16 +140,33 @@ func New(cfg Config) (*Proxy, error) {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
+	if cfg.ServeStale > 0 {
+		opts = append(opts, dnscache.WithServeStale(cfg.ServeStale))
+	}
+	if cfg.PrefetchWindow > 0 {
+		opts = append(opts, dnscache.WithPrefetch(cfg.PrefetchWindow))
+	}
+	// Background refreshes (serve-stale, prefetch) carry no client
+	// context, so they get the same bound a forwarded query would.
+	opts = append(opts, dnscache.WithRefreshTimeout(timeout))
 	tel := cfg.Telemetry
 	if tel == nil {
 		tel = telemetry.New()
 	}
+	// …and their upstream traffic stays visible in the cost accounting.
+	opts = append(opts, dnscache.WithTelemetry(tel))
 	if cfg.OnTransaction != nil {
 		tel.SetListener(cfg.OnTransaction)
 	}
+	st := steer.New(pool, steer.Config{
+		Policy:       policy,
+		HedgeDelay:   cfg.HedgeDelay,
+		ExploreEvery: cfg.ExploreEvery,
+	})
 	p := &Proxy{
 		pool:    pool,
-		cache:   dnscache.New(pool, opts...),
+		steer:   st,
+		cache:   dnscache.New(st, opts...),
 		timeout: timeout,
 		tel:     tel,
 	}
@@ -156,7 +203,7 @@ func (h fastHandler) ServeDNS(ctx context.Context, q *dnswire.Message) (*dnswire
 // path — the server began tx and records the ok verdict; only the cache
 // outcome is annotated here.
 func (h fastHandler) ServeDNSWire(tx *telemetry.Transaction, q *dnswire.Query, dst []byte, limit int) ([]byte, bool) {
-	resp, outcome, ok := h.p.cache.ServeWire(q, dst, limit)
+	resp, outcome, ok := h.p.cache.ServeWire(tx, q, dst, limit)
 	if !ok {
 		return nil, false
 	}
@@ -194,7 +241,7 @@ func (p *Proxy) Close() error {
 		p.run.Close()
 		p.run = nil
 	}
-	return p.cache.Close() // closes the pool beneath it
+	return p.cache.Close() // closes the steerer, and beneath it the pool
 }
 
 // CacheStats snapshots cache effectiveness.
@@ -202,6 +249,10 @@ func (p *Proxy) CacheStats() dnscache.Stats { return p.cache.Stats() }
 
 // UpstreamStats snapshots per-upstream pool health.
 func (p *Proxy) UpstreamStats() []dnstransport.UpstreamStats { return p.pool.Stats() }
+
+// SteeringReport snapshots the steering layer: the active policy and each
+// upstream's live SRTT/success model, best-ranked first.
+func (p *Proxy) SteeringReport() steer.Report { return p.steer.Report() }
 
 // Telemetry returns the proxy's metrics sink, for snapshots beyond what
 // CostReport packages or for registering a transaction Listener late.
@@ -213,7 +264,11 @@ type CacheReport struct {
 	// Entries is the live entry count; Shards the lock-partition count.
 	Entries int `json:"entries"`
 	Shards  int `json:"shards"`
-	// HitRatio is hits over all lookups (hits+misses+coalesced), 0–1.
+	// HitRatio is cache-answered lookups — fresh and stale hits — over
+	// all lookups (hits+stale_hits+misses+coalesced), 0–1. Stale hits
+	// count as hits: with serve-stale carrying traffic through an
+	// upstream outage, the ratio must show the cache working, not
+	// collapsing.
 	HitRatio float64 `json:"hit_ratio"`
 }
 
@@ -224,19 +279,21 @@ type CostReport struct {
 	Telemetry *telemetry.Snapshot          `json:"telemetry"`
 	Cache     CacheReport                  `json:"cache"`
 	Upstreams []dnstransport.UpstreamStats `json:"upstreams"`
+	Steering  steer.Report                 `json:"steering"`
 }
 
 // CostReport assembles the current cost view of the proxy.
 func (p *Proxy) CostReport() CostReport {
 	cs := p.cache.Stats()
 	cr := CacheReport{Stats: cs, Entries: p.cache.Len(), Shards: p.cache.Shards()}
-	if total := cs.Hits + cs.Misses + cs.Coalesced; total > 0 {
-		cr.HitRatio = float64(cs.Hits) / float64(total)
+	if total := cs.Hits + cs.StaleHits + cs.Misses + cs.Coalesced; total > 0 {
+		cr.HitRatio = float64(cs.Hits+cs.StaleHits) / float64(total)
 	}
 	return CostReport{
 		Telemetry: p.tel.Snapshot(),
 		Cache:     cr,
 		Upstreams: p.pool.Stats(),
+		Steering:  p.steer.Report(),
 	}
 }
 
@@ -279,7 +336,7 @@ func writeGauges(w io.Writer, report CostReport) error {
 	t := telemetry.NewTextWriter(w)
 	t.Family("dohcost_cache_entries", "Live cache entries.", "gauge")
 	t.Value("dohcost_cache_entries", report.Cache.Entries)
-	t.Family("dohcost_cache_hit_ratio", "Hits over all lookups since start.", "gauge")
+	t.Family("dohcost_cache_hit_ratio", "Fresh+stale hits over all lookups since start.", "gauge")
 	t.Value("dohcost_cache_hit_ratio", report.Cache.HitRatio)
 	t.Family("dohcost_upstream_exchanges_total", "Successful exchanges per upstream.", "counter")
 	for _, u := range report.Upstreams {
@@ -296,6 +353,14 @@ func writeGauges(w io.Writer, report CostReport) error {
 			up = 0
 		}
 		t.LabeledValue("dohcost_upstream_up", "upstream", u.Name, up)
+	}
+	t.Family("dohcost_upstream_srtt_seconds", "Steering model: smoothed RTT per upstream (0 until sampled).", "gauge")
+	for _, u := range report.Steering.Upstreams {
+		t.LabeledValue("dohcost_upstream_srtt_seconds", "upstream", u.Name, u.SRTTMs/1e3)
+	}
+	t.Family("dohcost_upstream_success_rate", "Steering model: attempt-success EWMA per upstream.", "gauge")
+	for _, u := range report.Steering.Upstreams {
+		t.LabeledValue("dohcost_upstream_success_rate", "upstream", u.Name, u.SuccessRate)
 	}
 	return t.Err()
 }

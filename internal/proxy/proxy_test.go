@@ -3,8 +3,12 @@ package proxy
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -270,5 +274,160 @@ func TestProxyNegativeAnswersForwarded(t *testing.T) {
 	}
 	if s := p.CacheStats(); s.Hits != 2 {
 		t.Errorf("negative answer not cached: %+v", s)
+	}
+}
+
+// TestProxyHedgedPolicySteersAroundDegradedUpstream deploys the preferred
+// upstream behind a 100ms (one-way) link and a clean runner-up, with the
+// hedged policy and a 10ms hedge delay: queries must be answered far below
+// the degraded upstream's RTT, the hedge counters must move, and the
+// steering model must learn to rank the clean upstream first.
+func TestProxyHedgedPolicySteersAroundDegradedUpstream(t *testing.T) {
+	n := netsim.New(6)
+	slow := startUpstream(t, n, "slow.upstream")
+	fast := startUpstream(t, n, "fast.upstream")
+	n.SetLink("proxy.dns", "slow.upstream", netsim.Link{Delay: 100 * time.Millisecond})
+
+	p, err := New(Config{
+		Upstreams: []dnstransport.PoolUpstream{
+			tcpUpstream(n, "proxy.dns", "slow.upstream"),
+			tcpUpstream(n, "proxy.dns", "fast.upstream"),
+		},
+		Policy:          "hedged",
+		HedgeDelay:      10 * time.Millisecond,
+		UpstreamTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	if err := p.Start(n, "proxy.dns"); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := n.ListenPacket("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dnstransport.NewUDPClient(pc, netsim.Addr("proxy.dns:53"))
+	t.Cleanup(func() { c.Close() })
+
+	for i := 0; i < 6; i++ {
+		start := time.Now()
+		resp, err := c.Exchange(context.Background(), dnswire.NewQuery(0, dnswire.Name(fmt.Sprintf("h%d.example.", i)), dnswire.TypeA))
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if resp.RCode != dnswire.RCodeSuccess {
+			t.Fatalf("query %d: rcode %v", i, resp.RCode)
+		}
+		if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+			t.Errorf("query %d took %v, hedging should beat the 200ms degraded round trip", i, elapsed)
+		}
+	}
+	if fast.queries.Load() == 0 {
+		t.Error("clean upstream never answered: hedging did not steer")
+	}
+	snap := p.Telemetry().Snapshot()
+	if snap.HedgesFired == 0 {
+		t.Errorf("hedges fired = 0 with a degraded primary; snapshot: %+v", snap)
+	}
+	rep := p.SteeringReport()
+	if rep.Policy != "hedged" {
+		t.Errorf("steering policy = %q, want hedged", rep.Policy)
+	}
+	if len(rep.Upstreams) != 2 || rep.Upstreams[0].Name != "fast.upstream" {
+		t.Errorf("steering rank = %+v, want fast.upstream first", rep.Upstreams)
+	}
+	_ = slow
+
+	// The new steering series reach /metrics alongside the hedge counters.
+	srv := httptest.NewServer(p.Observability())
+	t.Cleanup(srv.Close)
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"dohcost_hedges_fired_total",
+		"dohcost_upstream_srtt_seconds{upstream=\"fast.upstream\"}",
+		"dohcost_upstream_success_rate{upstream=\"slow.upstream\"}",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestProxyServeStaleAnswersWithDeadUpstream clamps cached TTLs to 500ms,
+// lets the only entry expire, kills the only upstream, and checks the
+// proxy keeps answering from the stale entry (RFC 8767) instead of
+// SERVFAILing.
+func TestProxyServeStaleAnswersWithDeadUpstream(t *testing.T) {
+	n := netsim.New(7)
+	up := startUpstream(t, n, "mortal.upstream")
+	p, err := New(Config{
+		Upstreams:       []dnstransport.PoolUpstream{tcpUpstream(n, "proxy.dns", "mortal.upstream")},
+		MaxTTL:          500 * time.Millisecond,
+		ServeStale:      time.Minute,
+		UpstreamTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	if err := p.Start(n, "proxy.dns"); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := n.ListenPacket("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dnstransport.NewUDPClient(pc, netsim.Addr("proxy.dns:53"))
+	c.Timeout = 2 * time.Second
+	t.Cleanup(func() { c.Close() })
+
+	if _, err := c.Exchange(context.Background(), dnswire.NewQuery(0, "st.example.", dnswire.TypeA)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(700 * time.Millisecond) // past the clamped TTL
+	up.run.Close()                     // upstream gone
+
+	start := time.Now()
+	resp, err := c.Exchange(context.Background(), dnswire.NewQuery(0, "st.example.", dnswire.TypeA))
+	if err != nil {
+		t.Fatalf("stale query: %v", err)
+	}
+	if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 {
+		t.Fatalf("stale answer = %v, want the cached A record", resp)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("stale answer took %v, must not wait on the dead upstream", elapsed)
+	}
+	snap := p.Telemetry().Snapshot()
+	if got := snap.CacheEvents["stale_hit"]; got == 0 {
+		t.Error("stale_hit never counted")
+	}
+	if s := p.CacheStats(); s.StaleHits == 0 || s.Refreshes == 0 {
+		t.Errorf("cache stats = %+v, want stale hit + attempted refresh", s)
+	}
+	// The background refresh's failed attempt against the dead upstream is
+	// visible in the aggregate accounting (it runs in a background
+	// Transaction)…
+	deadline := time.Now().Add(2 * time.Second)
+	for snap.PoolFailures == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		snap = p.Telemetry().Snapshot()
+	}
+	if snap.PoolFailures == 0 {
+		t.Error("background refresh failure invisible to telemetry")
+	}
+	// …but it is not a client query.
+	if got := snap.Queries["udp"]; got != 2 {
+		t.Errorf("udp queries = %d, want 2 (background refresh must not count)", got)
 	}
 }

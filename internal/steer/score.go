@@ -1,0 +1,102 @@
+package steer
+
+import (
+	"sync"
+	"time"
+)
+
+// EWMA gains, straight from the TCP RTT estimator (RFC 6298): 1/8 for the
+// smoothed RTT, 1/4 for its variance, and 1/8 for the success rate so one
+// failure among recent successes demotes but does not banish.
+const (
+	srttGain    = 8
+	rttvarGain  = 4
+	successGain = 8
+)
+
+// failurePenalty scales how strongly the failure fraction inflates an
+// upstream's effective cost: an upstream failing every attempt looks
+// (1 + failurePenalty)× slower than its SRTT says.
+const failurePenalty = 8.0
+
+// score is one upstream's live latency and health model. Successful
+// attempts update the SRTT/RTTVAR pair; every attempt updates the success
+// EWMA. All methods are safe for concurrent use.
+type score struct {
+	mu      sync.Mutex
+	srtt    time.Duration
+	rttvar  time.Duration
+	success float64
+	samples uint64
+}
+
+// observe folds one exchange attempt into the model. Failed attempts do
+// not touch the RTT estimate — the time to an error is not a round trip —
+// but they drag the success EWMA down, which inflates cost.
+func (sc *score) observe(d time.Duration, ok bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if ok {
+		if sc.srtt == 0 {
+			sc.srtt, sc.rttvar = d, d/2
+		} else {
+			diff := sc.srtt - d
+			if diff < 0 {
+				diff = -diff
+			}
+			sc.rttvar += (diff - sc.rttvar) / rttvarGain
+			sc.srtt += (d - sc.srtt) / srttGain
+		}
+	}
+	v := 0.0
+	if ok {
+		v = 1.0
+	}
+	if sc.samples == 0 {
+		sc.success = v
+	} else {
+		sc.success += (v - sc.success) / successGain
+	}
+	sc.samples++
+}
+
+// cost is the ranking key: SRTT inflated by the failure fraction. An
+// unsampled upstream costs zero, so cold starts probe everything once in
+// preference order. An upstream that has only ever failed has no RTT to
+// inflate, so a millisecond baseline stands in — without it, a dead
+// upstream would score zero forever and hog the top rank.
+func (sc *score) cost() float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.samples == 0 {
+		return 0
+	}
+	base := float64(sc.srtt)
+	if base == 0 {
+		base = float64(time.Millisecond)
+	}
+	return base * (1 + failurePenalty*(1-sc.success))
+}
+
+// rto is the TCP-style retransmission bound SRTT + 4·RTTVAR — for a
+// roughly normal attempt distribution it sits past the p95, which is what
+// the adaptive hedge delay wants: hedge only when this attempt is already
+// in the primary's own tail. Zero while unsampled.
+func (sc *score) rto() time.Duration {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.srtt + 4*sc.rttvar
+}
+
+// snapshot renders the model for the cost report (Name and Healthy are
+// filled by the caller).
+func (sc *score) snapshot() UpstreamScore {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return UpstreamScore{
+		SRTTMs:      float64(sc.srtt) / float64(time.Millisecond),
+		RTTVarMs:    float64(sc.rttvar) / float64(time.Millisecond),
+		SuccessRate: sc.success,
+		Samples:     sc.samples,
+	}
+}

@@ -116,6 +116,12 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		"Successful upstream exchanges.", s.PoolExchanges)
 	t.counter("dohcost_pool_failures_total",
 		"Failed upstream attempts (checkout, dial or exchange) before failover.", s.PoolFailures)
+	t.counter("dohcost_hedges_fired_total",
+		"Hedge exchanges launched by the steering layer (second attempt raced after the hedge delay).", s.HedgesFired)
+	t.counter("dohcost_hedges_won_total",
+		"Hedge exchanges whose answer beat the primary back to the client.", s.HedgesWon)
+	t.counter("dohcost_prefetches_total",
+		"Near-expiry background cache refreshes triggered by hits on hot names.", s.Prefetches)
 	t.counter("dohcost_udp_tc_tcp_retries_total",
 		"Truncated UDP answers retried over TCP (RFC 7766).", s.TCFallbacks)
 	t.counter("dohcost_udp_retransmits_total",

@@ -22,6 +22,9 @@ type shard struct {
 	poolDials      atomic.Uint64
 	poolExchanges  atomic.Uint64
 	poolFailures   atomic.Uint64
+	hedgesFired    atomic.Uint64
+	hedgesWon      atomic.Uint64
+	prefetches     atomic.Uint64
 	tcFallbacks    atomic.Uint64
 	udpRetransmits atomic.Uint64
 	bytesSent      atomic.Uint64
@@ -127,6 +130,21 @@ func (m *Metrics) Begin(proto Proto) *Transaction {
 	return tx
 }
 
+// BeginBackground opens a Transaction for internal background work — the
+// cache's serve-stale and prefetch refreshes. Resource annotations (pool
+// dials, failures, exchanges, upstream latency, bytes) land in the
+// aggregate counters exactly as for client queries, so the upstream cost
+// the resilience features generate stays visible in /metrics; Finish,
+// however, records no query, verdict, cache event or latency sample and
+// calls no Listener — background work is not a client query.
+func (m *Metrics) BeginBackground() *Transaction {
+	tx := m.Begin(ProtoUDP) // proto is irrelevant: a background Finish records none
+	if tx != nil {
+		tx.background = true
+	}
+	return tx
+}
+
 // ctxKey is the context key for the Transaction.
 type ctxKey struct{}
 
@@ -144,6 +162,19 @@ func NewContext(ctx context.Context, tx *Transaction) context.Context {
 func FromContext(ctx context.Context) *Transaction {
 	tx, _ := ctx.Value(ctxKey{}).(*Transaction)
 	return tx
+}
+
+// DetachContext returns ctx with any carried Transaction shadowed:
+// FromContext on the result yields nil. A Transaction is single-goroutine
+// property that is recycled at Finish, so any layer fanning work out to
+// goroutines that can outlive the serving request — the hedged steering
+// policy's racing exchanges — must detach first; a straggler annotating
+// the recycled record would corrupt a later query's accounting.
+func DetachContext(ctx context.Context) context.Context {
+	if FromContext(ctx) == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, (*Transaction)(nil))
 }
 
 // Snapshot merges every shard into one coherent view. Counters are read
@@ -181,6 +212,9 @@ func (m *Metrics) Snapshot() *Snapshot {
 		s.PoolDials += sh.poolDials.Load()
 		s.PoolExchanges += sh.poolExchanges.Load()
 		s.PoolFailures += sh.poolFailures.Load()
+		s.HedgesFired += sh.hedgesFired.Load()
+		s.HedgesWon += sh.hedgesWon.Load()
+		s.Prefetches += sh.prefetches.Load()
 		s.TCFallbacks += sh.tcFallbacks.Load()
 		s.UDPRetransmits += sh.udpRetransmits.Load()
 		s.UpstreamBytesSent += sh.bytesSent.Load()
@@ -238,6 +272,13 @@ type Snapshot struct {
 	// PoolFailures counts failed upstream attempts (checkout refusals,
 	// dial errors, broken exchanges) before failover.
 	PoolFailures uint64 `json:"pool_failures_total"`
+	// HedgesFired counts hedge exchanges launched by the steering layer;
+	// HedgesWon counts the ones whose answer beat the primary back.
+	HedgesFired uint64 `json:"hedges_fired_total"`
+	HedgesWon   uint64 `json:"hedges_won_total"`
+	// Prefetches counts near-expiry background refreshes triggered by
+	// cache hits on hot names.
+	Prefetches uint64 `json:"prefetches_total"`
 	// TCFallbacks counts truncated UDP answers retried over TCP.
 	TCFallbacks uint64 `json:"udp_tc_tcp_retries_total"`
 	// UDPRetransmits counts UDP query attempts re-sent after a per-attempt

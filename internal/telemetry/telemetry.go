@@ -78,6 +78,9 @@ const (
 	CacheHit
 	// CacheNegativeHit is a cached NXDOMAIN/NODATA answer (RFC 2308).
 	CacheNegativeHit
+	// CacheStaleHit is an expired-but-stale answer served from memory while
+	// a background refresh re-populates the entry (RFC 8767 serve-stale).
+	CacheStaleHit
 	// CacheMiss led this query upstream as the singleflight leader.
 	CacheMiss
 	// CacheCoalesced joined another query's in-flight upstream exchange.
@@ -96,6 +99,8 @@ func (o CacheOutcome) String() string {
 		return "hit"
 	case CacheNegativeHit:
 		return "negative_hit"
+	case CacheStaleHit:
+		return "stale_hit"
 	case CacheMiss:
 		return "miss"
 	case CacheCoalesced:
@@ -159,6 +164,7 @@ type Transaction struct {
 	sent, recv int
 	tcRetry    bool
 	udpRetries int
+	background bool
 	finished   bool
 }
 
@@ -254,6 +260,27 @@ func (t *Transaction) ObserveUpstream(name string, d time.Duration) {
 	t.sh.upstreamLatency.observe(d)
 }
 
+// AttributeUpstream records which upstream's answer was returned without
+// charging any exchange counter or latency sample — for layers whose
+// wire-level accounting happened on another Transaction, like the hedged
+// steering policy, whose racing legs each carry their own background
+// record.
+func (t *Transaction) AttributeUpstream(name string) {
+	if t != nil {
+		t.upstream = name
+	}
+}
+
+// Metrics returns the sink this Transaction reports to (nil for a nil
+// Transaction), so a layer holding only the query's record can open
+// sibling background records against the same sink.
+func (t *Transaction) Metrics() *Metrics {
+	if t == nil {
+		return nil
+	}
+	return t.m
+}
+
 // AddBytesSent charges n message bytes sent toward an upstream (per
 // attempt, so UDP retransmissions count each time).
 func (t *Transaction) AddBytesSent(n int) {
@@ -268,6 +295,32 @@ func (t *Transaction) AddBytesReceived(n int) {
 	if t != nil && n > 0 {
 		t.recv += n
 		t.sh.bytesRecv.Add(uint64(n))
+	}
+}
+
+// HedgeFired counts one hedge exchange launched for this query: the
+// steering layer gave up waiting on its first pick and raced a second
+// upstream for the answer.
+func (t *Transaction) HedgeFired() {
+	if t != nil {
+		t.sh.hedgesFired.Add(1)
+	}
+}
+
+// HedgeWon marks the hedge exchange — not the primary — as the one whose
+// answer was returned to the client. The hedges_won/hedges_fired ratio is
+// the live usefulness of the hedging policy.
+func (t *Transaction) HedgeWon() {
+	if t != nil {
+		t.sh.hedgesWon.Add(1)
+	}
+}
+
+// Prefetch counts one near-expiry background refresh triggered by this
+// query's cache hit (the cache's hot-name prefetch).
+func (t *Transaction) Prefetch() {
+	if t != nil {
+		t.sh.prefetches.Add(1)
 	}
 }
 
@@ -301,6 +354,13 @@ func (t *Transaction) Finish() {
 		return
 	}
 	t.finished = true
+	if t.background {
+		// Background work (cache refreshes) annotated its resource
+		// counters as it went; it is not a client query, so no query,
+		// verdict, cache event, latency sample or Listener call.
+		txPool.Put(t)
+		return
+	}
 	d := time.Since(t.start)
 	sh := t.sh
 	sh.queries[t.proto].Add(1)

@@ -127,6 +127,14 @@ func TestTransactionCountersAndListener(t *testing.T) {
 	tx3.SetVerdict(VerdictServFail)
 	tx3.Finish()
 
+	tx4 := m.Begin(ProtoDoT)
+	tx4.SetCache(CacheStaleHit)
+	tx4.HedgeFired()
+	tx4.HedgeWon()
+	tx4.Prefetch()
+	tx4.SetVerdict(VerdictOK)
+	tx4.Finish()
+
 	s := m.Snapshot()
 	for _, tt := range []struct {
 		name      string
@@ -134,13 +142,18 @@ func TestTransactionCountersAndListener(t *testing.T) {
 	}{
 		{"queries[doh]", s.Queries["doh"], 1},
 		{"queries[udp]", s.Queries["udp"], 2},
-		{"verdicts[ok]", s.Verdicts["ok"], 2},
+		{"queries[dot]", s.Queries["dot"], 1},
+		{"verdicts[ok]", s.Verdicts["ok"], 3},
 		{"verdicts[servfail]", s.Verdicts["servfail"], 1},
 		{"cache[miss]", s.CacheEvents["miss"], 2},
 		{"cache[hit]", s.CacheEvents["hit"], 1},
+		{"cache[stale_hit]", s.CacheEvents["stale_hit"], 1},
 		{"pool dials", s.PoolDials, 1},
 		{"pool exchanges", s.PoolExchanges, 1},
 		{"pool failures", s.PoolFailures, 1},
+		{"hedges fired", s.HedgesFired, 1},
+		{"hedges won", s.HedgesWon, 1},
+		{"prefetches", s.Prefetches, 1},
 		{"tc fallbacks", s.TCFallbacks, 1},
 		{"bytes sent", s.UpstreamBytesSent, 40},
 		{"bytes received", s.UpstreamBytesReceived, 120},
@@ -153,8 +166,11 @@ func TestTransactionCountersAndListener(t *testing.T) {
 
 	mu.Lock()
 	defer mu.Unlock()
-	if len(summaries) != 3 {
-		t.Fatalf("listener got %d summaries, want 3", len(summaries))
+	if len(summaries) != 4 {
+		t.Fatalf("listener got %d summaries, want 4", len(summaries))
+	}
+	if summaries[3].Cache != "stale_hit" {
+		t.Errorf("fourth summary cache = %q, want stale_hit", summaries[3].Cache)
 	}
 	first := summaries[0]
 	if first.Proto != "doh" || first.Server != "recursive0" || first.Verdict != "ok" ||
@@ -189,6 +205,9 @@ func TestNilMetricsIsNoOp(t *testing.T) {
 	tx.AddBytesSent(1)
 	tx.AddBytesReceived(1)
 	tx.TCFallback()
+	tx.HedgeFired()
+	tx.HedgeWon()
+	tx.Prefetch()
 	tx.Finish()
 	m.SetListener(ListenerFunc(func(*Summary) {}))
 	if s := m.Snapshot(); s == nil || len(s.Queries) != 0 {
@@ -237,6 +256,10 @@ func TestWritePrometheus(t *testing.T) {
 		`dohcost_query_latency_seconds{proto="udp",quantile="0.5"}`,
 		`dohcost_query_latency_seconds_count{proto="udp"} 1`,
 		"dohcost_pool_exchanges_total 0",
+		"# TYPE dohcost_hedges_fired_total counter",
+		"dohcost_hedges_fired_total 0",
+		"dohcost_hedges_won_total 0",
+		"dohcost_prefetches_total 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q\n---\n%s", want, out)
@@ -289,4 +312,34 @@ func BenchmarkTransactionLifecycle(b *testing.B) {
 			tx.Finish()
 		}
 	})
+}
+
+// TestBackgroundTransaction checks the cache-refresh accounting mode:
+// resource annotations land in the aggregate counters, but Finish records
+// no query, verdict, cache event, latency sample or listener call.
+func TestBackgroundTransaction(t *testing.T) {
+	var calls int
+	m := New(withShards(1), WithListener(ListenerFunc(func(*Summary) { calls++ })))
+	tx := m.BeginBackground()
+	tx.PoolDial()
+	tx.ObserveUpstream("refresh-target", 2*time.Millisecond)
+	tx.AddBytesSent(30)
+	tx.AddBytesReceived(90)
+	tx.Finish()
+
+	s := m.Snapshot()
+	if s.PoolDials != 1 || s.PoolExchanges != 1 || s.UpstreamBytesSent != 30 || s.UpstreamBytesReceived != 90 {
+		t.Errorf("background resources lost: %+v", s)
+	}
+	if s.UpstreamLatency.Count != 1 {
+		t.Errorf("background upstream latency lost: %+v", s.UpstreamLatency)
+	}
+	if len(s.Queries) != 0 || len(s.Verdicts) != 0 || len(s.CacheEvents) != 0 {
+		t.Errorf("background transaction counted as a client query: %+v", s)
+	}
+	if calls != 0 {
+		t.Errorf("listener called %d times for background work, want 0", calls)
+	}
+	var nilM *Metrics
+	nilM.BeginBackground().Finish() // nil-safe like Begin
 }
