@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/netip"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"dohcost/internal/stats"
 	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
+	"dohcost/internal/udpio"
 )
 
 var mustAddrBench = netip.MustParseAddr("192.0.2.99")
@@ -476,6 +478,148 @@ func BenchmarkProxyThroughput(b *testing.B) {
 	if total := s.Hits + s.Misses + s.Coalesced; total > 0 {
 		b.ReportMetric(float64(s.Hits)/float64(total)*100, "hit-%")
 	}
+}
+
+// BenchmarkUDPBatchServe compares the two UDP cache-hit serving loops on
+// real kernel sockets under concurrent client load:
+//
+//   - per-packet: one ReadFrom and one WriteTo syscall per datagram
+//     (UDPServer.Serve), the pre-batching baseline.
+//   - batch: SO_REUSEPORT shard sockets each draining up to 32 datagrams
+//     per recvmmsg and flushing every hit in one sendmmsg
+//     (UDPServer.ServeBatch over udpio.ListenShards).
+//
+// Every query is a cache hit on the proxy's wire fast path, so the gap is
+// purely syscall amortization — the batch variant's queries/s should hold
+// a ≥2x advantage under load; the bench CI job tracks it across commits.
+// On platforms without kernel batch support the batch variant degrades to
+// the portable fallback and the two converge.
+func BenchmarkUDPBatchServe(b *testing.B) {
+	p, err := proxy.New(proxy.Config{
+		Upstreams: []dnstransport.PoolUpstream{{
+			Name: "static.upstream",
+			Dial: func() (dnstransport.Resolver, error) { return staticResolver{}, nil },
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	handler := p.Handler()
+	// Prime the cache so every benchmarked query rides the wire fast path.
+	if _, err := handler.ServeDNS(context.Background(), dnswire.NewQuery(0, "hot.bench.example.", dnswire.TypeA)); err != nil {
+		b.Fatal(err)
+	}
+	queryWire, err := dnswire.NewQuery(4242, "hot.bench.example.", dnswire.TypeA).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// hammer drives count queries through one client socket with a send
+	// window, re-sending on read timeout (UDP drops under buffer pressure
+	// are expected and must not stall the pipeline). The client uses
+	// batched I/O itself — identically against both server variants — so
+	// the measured difference is the server's serving loop, not the
+	// harness's own syscall ceiling.
+	hammer := func(addr string, count int) error {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		c := udpio.Wrap(pc)
+		defer c.Close()
+		dst, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return err
+		}
+		const window = 32
+		out := make([]udpio.Message, window)
+		for i := range out {
+			out[i] = udpio.Message{Buf: queryWire, N: len(queryWire), Addr: dst}
+		}
+		in := make([]udpio.Message, window)
+		for i := range in {
+			in[i].Buf = make([]byte, 2048)
+		}
+		sent, received, outstanding := 0, 0, 0
+		for received < count {
+			if k := min(window-outstanding, count-sent); k > 0 {
+				if _, err := c.WriteBatch(out[:k]); err != nil {
+					return err
+				}
+				sent += k
+				outstanding += k
+			}
+			c.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+			n, err := c.ReadBatch(in)
+			if err != nil {
+				sent -= outstanding // window lost: back up and resend
+				outstanding = 0
+				continue
+			}
+			received += n
+			outstanding = max(0, outstanding-n)
+		}
+		return nil
+	}
+
+	run := func(b *testing.B, addr string) {
+		clients := 8
+		if clients > b.N {
+			clients = 1
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		b.ResetTimer()
+		start := time.Now()
+		for g := 0; g < clients; g++ {
+			count := b.N / clients
+			if g < b.N%clients {
+				count++
+			}
+			wg.Add(1)
+			go func(count int) {
+				defer wg.Done()
+				if err := hammer(addr, count); err != nil {
+					errs <- err
+				}
+			}(count)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		b.StopTimer()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "queries/s")
+	}
+
+	b.Run("per-packet", func(b *testing.B) {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pc.Close()
+		srv := &dnsserver.UDPServer{Handler: handler}
+		go srv.Serve(pc)
+		run(b, pc.LocalAddr().String())
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		conns, err := udpio.ListenShards("udp", "127.0.0.1:0", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		srv := &dnsserver.UDPServer{Handler: handler}
+		go srv.ServeBatch(conns, 32)
+		run(b, conns[0].LocalAddr().String())
+	})
 }
 
 // BenchmarkCacheHitPathShardedVsMutex isolates the cache's hot path under

@@ -57,6 +57,7 @@ func main() {
 		degradedRTT = flag.Duration("degraded-upstream-rtt", 0, "slow the preferred upstream's link to this round trip (0 = none)")
 		serveStale  = flag.Duration("serve-stale", 0, "proxy cache RFC 8767 stale window (0 disables)")
 		prefetch    = flag.Duration("prefetch", 0, "proxy cache near-expiry prefetch window (0 disables)")
+		udpBatch    = flag.Int("udp-batch", 0, "serve the proxy's UDP listener with the batched loop at this vector size (0 = per-packet)")
 		asJSON      = flag.Bool("json", false, "print the full result as JSON instead of the table")
 	)
 	flag.Parse()
@@ -86,6 +87,7 @@ func main() {
 		DegradedUpstreamRTT: *degradedRTT,
 		ServeStale:          *serveStale,
 		PrefetchWindow:      *prefetch,
+		UDPBatch:            *udpBatch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dohloadgen:", err)

@@ -16,6 +16,7 @@
 //	         [-names 50] [-queries 400] [-upstream-rtt 8ms]
 //	         [-policy failover|fastest|hedged] [-hedge-delay 25ms]
 //	         [-serve-stale 1m] [-prefetch 10s]
+//	         [-udp-batch 32] [-udp-listen 127.0.0.1:5300] [-udp-shards 4]
 //	         [-metrics-addr 127.0.0.1:9090] [-hold 30s] [-cost-json]
 package main
 
@@ -56,6 +57,9 @@ type options struct {
 	metricsAddr string
 	hold        time.Duration
 	costJSON    bool
+	udpBatch    int
+	udpListen   string
+	udpShards   int
 }
 
 func main() {
@@ -74,6 +78,9 @@ func main() {
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics and /debug/cost on this real TCP address (e.g. 127.0.0.1:9090); empty disables")
 	flag.DurationVar(&o.hold, "hold", 0, "keep serving the observability endpoints this long after the workload")
 	flag.BoolVar(&o.costJSON, "cost-json", false, "print the /debug/cost JSON report to stdout at exit")
+	flag.IntVar(&o.udpBatch, "udp-batch", 0, "serve UDP with the batched loop at this vector size (recvmmsg/sendmmsg where supported; 0 = per-packet)")
+	flag.StringVar(&o.udpListen, "udp-listen", "", "also serve classic UDP DNS on real kernel sockets at this address (e.g. 127.0.0.1:5300); empty disables")
+	flag.IntVar(&o.udpShards, "udp-shards", 0, "SO_REUSEPORT socket count for -udp-listen (0 = one per CPU)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -129,6 +136,9 @@ func run(o options) error {
 		HedgeDelay:     o.hedgeDelay,
 		ServeStale:     o.serveStale,
 		PrefetchWindow: o.prefetch,
+		UDPBatch:       o.udpBatch,
+		UDPListen:      o.udpListen,
+		UDPShards:      o.udpShards,
 	})
 	if err != nil {
 		return err
@@ -139,6 +149,12 @@ func run(o options) error {
 	}
 	fmt.Printf("proxy up at %s: udp/tcp :53, dot :853, doh :443 — %d upstream(s) × %d conns, %d cache shards, policy %s\n",
 		host, upstreams, conns, shards, o.policy)
+	if o.udpBatch > 0 {
+		fmt.Printf("udp serving: batched, vector %d\n", o.udpBatch)
+	}
+	if addr := p.UDPAddr(); addr != nil {
+		fmt.Printf("udp real socket: %s (%d shard(s))\n", addr, p.UDPShardCount())
+	}
 
 	// The observability plane listens on a real socket so operators can
 	// scrape it while the simulated-network workload runs.

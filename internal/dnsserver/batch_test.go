@@ -1,0 +1,268 @@
+package dnsserver
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dohcost/internal/dnswire"
+	"dohcost/internal/telemetry"
+	"dohcost/internal/udpio"
+)
+
+// listenLoopback binds an ephemeral real UDP socket (the batch path
+// exists for real sockets; netsim conns exercise the fallback elsewhere).
+func listenLoopback(t *testing.T) net.PacketConn {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	return pc
+}
+
+// collectResponses sends one query per entry of queries to addr and reads
+// until every ID has answered, returning raw response bytes keyed by ID.
+// Lost datagrams are re-sent: UDP gives no delivery guarantee even on
+// loopback under buffer pressure.
+func collectResponses(t *testing.T, addr string, queries map[uint16][]byte) map[uint16][]byte {
+	t.Helper()
+	c, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := make(map[uint16][]byte, len(queries))
+	buf := make([]byte, 65535)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < len(queries) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d/%d responses", len(got), len(queries))
+		}
+		for id, q := range queries {
+			if _, ok := got[id]; !ok {
+				if _, err := c.Write(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		c.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		for {
+			n, err := c.Read(buf)
+			if err != nil {
+				break // retry window over; resend what's missing
+			}
+			if n < 12 {
+				t.Fatalf("short response: %d bytes", n)
+			}
+			id := uint16(buf[0])<<8 | uint16(buf[1])
+			if _, known := queries[id]; !known {
+				t.Fatalf("response for unknown ID %#x", id)
+			}
+			if _, dup := got[id]; !dup {
+				got[id] = append([]byte(nil), buf[:n]...)
+			}
+		}
+	}
+	return got
+}
+
+// TestBatchEquivalence drives the same query stream through the
+// per-packet Serve loop and the batched ServeBatch loop and requires
+// byte-identical responses — the contract that lets the batch path be a
+// pure performance change. The stream mixes fast-path hits with queries
+// the wire responder declines, so both the batched flush and the
+// worker-pool peel-off are covered.
+func TestBatchEquivalence(t *testing.T) {
+	stub := newWireStub(t, "fast.example.")
+
+	pcA := listenLoopback(t)
+	srvA := &UDPServer{Handler: stub}
+	go srvA.Serve(pcA)
+
+	pcB := listenLoopback(t)
+	srvB := &UDPServer{Handler: stub}
+	go srvB.ServeBatch([]udpio.BatchConn{udpio.Wrap(pcB)}, 16)
+
+	queries := make(map[uint16][]byte)
+	for i := 0; i < 64; i++ {
+		id := uint16(i + 1)
+		name := "fast.example."
+		if i%3 == 0 {
+			name = fmt.Sprintf("slow%d.example.", i)
+		}
+		wire, err := dnswire.NewQuery(id, dnswire.Name(name), dnswire.TypeA).Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[id] = wire
+	}
+
+	gotA := collectResponses(t, pcA.LocalAddr().String(), queries)
+	gotB := collectResponses(t, pcB.LocalAddr().String(), queries)
+	for id := range queries {
+		if !bytes.Equal(gotA[id], gotB[id]) {
+			t.Errorf("ID %#x: per-packet and batch responses differ:\n per-packet %x\n batch      %x",
+				id, gotA[id], gotB[id])
+		}
+	}
+	if stub.fastServed.Load() == 0 || stub.msgServed.Load() == 0 {
+		t.Fatalf("stream did not cover both paths: fast=%d msg=%d",
+			stub.fastServed.Load(), stub.msgServed.Load())
+	}
+}
+
+// TestBatchShardedHotName hammers one cached name through SO_REUSEPORT
+// shards from concurrent clients — the -race workout for the sharded
+// fast path's reused read/write vectors — and checks the shard counters
+// account for the traffic.
+func TestBatchShardedHotName(t *testing.T) {
+	stub := newWireStub(t, "hot.example.")
+	conns, err := udpio.ListenShards("udp", "127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	srv := &UDPServer{Handler: stub, Telemetry: tel}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.ServeBatch(conns, 32) }()
+	addr := conns[0].LocalAddr().String()
+
+	const clients = 8
+	const perClient = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			queries := make(map[uint16][]byte, perClient)
+			for i := 0; i < perClient; i++ {
+				id := uint16(g*perClient + i + 1)
+				wire, err := dnswire.NewQuery(id, "hot.example.", dnswire.TypeA).Pack()
+				if err != nil {
+					errs <- err
+					return
+				}
+				queries[id] = wire
+			}
+			for id, raw := range collectResponses(t, addr, queries) {
+				var m dnswire.Message
+				if err := m.Unpack(raw); err != nil {
+					errs <- fmt.Errorf("client %d: bad response: %w", g, err)
+					return
+				}
+				if m.ID != id || len(m.Answers) != 1 || m.Answers[0].TTL != 42 {
+					errs <- fmt.Errorf("client %d ID %#x: wrong response %s", g, id, &m)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	stats := srv.ShardStats()
+	if len(stats) != len(conns) {
+		t.Fatalf("ShardStats returned %d shards, want %d", len(stats), len(conns))
+	}
+	var hits, datagrams uint64
+	for _, st := range stats {
+		hits += st.FastHits
+		datagrams += st.Datagrams
+	}
+	if hits < clients*perClient {
+		t.Errorf("shards served %d fast hits, want >= %d", hits, clients*perClient)
+	}
+	if datagrams < hits {
+		t.Errorf("shards read %d datagrams but served %d hits", datagrams, hits)
+	}
+	if s := tel.Snapshot(); s.UDPBatchReads == 0 || s.UDPBatchDatagrams < uint64(clients*perClient) {
+		t.Errorf("batch telemetry reads=%d datagrams=%d, want nonzero/>=%d",
+			s.UDPBatchReads, s.UDPBatchDatagrams, clients*perClient)
+	}
+
+	for _, c := range conns {
+		c.Close()
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeBatch did not return after conns closed")
+	}
+}
+
+// TestSpillBounded pins the satellite contract on the shared worker
+// pool: when every worker and the queue are saturated, overflow goes to
+// at most MaxSpill transient goroutines (counted in telemetry) and the
+// reader then blocks — concurrency never exceeds Workers+MaxSpill.
+func TestSpillBounded(t *testing.T) {
+	const workers, maxSpill = 2, 2
+	var inflight, peak atomic.Int64
+	release := make(chan struct{})
+	handler := HandlerFunc(func(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+		cur := inflight.Add(1)
+		defer inflight.Add(-1)
+		for {
+			m := peak.Load()
+			if cur <= m || peak.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		r := q.Reply()
+		r.Answers = append(r.Answers, dnswire.ResourceRecord{
+			Name: q.Question1().Name, Class: dnswire.ClassINET, TTL: 1,
+			Data: &dnswire.A{Addr: netip.MustParseAddr("192.0.2.9")},
+		})
+		return r, nil
+	})
+	tel := telemetry.New()
+	pc := listenLoopback(t)
+	srv := &UDPServer{Handler: handler, Readers: 1, Workers: workers, MaxSpill: maxSpill, Telemetry: tel}
+	go srv.Serve(pc)
+
+	c, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const total = 16
+	for i := 0; i < total; i++ {
+		wire, err := dnswire.NewQuery(uint16(i+1), "blocked.example.", dnswire.TypeA).Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// With 1 reader, 2 workers, queue cap 2 and spill budget 2, the pool
+	// must reach exactly maxSpill spills while saturated and then hold
+	// the reader (more spills may follow once handlers unblock and slots
+	// recycle — the budget bounds concurrency, not the lifetime count).
+	waitFor(t, func() bool { return tel.Snapshot().UDPSpills >= maxSpill })
+	if got := tel.Snapshot().UDPSpills; got != maxSpill {
+		t.Errorf("spills while saturated = %d, want exactly %d (budget exhausted, then backpressure)", got, maxSpill)
+	}
+	close(release)
+	waitFor(t, func() bool { return tel.Snapshot().Queries["udp"] == total })
+
+	if p := peak.Load(); p > workers+maxSpill {
+		t.Errorf("peak handler concurrency %d exceeds workers+maxSpill = %d", p, workers+maxSpill)
+	}
+}

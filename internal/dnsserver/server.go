@@ -10,6 +10,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dohcost/internal/dnswire"
@@ -18,6 +19,7 @@ import (
 	"dohcost/internal/netsim"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
+	"dohcost/internal/udpio"
 )
 
 // WireResponder is implemented by handlers that can answer some queries
@@ -76,9 +78,10 @@ type UDPServer struct {
 	// up would re-blackhole exactly the responses it exists to save, and
 	// the TC=1 referral itself (header + question) stays tiny.
 	MaxUDPSize int
-	// Readers is the number of goroutines blocked in ReadFrom; 0 means 2.
-	// Real sockets benefit from several concurrent receivers; every reader
-	// reads into a pooled buffer handed off to the workers, never copied.
+	// Readers is the number of goroutines blocked in ReadFrom; 0 means
+	// max(2, GOMAXPROCS). Real sockets benefit from several concurrent
+	// receivers; every reader reads into a pooled buffer handed off to the
+	// workers, never copied.
 	Readers int
 	// Workers sizes the resident worker pool; 0 means 4×GOMAXPROCS. The
 	// pool absorbs the steady state — fast-path hits take microseconds, so
@@ -89,16 +92,125 @@ type UDPServer struct {
 	// socket: slow queries cost a goroutine each, exactly as the
 	// goroutine-per-packet design did, while the hot path never does.
 	Workers int
+	// MaxSpill bounds the transient spill goroutines alive at once; 0
+	// means 8×Workers. With the budget exhausted the reader blocks on the
+	// work queue instead — socket backpressure beats unbounded goroutine
+	// growth when an attack or upstream brownout makes every query slow.
+	// Spills are counted in telemetry (dohcost_udp_spills_total).
+	MaxSpill int
 	// Telemetry, when non-nil, receives one Transaction per parsed query.
 	Telemetry *telemetry.Metrics
+
+	// shardStats is installed by ServeBatch: one counter block per shard
+	// socket, read by ShardStats while serving runs.
+	shardStats atomic.Pointer[[]shardCounters]
+}
+
+// packetWriter is the slice of net.PacketConn the response paths need;
+// both net.PacketConn and udpio.BatchConn satisfy it.
+type packetWriter interface {
+	WriteTo(b []byte, addr net.Addr) (int, error)
 }
 
 // packet is one received datagram travelling from a reader to a worker,
-// carrying its pooled buffer.
+// carrying its pooled buffer and the conn to answer on. tx, when non-nil,
+// is a transaction the reader already began; msgOnly routes straight to
+// the Message path (the batch reader already tried — or ruled out — the
+// wire fast path before handing off).
 type packet struct {
-	buf  *[]byte
-	n    int
-	from net.Addr
+	buf     *[]byte
+	n       int
+	from    net.Addr
+	w       packetWriter
+	tx      *telemetry.Transaction
+	msgOnly bool
+}
+
+// workPool is the bounded worker pool both serve loops dispatch into:
+// resident workers for the steady state, a spill budget of transient
+// goroutines for slow-query bursts, blocking backpressure beyond that.
+type workPool struct {
+	s        *UDPServer
+	ctx      context.Context
+	work     chan packet
+	spillSem chan struct{}
+	wg       sync.WaitGroup
+}
+
+// startWorkers spins up the resident workers and sizes the spill budget.
+func (s *UDPServer) startWorkers(ctx context.Context, workers, maxSpill int) *workPool {
+	p := &workPool{
+		s:        s,
+		ctx:      ctx,
+		work:     make(chan packet, workers),
+		spillSem: make(chan struct{}, maxSpill),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for pkt := range p.work {
+				p.serve(pkt)
+			}
+		}()
+	}
+	return p
+}
+
+// serve answers one packet and reclaims its buffer.
+func (p *workPool) serve(pkt packet) {
+	if pkt.msgOnly {
+		p.s.serveMessage(p.ctx, pkt.w, (*pkt.buf)[:pkt.n], pkt.from, pkt.tx)
+	} else {
+		p.s.servePacket(p.ctx, pkt.w, (*pkt.buf)[:pkt.n], pkt.from)
+	}
+	putBuf(pkt.buf)
+}
+
+// dispatch hands pkt to a resident worker; when the pool and queue are
+// saturated (a burst of slow queries blocking on upstream or emulated
+// delays) it spills to a transient goroutine within the spill budget, so
+// the socket never head-of-line blocks (UDP's Figure 2 immunity depends
+// on it) while goroutine growth stays bounded. Returns whether it
+// spilled.
+func (p *workPool) dispatch(pkt packet) bool {
+	select {
+	case p.work <- pkt:
+		return false
+	default:
+	}
+	select {
+	case p.work <- pkt:
+		return false
+	case p.spillSem <- struct{}{}:
+		p.s.Telemetry.UDPSpill()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer func() { <-p.spillSem }()
+			p.serve(pkt)
+		}()
+		return true
+	}
+}
+
+// stop drains the queue and waits for every worker and spill goroutine.
+func (p *workPool) stop() {
+	close(p.work)
+	p.wg.Wait()
+}
+
+// poolSizes resolves the Workers/MaxSpill defaults.
+func (s *UDPServer) poolSizes() (workers, maxSpill int) {
+	workers = s.Workers
+	if workers <= 0 {
+		workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	maxSpill = s.MaxSpill
+	if maxSpill <= 0 {
+		maxSpill = 8 * workers
+	}
+	return workers, maxSpill
 }
 
 // Serve reads queries from pc until it closes. Every in-flight handler's
@@ -114,25 +226,13 @@ func (s *UDPServer) Serve(pc net.PacketConn) error {
 
 	readers := s.Readers
 	if readers <= 0 {
-		readers = 2
+		// Scale receive capacity with the machine: sharded deployments
+		// spread readers across sockets, a single socket still benefits
+		// from concurrent receivers.
+		readers = max(2, runtime.GOMAXPROCS(0))
 	}
-	workers := s.Workers
-	if workers <= 0 {
-		workers = 4 * runtime.GOMAXPROCS(0)
-	}
-
-	work := make(chan packet, workers)
-	var workerWG sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		workerWG.Add(1)
-		go func() {
-			defer workerWG.Done()
-			for pkt := range work {
-				s.servePacket(ctx, pc, (*pkt.buf)[:pkt.n], pkt.from)
-				putBuf(pkt.buf)
-			}
-		}()
-	}
+	workers, maxSpill := s.poolSizes()
+	pool := s.startWorkers(ctx, workers, maxSpill)
 
 	var (
 		readerWG sync.WaitGroup
@@ -169,18 +269,7 @@ func (s *UDPServer) Serve(pc net.PacketConn) error {
 					continue
 				}
 				consecutive = 0
-				pkt := packet{buf: buf, n: n, from: from}
-				select {
-				case work <- pkt:
-				default:
-					// Pool saturated: spill to a transient goroutine so a
-					// burst of slow queries never head-of-line blocks the
-					// socket (UDP's Figure 2 immunity depends on it).
-					go func() {
-						s.servePacket(ctx, pc, (*pkt.buf)[:pkt.n], pkt.from)
-						putBuf(pkt.buf)
-					}()
-				}
+				pool.dispatch(packet{buf: buf, n: n, from: from, w: pc})
 			}
 		}()
 	}
@@ -190,8 +279,7 @@ func (s *UDPServer) Serve(pc net.PacketConn) error {
 	// held hostage by queries parked on a slow upstream — the property
 	// the goroutine-per-packet loop had by returning immediately.
 	cancel()
-	close(work)
-	workerWG.Wait()
+	pool.stop()
 	return firstErr
 }
 
@@ -219,25 +307,34 @@ func (s *UDPServer) udpLimit(hasEDNS bool, udpSize uint16) int {
 
 // servePacket answers one datagram: wire fast path first, Message path as
 // fallback, both writing from a pooled buffer.
-func (s *UDPServer) servePacket(ctx context.Context, pc net.PacketConn, pkt []byte, from net.Addr) {
-	// One pooled response buffer serves both paths: the fast path appends
-	// the patched cache bytes into it, and on fallthrough the Message path
-	// reuses it for AppendPack.
-	out := getBuf()
-	defer putBuf(out)
-	var tx *telemetry.Transaction
+func (s *UDPServer) servePacket(ctx context.Context, w packetWriter, pkt []byte, from net.Addr) {
 	if wr, ok := s.Handler.(WireResponder); ok {
 		if q, ok := dnswire.ParseQuery(pkt); ok {
-			tx = s.Telemetry.Begin(telemetry.ProtoUDP)
+			out := getBuf()
+			tx := s.Telemetry.Begin(telemetry.ProtoUDP)
 			if resp, handled := wr.ServeDNSWire(tx, &q, (*out)[:0], s.udpLimit(q.HasEDNS, q.UDPSize)); handled {
-				pc.WriteTo(resp, from)
+				w.WriteTo(resp, from)
 				tx.SetVerdict(telemetry.VerdictOK)
 				tx.Finish()
+				putBuf(out)
 				return
 			}
+			putBuf(out)
 			// Fall through to the Message path with the same transaction.
+			s.serveMessage(ctx, w, pkt, from, tx)
+			return
 		}
 	}
+	s.serveMessage(ctx, w, pkt, from, nil)
+}
+
+// serveMessage runs the Unpack → Respond → AppendPack path for one
+// datagram, with the truncation and OPT-shedding policy UDP demands. tx
+// is the transaction an attempted fast path already began, or nil to
+// begin one here; serveMessage finishes it either way.
+func (s *UDPServer) serveMessage(ctx context.Context, w packetWriter, pkt []byte, from net.Addr, tx *telemetry.Transaction) {
+	out := getBuf()
+	defer putBuf(out)
 	var q dnswire.Message
 	if err := q.Unpack(pkt); err != nil {
 		// Drop unparseable datagrams, like real servers. ParseQuery is
@@ -286,7 +383,7 @@ func (s *UDPServer) servePacket(ctx context.Context, pc net.PacketConn, pkt []by
 			}
 		}
 	}
-	pc.WriteTo(wire, from)
+	w.WriteTo(wire, from)
 }
 
 // StreamServer serves DNS with two-octet length framing (RFC 1035 §4.2.2)
@@ -519,6 +616,11 @@ type Server struct {
 	// UDPReaders/UDPWorkers tune the UDP listener's reader and worker
 	// pools (see UDPServer.Readers/Workers); zero uses the defaults.
 	UDPReaders, UDPWorkers int
+	// UDPBatch, when positive, serves the UDP listener with the batched
+	// loop (UDPServer.ServeBatch) at that vector size — one kernel batch
+	// read/write per wakeup where the platform supports it, the portable
+	// per-packet fallback elsewhere. Zero keeps the per-packet Serve.
+	UDPBatch int
 	// Telemetry, when non-nil, is propagated to every listener so each
 	// query produces one cost Transaction (see internal/telemetry).
 	Telemetry *telemetry.Metrics
@@ -529,6 +631,16 @@ type Running struct {
 	Host    string
 	closers []io.Closer
 	wg      sync.WaitGroup
+	udp     *UDPServer
+}
+
+// UDPShardStats snapshots the UDP listener's per-shard batch counters;
+// nil when the listener runs the per-packet loop.
+func (r *Running) UDPShardStats() []UDPShardStats {
+	if r.udp == nil {
+		return nil
+	}
+	return r.udp.ShardStats()
 }
 
 // Close shuts down all listeners and waits for serving loops.
@@ -556,8 +668,14 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 		Workers:    s.UDPWorkers,
 		Telemetry:  s.Telemetry,
 	}
+	r.udp = udp
 	r.wg.Add(1)
-	go func() { defer r.wg.Done(); udp.Serve(pc) }()
+	if s.UDPBatch > 0 {
+		conn := udpio.Wrap(pc)
+		go func() { defer r.wg.Done(); udp.ServeBatch([]udpio.BatchConn{conn}, s.UDPBatch) }()
+	} else {
+		go func() { defer r.wg.Done(); udp.Serve(pc) }()
+	}
 
 	tcpL, err := n.Listen(host + ":53")
 	if err != nil {

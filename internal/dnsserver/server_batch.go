@@ -1,0 +1,267 @@
+package dnsserver
+
+// Kernel-assisted batched UDP serving. ServeBatch is the sharded
+// counterpart of UDPServer.Serve: one goroutine per SO_REUSEPORT shard
+// socket pulls up to a batch of datagrams in a single recvmmsg, answers
+// every cache hit into a per-shard response vector, and flushes the
+// vector in a single sendmmsg — so under load the syscall cost of the
+// fast path is amortized over tens of datagrams. Misses and unparseable
+// packets peel off to the same bounded worker pool Serve uses.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dohcost/internal/dnswire"
+	"dohcost/internal/telemetry"
+	"dohcost/internal/udpio"
+)
+
+// DefaultBatch is the read/write vector size ServeBatch uses when the
+// caller passes batch<=0 — large enough to amortize syscalls under load,
+// small enough that a batch of maximum-size messages stays cache-warm.
+const DefaultBatch = 32
+
+// shardCounters is one shard socket's serving counters, written by its
+// serve goroutine and read concurrently by ShardStats.
+type shardCounters struct {
+	reads     atomic.Uint64
+	datagrams atomic.Uint64
+	fastHits  atomic.Uint64
+	slowPath  atomic.Uint64
+	spills    atomic.Uint64
+	flushes   atomic.Uint64
+	flushed   atomic.Uint64
+}
+
+// UDPShardStats is a point-in-time snapshot of one shard socket's
+// counters, exported in /debug/cost.
+type UDPShardStats struct {
+	// Shard is the socket's index in the listen vector.
+	Shard int `json:"shard"`
+	// Reads counts batched read syscalls; Datagrams the datagrams they
+	// returned — their ratio is this shard's datagrams per syscall.
+	Reads     uint64 `json:"reads"`
+	Datagrams uint64 `json:"datagrams"`
+	// FastHits were answered inline from the batch loop; SlowPath were
+	// handed to the worker pool (cache miss, unparseable, or a shape the
+	// wire path declines).
+	FastHits uint64 `json:"fast_hits"`
+	SlowPath uint64 `json:"slow_path"`
+	// Spills counts slow-path packets that overflowed the worker queue
+	// into bounded transient goroutines.
+	Spills uint64 `json:"spills"`
+	// Flushes counts batched write syscalls; FlushedDatagrams the
+	// responses they carried.
+	Flushes          uint64 `json:"flushes"`
+	FlushedDatagrams uint64 `json:"flushed_datagrams"`
+}
+
+// ShardStats snapshots the per-shard counters of a running (or finished)
+// ServeBatch; nil before ServeBatch installs them.
+func (s *UDPServer) ShardStats() []UDPShardStats {
+	scs := s.shardStats.Load()
+	if scs == nil {
+		return nil
+	}
+	out := make([]UDPShardStats, len(*scs))
+	for i := range *scs {
+		sc := &(*scs)[i]
+		out[i] = UDPShardStats{
+			Shard:            i,
+			Reads:            sc.reads.Load(),
+			Datagrams:        sc.datagrams.Load(),
+			FastHits:         sc.fastHits.Load(),
+			SlowPath:         sc.slowPath.Load(),
+			Spills:           sc.spills.Load(),
+			Flushes:          sc.flushes.Load(),
+			FlushedDatagrams: sc.flushed.Load(),
+		}
+	}
+	return out
+}
+
+// ServeBatch serves conns until they close, one batch loop per shard
+// socket, sharing a single worker pool for the slow path. batch<=0 means
+// DefaultBatch; values above udpio.MaxBatch are clamped. Like Serve, the
+// first persistent socket error shuts every shard down and is returned.
+func (s *UDPServer) ServeBatch(conns []udpio.BatchConn, batch int) error {
+	if len(conns) == 0 {
+		return errors.New("dnsserver: ServeBatch needs at least one conn")
+	}
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if batch > udpio.MaxBatch {
+		batch = udpio.MaxBatch
+	}
+	base := s.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
+	defer cancel()
+
+	workers, maxSpill := s.poolSizes()
+	pool := s.startWorkers(ctx, workers, maxSpill)
+
+	scs := make([]shardCounters, len(conns))
+	s.shardStats.Store(&scs)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i, c := range conns {
+		wg.Add(1)
+		go func(c udpio.BatchConn, sc *shardCounters) {
+			defer wg.Done()
+			if err := s.serveShard(c, batch, pool, sc); err != nil {
+				errOnce.Do(func() {
+					firstErr = err
+					for _, cc := range conns {
+						cc.Close()
+					}
+				})
+			}
+		}(c, &scs[i])
+	}
+	wg.Wait()
+	// Shards are done: cancel in-flight handler contexts before draining
+	// the workers so shutdown is never held hostage by a slow upstream.
+	cancel()
+	pool.stop()
+	return firstErr
+}
+
+// batchVec is one shard's reusable read and write state: every slot of
+// the read vector owns a pooled buffer (swapped out, never copied, when a
+// packet is handed to the worker pool), and every slot of the write
+// vector owns a pooled buffer responses are packed into.
+type batchVec struct {
+	ms    []udpio.Message
+	bufs  []*[]byte
+	out   []udpio.Message
+	obufs []*[]byte
+	txs   []*telemetry.Transaction
+}
+
+func newBatchVec(batch int) *batchVec {
+	v := &batchVec{
+		ms:    make([]udpio.Message, batch),
+		bufs:  make([]*[]byte, batch),
+		out:   make([]udpio.Message, batch),
+		obufs: make([]*[]byte, batch),
+		txs:   make([]*telemetry.Transaction, 0, batch),
+	}
+	for i := 0; i < batch; i++ {
+		v.bufs[i] = getBuf()
+		v.ms[i].Buf = *v.bufs[i]
+		v.obufs[i] = getBuf()
+	}
+	return v
+}
+
+// release returns every pooled buffer.
+func (v *batchVec) release() {
+	for i := range v.bufs {
+		putBuf(v.bufs[i])
+		putBuf(v.obufs[i])
+	}
+}
+
+// serveShard runs one socket's read→answer→flush loop until the conn
+// closes or persistently errors.
+func (s *UDPServer) serveShard(c udpio.BatchConn, batch int, pool *workPool, sc *shardCounters) error {
+	wr, fast := s.Handler.(WireResponder)
+	v := newBatchVec(batch)
+	defer v.release()
+	consecutive := 0
+	for {
+		n, err := c.ReadBatch(v.ms)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			// Same transient-error policy as Serve's readers: retry with
+			// a pause, give up only when the socket looks persistently
+			// broken.
+			consecutive++
+			if consecutive >= maxReadRetries {
+				return err
+			}
+			time.Sleep(readRetryPause)
+			continue
+		}
+		consecutive = 0
+		s.Telemetry.ObserveUDPBatch(n)
+		sc.reads.Add(1)
+		sc.datagrams.Add(uint64(n))
+
+		// Answer the batch: fast-path hits pack into the write vector,
+		// everything else peels off to the worker pool.
+		nw := 0
+		v.txs = v.txs[:0]
+		for i := 0; i < n; i++ {
+			pkt := v.ms[i].Buf[:v.ms[i].N]
+			if fast {
+				if q, ok := dnswire.ParseQuery(pkt); ok {
+					tx := s.Telemetry.Begin(telemetry.ProtoUDP)
+					dst := (*v.obufs[nw])[:0]
+					if resp, handled := wr.ServeDNSWire(tx, &q, dst, s.udpLimit(q.HasEDNS, q.UDPSize)); handled {
+						if len(resp) > 0 && &resp[0] != &(*v.obufs[nw])[0] {
+							// The responder reallocated (or returned its
+							// own storage); fold the bytes back into the
+							// pooled slot — a UDP response always fits.
+							resp = append((*v.obufs[nw])[:0], resp...)
+						}
+						// Responses flush before the next ReadBatch, so
+						// sharing the read vector's Addr is safe.
+						v.out[nw] = udpio.Message{Buf: *v.obufs[nw], N: len(resp), Addr: v.ms[i].Addr}
+						nw++
+						v.txs = append(v.txs, tx)
+						sc.fastHits.Add(1)
+						continue
+					}
+					s.batchHandoff(c, v, i, tx, pool, sc)
+					continue
+				}
+			}
+			s.batchHandoff(c, v, i, nil, pool, sc)
+		}
+
+		// One sendmmsg for the whole batch of hits. A write error is not
+		// fatal to the shard (the kernel can refuse one destination);
+		// the affected clients retry, like any dropped datagram.
+		if nw > 0 {
+			c.WriteBatch(v.out[:nw])
+			sc.flushes.Add(1)
+			sc.flushed.Add(uint64(nw))
+			for _, tx := range v.txs {
+				tx.SetVerdict(telemetry.VerdictOK)
+				tx.Finish()
+			}
+		}
+	}
+}
+
+// batchHandoff hands read-vector slot i to the worker pool: the slot's
+// pooled buffer travels with the packet and a fresh one takes its place,
+// and the source address is cloned out of the reusable vector. tx is the
+// transaction a declined fast-path attempt already began, or nil.
+func (s *UDPServer) batchHandoff(c udpio.BatchConn, v *batchVec, i int, tx *telemetry.Transaction, pool *workPool, sc *shardCounters) {
+	sc.slowPath.Add(1)
+	pb := v.bufs[i]
+	n := v.ms[i].N
+	from := udpio.CloneAddr(v.ms[i].Addr)
+	v.bufs[i] = getBuf()
+	v.ms[i].Buf = *v.bufs[i]
+	if pool.dispatch(packet{buf: pb, n: n, from: from, w: c, tx: tx, msgOnly: true}) {
+		sc.spills.Add(1)
+	}
+}

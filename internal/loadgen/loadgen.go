@@ -127,6 +127,10 @@ type Scenario struct {
 	// stale window and near-expiry prefetch (0 disables each).
 	ServeStale     time.Duration
 	PrefetchWindow time.Duration
+	// UDPBatch, when positive, serves the proxy's UDP listener with the
+	// batched loop at this vector size (see proxy.Config.UDPBatch); 0
+	// keeps the per-packet loop.
+	UDPBatch int
 }
 
 // withDefaults fills unset fields.
@@ -298,6 +302,7 @@ func Run(s Scenario) (*Result, error) {
 		HedgeDelay:     s.HedgeDelay,
 		ServeStale:     s.ServeStale,
 		PrefetchWindow: s.PrefetchWindow,
+		UDPBatch:       s.UDPBatch,
 	})
 	if err != nil {
 		return nil, err

@@ -15,7 +15,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"dohcost/internal/dnscache"
@@ -26,6 +28,7 @@ import (
 	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
+	"dohcost/internal/udpio"
 )
 
 // Config assembles a forwarding proxy.
@@ -61,6 +64,20 @@ type Config struct {
 	// truncated so clients retry over TCP instead of losing oversized
 	// datagrams on small-MTU paths. Zero applies no cap.
 	MaxUDPSize int
+	// UDPBatch, when positive, serves UDP with the batched loop at that
+	// vector size: up to UDPBatch datagrams per read syscall, cache hits
+	// flushed in one write syscall (dnsserver.UDPServer.ServeBatch). It
+	// applies to the simulated-network listener and to UDPListen sockets.
+	// Zero keeps the per-packet loop.
+	UDPBatch int
+	// UDPListen, when non-empty, additionally serves classic UDP DNS on
+	// real kernel sockets at this address (e.g. "127.0.0.1:5300") with
+	// the batched loop — the deployment face of the serving path, where
+	// recvmmsg/sendmmsg and SO_REUSEPORT sharding actually pay off.
+	UDPListen string
+	// UDPShards is the SO_REUSEPORT socket count for UDPListen; 0 means
+	// one per GOMAXPROCS, and platforms without SO_REUSEPORT clamp to 1.
+	UDPShards int
 	// Policy selects the upstream steering policy: "failover" (default and
 	// the pre-steering behaviour: static preference order with health
 	// failover), "fastest" (SRTT-ranked with periodic exploration probes)
@@ -107,6 +124,15 @@ type Proxy struct {
 	server  *dnsserver.Server
 	run     *dnsserver.Running
 	tel     *telemetry.Metrics
+
+	// Real-socket batched UDP listener (Config.UDPListen), alongside the
+	// simulated-network listener set.
+	udpListen string
+	udpShards int
+	udpBatch  int
+	udpSrv    *dnsserver.UDPServer
+	udpConns  []udpio.BatchConn
+	udpWG     sync.WaitGroup
 }
 
 // New builds the forwarding pipeline. Close releases it.
@@ -164,11 +190,14 @@ func New(cfg Config) (*Proxy, error) {
 		ExploreEvery: cfg.ExploreEvery,
 	})
 	p := &Proxy{
-		pool:    pool,
-		steer:   st,
-		cache:   dnscache.New(st, opts...),
-		timeout: timeout,
-		tel:     tel,
+		pool:      pool,
+		steer:     st,
+		cache:     dnscache.New(st, opts...),
+		timeout:   timeout,
+		tel:       tel,
+		udpListen: cfg.UDPListen,
+		udpShards: cfg.UDPShards,
+		udpBatch:  cfg.UDPBatch,
 	}
 	p.server = &dnsserver.Server{
 		Handler:       p.Handler(),
@@ -176,6 +205,7 @@ func New(cfg Config) (*Proxy, error) {
 		Endpoints:     cfg.Endpoints,
 		DoTOutOfOrder: !cfg.InOrderDoT,
 		MaxUDPSize:    cfg.MaxUDPSize,
+		UDPBatch:      cfg.UDPBatch,
 		Telemetry:     tel,
 	}
 	return p, nil
@@ -221,7 +251,8 @@ func (p *Proxy) Handler() dnsserver.Handler {
 }
 
 // Start brings up the full listener set on a simulated network host
-// (UDP/TCP :53, and with a Chain, DoT :853 and DoH :443).
+// (UDP/TCP :53, and with a Chain, DoT :853 and DoH :443), plus — when
+// Config.UDPListen is set — the real-socket batched UDP listener.
 func (p *Proxy) Start(n *netsim.Network, host string) error {
 	if p.run != nil {
 		return fmt.Errorf("proxy: already started")
@@ -231,12 +262,75 @@ func (p *Proxy) Start(n *netsim.Network, host string) error {
 		return err
 	}
 	p.run = run
+	if p.udpListen != "" {
+		if err := p.startUDPListen(); err != nil {
+			p.run.Close()
+			p.run = nil
+			return err
+		}
+	}
+	return nil
+}
+
+// startUDPListen binds the SO_REUSEPORT shard sockets and serves them
+// with the batched loop.
+func (p *Proxy) startUDPListen() error {
+	conns, err := udpio.ListenShards("udp", p.udpListen, p.udpShards)
+	if err != nil {
+		return fmt.Errorf("proxy: udp listen %s: %w", p.udpListen, err)
+	}
+	p.udpConns = conns
+	p.udpSrv = &dnsserver.UDPServer{
+		Handler:   p.Handler(),
+		Telemetry: p.tel,
+	}
+	p.udpWG.Add(1)
+	go func() {
+		defer p.udpWG.Done()
+		p.udpSrv.ServeBatch(conns, p.udpBatch)
+	}()
+	return nil
+}
+
+// UDPAddr returns the real-socket UDP listener's bound address, or nil
+// without Config.UDPListen — the way to discover the port after ":0".
+func (p *Proxy) UDPAddr() net.Addr {
+	if len(p.udpConns) == 0 {
+		return nil
+	}
+	return p.udpConns[0].LocalAddr()
+}
+
+// UDPShardCount reports how many SO_REUSEPORT shard sockets the
+// real-socket UDP listener bound (0 without Config.UDPListen). Unlike
+// UDPShardStats it is populated as soon as Start returns, without
+// waiting for the serve loops to spin up.
+func (p *Proxy) UDPShardCount() int {
+	return len(p.udpConns)
+}
+
+// UDPShardStats snapshots the batched UDP listener's per-shard counters:
+// the real-socket listener's when one is up, otherwise the simulated
+// listener's (non-nil only with Config.UDPBatch set).
+func (p *Proxy) UDPShardStats() []dnsserver.UDPShardStats {
+	if p.udpSrv != nil {
+		return p.udpSrv.ShardStats()
+	}
+	if p.run != nil {
+		return p.run.UDPShardStats()
+	}
 	return nil
 }
 
 // Close stops the listeners (if started) and releases the cache and every
 // pooled upstream connection.
 func (p *Proxy) Close() error {
+	for _, c := range p.udpConns {
+		c.Close()
+	}
+	p.udpWG.Wait()
+	p.udpConns = nil
+	p.udpSrv = nil
 	if p.run != nil {
 		p.run.Close()
 		p.run = nil
@@ -280,6 +374,9 @@ type CostReport struct {
 	Cache     CacheReport                  `json:"cache"`
 	Upstreams []dnstransport.UpstreamStats `json:"upstreams"`
 	Steering  steer.Report                 `json:"steering"`
+	// UDPShards is the batched UDP listener's per-shard serving counters;
+	// omitted when UDP runs the per-packet loop.
+	UDPShards []dnsserver.UDPShardStats `json:"udp_shards,omitempty"`
 }
 
 // CostReport assembles the current cost view of the proxy.
@@ -294,6 +391,7 @@ func (p *Proxy) CostReport() CostReport {
 		Cache:     cr,
 		Upstreams: p.pool.Stats(),
 		Steering:  p.steer.Report(),
+		UDPShards: p.UDPShardStats(),
 	}
 }
 

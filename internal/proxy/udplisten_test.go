@@ -1,0 +1,94 @@
+package proxy
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dohcost/internal/dnstransport"
+	"dohcost/internal/dnswire"
+	"dohcost/internal/netsim"
+)
+
+// TestProxyUDPListenBatchedRealSocket brings the proxy up with the
+// real-socket batched UDP listener (Config.UDPListen) and exchanges
+// through a kernel socket end to end: first query misses to the netsim
+// upstream, repeats hit the cache through the batched fast path, and the
+// cost report carries per-shard counters.
+func TestProxyUDPListenBatchedRealSocket(t *testing.T) {
+	n := netsim.New(41)
+	up := startUpstream(t, n, "recursive.upstream")
+	p, err := New(Config{
+		Upstreams:       []dnstransport.PoolUpstream{tcpUpstream(n, "proxy.dns", up.host)},
+		UpstreamTimeout: 2 * time.Second,
+		UDPListen:       "127.0.0.1:0",
+		UDPShards:       2,
+		UDPBatch:        16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(n, "proxy.dns"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	addr := p.UDPAddr()
+	if addr == nil {
+		t.Fatal("UDPAddr is nil with UDPListen configured")
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	cli := dnstransport.NewUDPClient(pc, addr)
+	t.Cleanup(func() { cli.Close() })
+
+	for i := 0; i < 10; i++ {
+		resp, err := cli.Exchange(context.Background(), dnswire.NewQuery(0, "real.example.", dnswire.TypeA))
+		if err != nil {
+			t.Fatalf("query %d over real socket: %v", i, err)
+		}
+		if resp.RCode != dnswire.RCodeSuccess || len(resp.Answers) != 1 {
+			t.Fatalf("query %d: resp = %v", i, resp)
+		}
+		if a := resp.Answers[0].Data.(*dnswire.A); a.Addr != netip.MustParseAddr("192.0.2.77") {
+			t.Fatalf("query %d: answer = %v", i, a.Addr)
+		}
+	}
+	if got := up.queries.Load(); got != 1 {
+		t.Errorf("upstream saw %d queries, want 1 (9 repeats served from cache)", got)
+	}
+
+	report := p.CostReport()
+	if len(report.UDPShards) == 0 {
+		t.Fatal("CostReport has no udp_shards with the batched listener up")
+	}
+	var datagrams, fastHits uint64
+	for _, sc := range report.UDPShards {
+		datagrams += sc.Datagrams
+		fastHits += sc.FastHits
+	}
+	if datagrams < 10 {
+		t.Errorf("shards read %d datagrams, want >= 10", datagrams)
+	}
+	if fastHits < 9 {
+		t.Errorf("shards served %d fast hits, want >= 9 (cache repeats)", fastHits)
+	}
+	if report.Telemetry.UDPBatchReads == 0 {
+		t.Error("telemetry recorded no batched reads")
+	}
+
+	// /debug/cost must render the shard counters.
+	buf := new(strings.Builder)
+	if err := report.Telemetry.WritePrometheus(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dohcost_udp_batch_reads_total") {
+		t.Error("/metrics exposition missing dohcost_udp_batch_reads_total")
+	}
+}

@@ -126,6 +126,16 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		"Truncated UDP answers retried over TCP (RFC 7766).", s.TCFallbacks)
 	t.counter("dohcost_udp_retransmits_total",
 		"UDP query attempts re-sent after per-attempt timeouts.", s.UDPRetransmits)
+	t.counter("dohcost_udp_spills_total",
+		"UDP packets shed from a saturated worker pool to bounded transient goroutines.", s.UDPSpills)
+	t.counter("dohcost_udp_batch_reads_total",
+		"Batched UDP read syscalls (recvmmsg wakeups) on the serving path.", s.UDPBatchReads)
+	t.counter("dohcost_udp_batch_datagrams_total",
+		"Datagrams returned by batched UDP reads; divide by reads for datagrams per syscall.", s.UDPBatchDatagrams)
+	if len(s.UDPBatchSizes) > 0 {
+		t.counterVec("dohcost_udp_batch_size_reads_total",
+			"Batched UDP reads by datagrams-returned bucket.", "datagrams", s.UDPBatchSizes)
+	}
 	t.counter("dohcost_upstream_bytes_sent_total",
 		"DNS message bytes sent to upstreams.", s.UpstreamBytesSent)
 	t.counter("dohcost_upstream_bytes_received_total",

@@ -30,6 +30,14 @@ type shard struct {
 	bytesSent      atomic.Uint64
 	bytesRecv      atomic.Uint64
 
+	// Batched-UDP serving: spills are packets a saturated worker pool
+	// shed to bounded transient goroutines; batch reads/datagrams and the
+	// size buckets together form the datagrams-per-syscall histogram.
+	udpSpills         atomic.Uint64
+	udpBatchReads     atomic.Uint64
+	udpBatchDatagrams atomic.Uint64
+	udpBatchSize      [numBatchBuckets]atomic.Uint64
+
 	// The histograms dominate the shard's footprint (and pad the small
 	// counter block above away from the next shard's).
 	latency         [numProtos]histogram
@@ -145,6 +153,54 @@ func (m *Metrics) BeginBackground() *Transaction {
 	return tx
 }
 
+// numBatchBuckets is the datagrams-per-syscall histogram's bucket count:
+// powers of two from 1 to 64+ (the udpio.MaxBatch ceiling).
+const numBatchBuckets = 7
+
+// batchBucketLabels are the exposition labels, index-aligned with the
+// shard's udpBatchSize array.
+var batchBucketLabels = [numBatchBuckets]string{"1", "2-3", "4-7", "8-15", "16-31", "32-63", "64+"}
+
+// batchBucket maps a batch size to its histogram bucket.
+func batchBucket(n int) int {
+	b := 0
+	for n > 1 && b < numBatchBuckets-1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// pick returns a shard for Metrics-level (not per-Transaction) counters,
+// round-robin like Begin so concurrent shard readers don't rendezvous on
+// one cache line.
+func (m *Metrics) pick() *shard {
+	return m.shards[m.cursor.Add(1)&uint64(len(m.shards)-1)]
+}
+
+// ObserveUDPBatch records one batched-read syscall that returned n
+// datagrams — the sample feeding the datagrams-per-syscall histogram and
+// the batch read/datagram totals. Nil-safe like every sink method.
+func (m *Metrics) ObserveUDPBatch(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	sh := m.pick()
+	sh.udpBatchReads.Add(1)
+	sh.udpBatchDatagrams.Add(uint64(n))
+	sh.udpBatchSize[batchBucket(n)].Add(1)
+}
+
+// UDPSpill counts one packet shed from a saturated UDP worker pool to a
+// bounded transient goroutine (dohcost_udp_spills_total) — the signal that
+// slow-query load is exceeding the resident workers.
+func (m *Metrics) UDPSpill() {
+	if m == nil {
+		return
+	}
+	m.pick().udpSpills.Add(1)
+}
+
 // ctxKey is the context key for the Transaction.
 type ctxKey struct{}
 
@@ -217,6 +273,17 @@ func (m *Metrics) Snapshot() *Snapshot {
 		s.Prefetches += sh.prefetches.Load()
 		s.TCFallbacks += sh.tcFallbacks.Load()
 		s.UDPRetransmits += sh.udpRetransmits.Load()
+		s.UDPSpills += sh.udpSpills.Load()
+		s.UDPBatchReads += sh.udpBatchReads.Load()
+		s.UDPBatchDatagrams += sh.udpBatchDatagrams.Load()
+		for b := 0; b < numBatchBuckets; b++ {
+			if v := sh.udpBatchSize[b].Load(); v > 0 {
+				if s.UDPBatchSizes == nil {
+					s.UDPBatchSizes = map[string]uint64{}
+				}
+				s.UDPBatchSizes[batchBucketLabels[b]] += v
+			}
+		}
 		s.UpstreamBytesSent += sh.bytesSent.Load()
 		s.UpstreamBytesReceived += sh.bytesRecv.Load()
 		c, sum := s.UpstreamLatency.merge(&sh.upstreamLatency)
@@ -284,6 +351,17 @@ type Snapshot struct {
 	// UDPRetransmits counts UDP query attempts re-sent after a per-attempt
 	// timeout — the client-visible face of datagram loss on the path.
 	UDPRetransmits uint64 `json:"udp_retransmits_total"`
+	// UDPSpills counts packets shed from a saturated UDP worker pool to
+	// bounded transient goroutines (slow-query bursts outrunning workers).
+	UDPSpills uint64 `json:"udp_spills_total"`
+	// UDPBatchReads / UDPBatchDatagrams count batched-read syscalls and
+	// the datagrams they returned; their ratio is the live mean
+	// datagrams-per-syscall of the batch serving path.
+	UDPBatchReads     uint64 `json:"udp_batch_reads_total"`
+	UDPBatchDatagrams uint64 `json:"udp_batch_datagrams_total"`
+	// UDPBatchSizes is the datagrams-per-syscall histogram: bucket label
+	// ("1", "2-3", …, "64+") → batched reads returning that many.
+	UDPBatchSizes map[string]uint64 `json:"udp_batch_size_reads,omitempty"`
 	// UpstreamBytesSent / UpstreamBytesReceived are upstream message
 	// bytes, the paper's Figure 3 axis.
 	UpstreamBytesSent     uint64 `json:"upstream_bytes_sent_total"`

@@ -343,3 +343,56 @@ func TestBackgroundTransaction(t *testing.T) {
 	var nilM *Metrics
 	nilM.BeginBackground().Finish() // nil-safe like Begin
 }
+
+// TestUDPBatchMetrics checks the batched-serving counters: histogram
+// bucketing, spill accounting, snapshot aggregation and exposition.
+func TestUDPBatchMetrics(t *testing.T) {
+	m := New(withShards(2))
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 31, 32, 64, 200} {
+		m.ObserveUDPBatch(n)
+	}
+	m.ObserveUDPBatch(0)  // ignored
+	m.ObserveUDPBatch(-5) // ignored
+	m.UDPSpill()
+	m.UDPSpill()
+
+	s := m.Snapshot()
+	if s.UDPBatchReads != 11 {
+		t.Errorf("UDPBatchReads = %d, want 11", s.UDPBatchReads)
+	}
+	if want := uint64(1 + 2 + 3 + 4 + 7 + 8 + 16 + 31 + 32 + 64 + 200); s.UDPBatchDatagrams != want {
+		t.Errorf("UDPBatchDatagrams = %d, want %d", s.UDPBatchDatagrams, want)
+	}
+	wantBuckets := map[string]uint64{
+		"1": 1, "2-3": 2, "4-7": 2, "8-15": 1, "16-31": 2, "32-63": 1, "64+": 2,
+	}
+	for k, v := range wantBuckets {
+		if s.UDPBatchSizes[k] != v {
+			t.Errorf("bucket %q = %d, want %d (all: %v)", k, s.UDPBatchSizes[k], v, s.UDPBatchSizes)
+		}
+	}
+	if s.UDPSpills != 2 {
+		t.Errorf("UDPSpills = %d, want 2", s.UDPSpills)
+	}
+
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"dohcost_udp_spills_total 2",
+		"dohcost_udp_batch_reads_total 11",
+		"# TYPE dohcost_udp_batch_size_reads_total counter",
+		`dohcost_udp_batch_size_reads_total{datagrams="64+"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// Nil receiver safety for the serving loop's unconditional calls.
+	var nilM *Metrics
+	nilM.ObserveUDPBatch(8)
+	nilM.UDPSpill()
+}

@@ -1,0 +1,48 @@
+package udpio
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+)
+
+// ListenShards opens shards UDP sockets bound to the same address with
+// SO_REUSEPORT, so the kernel hashes incoming flows across them and each
+// shard's reader drains a private receive queue — no cross-CPU contention
+// on one socket lock, the standard layout for 1M+ qps UDP serving.
+//
+// shards ≤ 0 means one per CPU (GOMAXPROCS). On platforms without
+// SO_REUSEPORT support the count is clamped to a single socket, so callers
+// can treat the returned slice's length as the effective shard count.
+// Each returned conn is Wrapped: kernel-batched where supported, the
+// per-packet fallback otherwise.
+func ListenShards(network, addr string, shards int) ([]BatchConn, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if !reusePortSupported {
+		shards = 1
+	}
+	lc := net.ListenConfig{}
+	if shards > 1 {
+		lc.Control = reusePortControl
+	}
+	conns := make([]BatchConn, 0, shards)
+	for i := 0; i < shards; i++ {
+		pc, err := lc.ListenPacket(context.Background(), network, addr)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("udpio: shard %d: %w", i, err)
+		}
+		if i == 0 {
+			// Later shards bind the concrete port the first one got, so
+			// ":0" requests end up sharing one ephemeral port.
+			addr = pc.LocalAddr().String()
+		}
+		conns = append(conns, Wrap(pc))
+	}
+	return conns, nil
+}

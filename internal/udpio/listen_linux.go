@@ -1,0 +1,26 @@
+//go:build linux
+
+package udpio
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT, which the stdlib syscall package does not
+// export on Linux (it predates the option). The value is uapi-stable.
+const soReusePort = 0xf
+
+// reusePortSupported reports that ListenShards can open true sharded
+// sockets on this platform.
+const reusePortSupported = true
+
+// reusePortControl sets SO_REUSEPORT on the socket before bind, the
+// prerequisite for several sockets sharing one port with kernel-side flow
+// hashing.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

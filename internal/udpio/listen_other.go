@@ -1,0 +1,14 @@
+//go:build !linux
+
+package udpio
+
+import "syscall"
+
+// reusePortSupported: off this branch ListenShards clamps to one socket —
+// SO_REUSEPORT numbering and semantics vary per platform, and the
+// portable build only promises correctness, not sharding.
+const reusePortSupported = false
+
+// reusePortControl is unused when reusePortSupported is false; it exists
+// so the portable ListenShards compiles unchanged.
+func reusePortControl(network, address string, c syscall.RawConn) error { return nil }

@@ -1,0 +1,9 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udpio
+
+import "net"
+
+// newMmsgConn on platforms without the recvmmsg/sendmmsg fast path: ok is
+// always false and Wrap falls back to per-packet I/O.
+func newMmsgConn(uc *net.UDPConn) (BatchConn, bool) { return nil, false }

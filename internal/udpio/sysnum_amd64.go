@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package udpio
+
+// x86-64 syscall numbers for the mmsg pair. The stdlib syscall table on
+// this arch predates sendmmsg, so both are pinned here; Linux syscall
+// numbers are a stable ABI.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

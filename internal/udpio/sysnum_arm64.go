@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package udpio
+
+// arm64 syscall numbers for the mmsg pair (asm-generic table); pinned
+// here for symmetry with amd64, where the stdlib table lacks sendmmsg.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -1,0 +1,169 @@
+// Command benchcmp diffs two benchjson artifacts (BENCH_<sha>.json) and
+// fails when a tracked metric regresses beyond a threshold — the CI guard
+// that keeps the serving hot paths from quietly slowing down between
+// commits.
+//
+// Direction is inferred from the unit: ns/op, B/op and allocs/op are
+// lower-is-better; rate units containing "/s" (queries/s) are
+// higher-is-better. Other custom units (hit-%, B/resolution, …) describe
+// workload shape rather than speed and are reported but never failed on.
+//
+// Usage:
+//
+//	go run ./tools/benchcmp -old BENCH_base.json -new BENCH_head.json
+//	go run ./tools/benchcmp -old old.json -new new.json -max-regress 10 -bench 'UDPBatch|CacheHit'
+//
+// Exit status: 0 when no tracked metric regresses more than -max-regress
+// percent, 1 when one does, 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Result mirrors one benchjson benchmark line.
+type Result struct {
+	// Name is the benchmark name including sub-benchmarks.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran under.
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document mirrors the benchjson artifact.
+type Document struct {
+	// Goos/Goarch/CPU/Pkg echo the go test header lines.
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchjson artifact")
+	newPath := flag.String("new", "", "candidate benchjson artifact")
+	maxRegress := flag.Float64("max-regress", 10, "fail when a tracked metric regresses more than this percent")
+	benchRE := flag.String("bench", "", "only compare benchmarks matching this regexp (default all)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -old and -new are required")
+		os.Exit(2)
+	}
+	var filter *regexp.Regexp
+	if *benchRE != "" {
+		re, err := regexp.Compile(*benchRE)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp: -bench:", err)
+			os.Exit(2)
+		}
+		filter = re
+	}
+	oldDoc, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	regressed := compare(os.Stdout, oldDoc, newDoc, filter, *maxRegress)
+	if regressed {
+		os.Exit(1)
+	}
+}
+
+// load reads one benchjson artifact.
+func load(path string) (*Document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// tracked reports whether unit is a speed metric benchcmp enforces, and
+// whether lower values are better for it.
+func tracked(unit string) (enforced, lowerBetter bool) {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return true, true
+	}
+	if strings.Contains(unit, "/s") {
+		return true, false
+	}
+	return false, false
+}
+
+// compare prints a row per shared benchmark metric and returns whether
+// any enforced metric regressed beyond maxRegress percent.
+func compare(w *os.File, oldDoc, newDoc *Document, filter *regexp.Regexp, maxRegress float64) bool {
+	oldBy := make(map[string]Result, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		oldBy[r.Name] = r
+	}
+	regressed := false
+	matched := 0
+	fmt.Fprintf(w, "%-55s %-14s %14s %14s %8s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, nr := range newDoc.Results {
+		if filter != nil && !filter.MatchString(nr.Name) {
+			continue
+		}
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %-14s %14s %14s %8s\n", nr.Name, "-", "(absent)", "-", "new")
+			continue
+		}
+		matched++
+		units := make([]string, 0, len(nr.Metrics))
+		for u := range nr.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, ok := or.Metrics[unit]
+			if !ok || ov == 0 {
+				continue
+			}
+			nv := nr.Metrics[unit]
+			enforced, lowerBetter := tracked(unit)
+			deltaPct := (nv - ov) / ov * 100
+			worse := deltaPct
+			if !lowerBetter {
+				worse = -deltaPct
+			}
+			mark := ""
+			if enforced && worse > maxRegress {
+				mark = "  REGRESSION"
+				regressed = true
+			} else if !enforced {
+				mark = "  (info)"
+			}
+			fmt.Fprintf(w, "%-55s %-14s %14.4g %14.4g %+7.1f%%%s\n", nr.Name, unit, ov, nv, deltaPct, mark)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(w, "benchcmp: no shared benchmarks to compare")
+	}
+	if regressed {
+		fmt.Fprintf(w, "\nbenchcmp: FAIL — at least one metric regressed more than %.1f%%\n", maxRegress)
+	} else {
+		fmt.Fprintf(w, "\nbenchcmp: ok (threshold %.1f%%)\n", maxRegress)
+	}
+	return regressed
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func doc(results ...Result) *Document {
+	return &Document{Goos: "linux", Goarch: "amd64", Results: results}
+}
+
+func res(name string, metrics map[string]float64) Result {
+	return Result{Name: name, Procs: 1, Iterations: 100, Metrics: metrics}
+}
+
+// compareTo runs compare with output routed to a scratch file and returns
+// whether a regression was flagged.
+func compareTo(t *testing.T, oldDoc, newDoc *Document, filter string, maxRegress float64) bool {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "out.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var filterRE *regexp.Regexp
+	if filter != "" {
+		filterRE = regexp.MustCompile(filter)
+	}
+	return compare(f, oldDoc, newDoc, filterRE, maxRegress)
+}
+
+func TestNoRegression(t *testing.T) {
+	oldDoc := doc(res("BenchmarkUDPBatchServe/batch", map[string]float64{"ns/op": 4700, "queries/s": 212000}))
+	newDoc := doc(res("BenchmarkUDPBatchServe/batch", map[string]float64{"ns/op": 4600, "queries/s": 215000}))
+	if compareTo(t, oldDoc, newDoc, "", 10) {
+		t.Fatal("improvement flagged as regression")
+	}
+}
+
+func TestLowerIsBetterRegression(t *testing.T) {
+	oldDoc := doc(res("BenchmarkCacheHit", map[string]float64{"ns/op": 1000}))
+	newDoc := doc(res("BenchmarkCacheHit", map[string]float64{"ns/op": 1200}))
+	if !compareTo(t, oldDoc, newDoc, "", 10) {
+		t.Fatal("20%% ns/op slowdown not flagged")
+	}
+}
+
+func TestHigherIsBetterRegression(t *testing.T) {
+	oldDoc := doc(res("BenchmarkUDPBatchServe/batch", map[string]float64{"queries/s": 200000}))
+	newDoc := doc(res("BenchmarkUDPBatchServe/batch", map[string]float64{"queries/s": 150000}))
+	if !compareTo(t, oldDoc, newDoc, "", 10) {
+		t.Fatal("25%% throughput drop not flagged")
+	}
+}
+
+func TestThresholdBoundary(t *testing.T) {
+	oldDoc := doc(res("BenchmarkX", map[string]float64{"ns/op": 1000}))
+	// Exactly at the threshold: not a regression (strictly-greater check).
+	atDoc := doc(res("BenchmarkX", map[string]float64{"ns/op": 1100}))
+	if compareTo(t, oldDoc, atDoc, "", 10) {
+		t.Fatal("delta equal to threshold flagged")
+	}
+	overDoc := doc(res("BenchmarkX", map[string]float64{"ns/op": 1101}))
+	if !compareTo(t, oldDoc, overDoc, "", 10) {
+		t.Fatal("delta just over threshold not flagged")
+	}
+}
+
+func TestInfoMetricsNeverFail(t *testing.T) {
+	oldDoc := doc(res("BenchmarkResolve", map[string]float64{"hit-%": 90}))
+	newDoc := doc(res("BenchmarkResolve", map[string]float64{"hit-%": 10}))
+	if compareTo(t, oldDoc, newDoc, "", 10) {
+		t.Fatal("informational metric failed the comparison")
+	}
+}
+
+func TestFilterSkipsRegressions(t *testing.T) {
+	oldDoc := doc(
+		res("BenchmarkKeep", map[string]float64{"ns/op": 1000}),
+		res("BenchmarkSkip", map[string]float64{"ns/op": 1000}),
+	)
+	newDoc := doc(
+		res("BenchmarkKeep", map[string]float64{"ns/op": 1000}),
+		res("BenchmarkSkip", map[string]float64{"ns/op": 5000}),
+	)
+	if compareTo(t, oldDoc, newDoc, "Keep", 10) {
+		t.Fatal("filtered-out benchmark still failed the comparison")
+	}
+	if !compareTo(t, oldDoc, newDoc, "", 10) {
+		t.Fatal("unfiltered comparison missed the regression")
+	}
+}
+
+func TestNewBenchmarkIsNotRegression(t *testing.T) {
+	oldDoc := doc()
+	newDoc := doc(res("BenchmarkFresh", map[string]float64{"ns/op": 1000}))
+	if compareTo(t, oldDoc, newDoc, "", 10) {
+		t.Fatal("benchmark absent from baseline treated as regression")
+	}
+}
+
+func TestTrackedDirections(t *testing.T) {
+	cases := []struct {
+		unit                  string
+		enforced, lowerBetter bool
+	}{
+		{"ns/op", true, true},
+		{"B/op", true, true},
+		{"allocs/op", true, true},
+		{"queries/s", true, false},
+		{"MB/s", true, false},
+		{"hit-%", false, false},
+		{"B/resolution", false, false},
+	}
+	for _, c := range cases {
+		enforced, lower := tracked(c.unit)
+		if enforced != c.enforced || lower != c.lowerBetter {
+			t.Errorf("tracked(%q) = (%v, %v), want (%v, %v)", c.unit, enforced, lower, c.enforced, c.lowerBetter)
+		}
+	}
+}
