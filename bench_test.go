@@ -8,6 +8,7 @@ package dohcost
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/netip"
 	"strings"
@@ -24,6 +25,7 @@ import (
 	"dohcost/internal/dnswire"
 	"dohcost/internal/hpack"
 	"dohcost/internal/landscape"
+	"dohcost/internal/loadgen"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
 	"dohcost/internal/stats"
@@ -758,6 +760,97 @@ func BenchmarkCacheHitWirePath(b *testing.B) {
 			tx.Finish()
 		}
 	})
+}
+
+// BenchmarkArenaHitPath measures the zero-alloc wire hit against
+// arena-packed storage in its steady production state: a byte-budgeted
+// cache whose arena has already been through churn-forced epoch rotations
+// (compacted slabs, recycled free list), serving a rotating hot set. The
+// allocs/op column is the regression gate — the arena rebuild must keep
+// the hit path at zero.
+func BenchmarkArenaHitPath(b *testing.B) {
+	c := dnscache.New(staticResolver{}, dnscache.WithMemoryBudget(256<<10))
+	defer c.Close()
+	ctx := context.Background()
+
+	const hotNames = 64
+	queries := make([]dnswire.Query, hotNames)
+	for i := 0; i < hotNames; i++ {
+		name := dnswire.Name(fmt.Sprintf("hot%02d.bench.example.", i))
+		if _, err := c.Exchange(ctx, dnswire.NewQuery(0, name, dnswire.TypeA)); err != nil {
+			b.Fatal(err)
+		}
+		wire, err := dnswire.NewQuery(uint16(i), name, dnswire.TypeA).Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		q, ok := dnswire.ParseQuery(wire)
+		if !ok {
+			b.Fatal("fast parse failed")
+		}
+		queries[i] = q
+	}
+	// Churn until the arenas have rotated: the measured hits then read
+	// compacted blocks in recycled slabs, not pristine first-epoch ones.
+	for i := 0; c.Stats().ArenaEpochs < 4; i++ {
+		if _, err := c.Exchange(ctx, dnswire.NewQuery(0, dnswire.Name(fmt.Sprintf("churn%d.bench.example.", i)), dnswire.TypeA)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := range queries { // re-prime anything the churn evicted
+		if _, err := c.Exchange(ctx, dnswire.NewQuery(0, dnswire.Name(fmt.Sprintf("hot%02d.bench.example.", i)), dnswire.TypeA)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	dst := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := c.ServeWire(nil, &queries[i%hotNames], dst[:0], 4096); !ok {
+			b.Fatal("arena hit lost")
+		}
+	}
+}
+
+// BenchmarkCacheZipfAdmission replays the paper-scale heavy-tailed
+// workload — Zipf(s=1.0) ranks over a million-name universe — through a
+// byte-budgeted cache, comparing plain LRU against TinyLFU admission.
+// ns/op is the full Exchange round trip (hits and misses mixed at the
+// policy's own ratio); the hit-ratio metric is the number the admission
+// filter exists to move.
+func BenchmarkCacheZipfAdmission(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts []dnscache.Option
+	}{
+		{"lru", nil},
+		{"tinylfu", []dnscache.Option{dnscache.WithTinyLFU()}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := dnscache.New(staticResolver{}, append([]dnscache.Option{
+				dnscache.WithMemoryBudget(2 << 20),
+			}, mode.opts...)...)
+			defer c.Close()
+			z := loadgen.NewZipf(1_200_000, 1.0)
+			rng := rand.New(rand.NewSource(99))
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				name := loadgen.ZipfName(z.Rank(rng))
+				if _, err := c.Exchange(ctx, dnswire.NewQuery(uint16(i), name, dnswire.TypeA)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			s := c.Stats()
+			if total := s.Hits + s.Misses; total > 0 {
+				b.ReportMetric(float64(s.Hits)/float64(total), "hit-ratio")
+			}
+			b.ReportMetric(float64(s.AdmissionRejects), "admission-rejects")
+		})
+	}
 }
 
 // BenchmarkHedgedExchange measures the steering layer's hedged policy end

@@ -20,6 +20,8 @@
 //	dohloadgen [-profile 3g] [-transports udp,doh] [-clients 50]
 //	           [-queries 2000] [-seed 1] [-arrival closed|open]
 //	           [-rate 20] [-think 0] [-names 16]
+//	           [-zipf-names 10000000] [-zipf-s 1.0]
+//	           [-cache-budget 8m] [-cache-admission tinylfu]
 //	           [-policy hedged] [-hedge-delay 40ms] [-upstreams 2]
 //	           [-degraded-upstream-rtt 600ms] [-serve-stale 1m]
 //	           [-prefetch 10s] [-json]
@@ -33,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"dohcost/internal/dnscache"
 	"dohcost/internal/loadgen"
 	"dohcost/internal/netsim"
 )
@@ -47,7 +50,11 @@ func main() {
 		arrival     = flag.String("arrival", "closed", "arrival model: closed (wait for response) or open (Poisson)")
 		rate        = flag.Float64("rate", 20, "open-loop per-client arrival rate (queries/second)")
 		think       = flag.Duration("think", 0, "closed-loop pause between response and next query")
-		names       = flag.Int("names", 16, "distinct query names per client (smaller = hotter proxy cache)")
+		names       = flag.Int("names", 16, "distinct query names per client (smaller = hotter proxy cache; ignored with -zipf-names)")
+		zipfNames   = flag.Int("zipf-names", 0, "draw names Zipf-distributed over this many distinct names shared by all clients (heavy-tailed popularity; 0 = per-client cycles)")
+		zipfS       = flag.Float64("zipf-s", 1.0, "Zipf exponent for -zipf-names")
+		cacheBudget = flag.String("cache-budget", "", "bound the proxy cache by accounted bytes, e.g. 8m or 512k (empty = entry-count bound)")
+		cacheAdm    = flag.String("cache-admission", "", "proxy cache admission policy: lru or tinylfu (empty = tinylfu when -cache-budget is set)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "whole-query client timeout")
 		udpTimeout  = flag.Duration("udp-attempt-timeout", 0, "UDP per-attempt wait before retransmitting (0 = derive from profile)")
 		upstreamRTT = flag.Duration("upstream-rtt", 4*time.Millisecond, "clean proxy-to-upstream round trip")
@@ -68,6 +75,14 @@ func main() {
 			trs = append(trs, t)
 		}
 	}
+	var budget int64
+	if *cacheBudget != "" {
+		var err error
+		if budget, err = dnscache.ParseByteSize(*cacheBudget); err != nil {
+			fmt.Fprintln(os.Stderr, "dohloadgen: -cache-budget:", err)
+			os.Exit(1)
+		}
+	}
 	res, err := loadgen.Run(loadgen.Scenario{
 		Profile:             *profile,
 		Transports:          trs,
@@ -78,6 +93,10 @@ func main() {
 		Rate:                *rate,
 		Think:               *think,
 		Names:               *names,
+		ZipfNames:           *zipfNames,
+		ZipfS:               *zipfS,
+		CacheBudget:         budget,
+		CacheAdmission:      *cacheAdm,
 		Timeout:             *timeout,
 		UDPAttemptTimeout:   *udpTimeout,
 		UpstreamRTT:         *upstreamRTT,

@@ -13,6 +13,7 @@
 // Usage:
 //
 //	dohproxy [-host proxy.dns] [-upstreams 2] [-conns 2] [-shards 16]
+//	         [-cache-budget 64m] [-cache-admission tinylfu]
 //	         [-names 50] [-queries 400] [-upstream-rtt 8ms]
 //	         [-policy failover|fastest|hedged] [-hedge-delay 25ms]
 //	         [-serve-stale 1m] [-prefetch 10s]
@@ -31,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"dohcost/internal/dnscache"
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
@@ -43,23 +45,25 @@ import (
 // options carries the parsed flag set; run takes it whole so call sites
 // stay self-describing as flags accumulate.
 type options struct {
-	host        string
-	upstreams   int
-	conns       int
-	shards      int
-	names       int
-	queries     int
-	upstreamRTT time.Duration
-	policy      string
-	hedgeDelay  time.Duration
-	serveStale  time.Duration
-	prefetch    time.Duration
-	metricsAddr string
-	hold        time.Duration
-	costJSON    bool
-	udpBatch    int
-	udpListen   string
-	udpShards   int
+	host           string
+	upstreams      int
+	conns          int
+	shards         int
+	cacheBudget    string
+	cacheAdmission string
+	names          int
+	queries        int
+	upstreamRTT    time.Duration
+	policy         string
+	hedgeDelay     time.Duration
+	serveStale     time.Duration
+	prefetch       time.Duration
+	metricsAddr    string
+	hold           time.Duration
+	costJSON       bool
+	udpBatch       int
+	udpListen      string
+	udpShards      int
 }
 
 func main() {
@@ -68,6 +72,8 @@ func main() {
 	flag.IntVar(&o.upstreams, "upstreams", 2, "number of upstream resolvers (failover order)")
 	flag.IntVar(&o.conns, "conns", 2, "persistent connections per upstream")
 	flag.IntVar(&o.shards, "shards", 16, "cache shards")
+	flag.StringVar(&o.cacheBudget, "cache-budget", "", "bound the cache by accounted bytes instead of entries, e.g. 64m or 512k (empty = entry-count bound)")
+	flag.StringVar(&o.cacheAdmission, "cache-admission", "", "cache admission policy: lru or tinylfu (empty = tinylfu when -cache-budget is set, else lru)")
 	flag.IntVar(&o.names, "names", 50, "distinct query names (smaller = hotter cache)")
 	flag.IntVar(&o.queries, "queries", 400, "queries per transport")
 	flag.DurationVar(&o.upstreamRTT, "upstream-rtt", 8*time.Millisecond, "proxy↔upstream round-trip time")
@@ -97,6 +103,13 @@ func run(o options) error {
 	}
 	if queries < 1 {
 		return fmt.Errorf("-queries must be ≥ 1, got %d", queries)
+	}
+	var cacheBudget int64
+	if o.cacheBudget != "" {
+		var err error
+		if cacheBudget, err = dnscache.ParseByteSize(o.cacheBudget); err != nil {
+			return fmt.Errorf("-cache-budget: %w", err)
+		}
 	}
 	n := netsim.New(time.Now().UnixNano())
 
@@ -130,6 +143,8 @@ func run(o options) error {
 		Upstreams:      poolUps,
 		Pool:           dnstransport.PoolConfig{ConnsPerUpstream: conns},
 		CacheShards:    shards,
+		CacheBudget:    cacheBudget,
+		CacheAdmission: o.cacheAdmission,
 		Chain:          chain,
 		Endpoints:      []dnsserver.Endpoint{{Path: "/dns-query", Wire: true, JSON: true}},
 		Policy:         o.policy,
@@ -220,6 +235,10 @@ func run(o options) error {
 	}
 	fmt.Printf("\ncache: %d hits / %d stale / %d misses / %d coalesced (%.1f%% hit rate), %d evictions\n",
 		cs.Hits, cs.StaleHits, cs.Misses, cs.Coalesced, hitRate, cs.Evictions)
+	if cacheBudget > 0 {
+		fmt.Printf("cache budget: %d B live of %d B, %d admission rejects, %d arena epochs\n",
+			cs.BytesLive, cacheBudget, cs.AdmissionRejects, cs.ArenaEpochs)
+	}
 	for _, u := range p.UpstreamStats() {
 		state := "up"
 		if u.Down {

@@ -193,6 +193,15 @@ var (
 	CacheTTLBounds   = dnscache.WithTTLBounds
 	CacheShards      = dnscache.WithShards
 	CacheNegativeTTL = dnscache.WithNegativeTTL
+	// CacheMemoryBudget bounds the cache by accounted bytes (entry payload
+	// + key + index overhead) instead of entry count — the bound that stays
+	// honest when answer sizes vary.
+	CacheMemoryBudget = dnscache.WithMemoryBudget
+	// CacheTinyLFU enables frequency-gated admission: an insert that would
+	// evict must beat its victims' estimated lookup frequency (per-shard
+	// count-min sketch with doorkeeper), protecting the working set from
+	// one-hit-wonder floods.
+	CacheTinyLFU = dnscache.WithTinyLFU
 	// CacheMessageEntries restores the pre-wire-path storage (*Message
 	// entries served by deep clone) — kept for comparison benchmarks; the
 	// default packed-wire entries are both faster and immutable.

@@ -1,0 +1,106 @@
+package dnscache
+
+// This file is the storage half of the cache rebuild: each shard packs its
+// entries' payload bytes (packed wire response + packed TTL offsets) into
+// append-only slabs instead of one heap allocation per entry, so at
+// production scale the garbage collector scans a handful of large []byte
+// objects rather than millions of small ones. Freed entries leave dead
+// bytes behind in their slab; when an epoch's dead bytes outweigh its live
+// ones, the shard rotates the epoch — live entries are copied into fresh
+// slabs, expired ones are dropped, and the retired slabs are recycled onto
+// a bounded free list. Rotation runs under the shard lock, the same lock
+// every reader copies entry bytes out under, so no response can alias a
+// slab that has been recycled.
+
+const (
+	// defaultSlabSize is the arena's standard slab; budgeted shards scale
+	// it down (see New) so tiny caches do not round up to 256 KiB.
+	defaultSlabSize = 256 << 10
+	// minSlabSize floors the scaled-down slab.
+	minSlabSize = 4 << 10
+	// maxFreeSlabs bounds the per-shard recycled-slab list; beyond it,
+	// retired slabs go back to the GC.
+	maxFreeSlabs = 8
+)
+
+// arena is a per-shard append-only block allocator. Not safe for
+// concurrent use; callers hold the shard lock.
+type arena struct {
+	slabSize int
+	// cur is the active slab, written at off; done holds this epoch's
+	// filled slabs (and oversize dedicated slabs).
+	cur  []byte
+	off  int
+	done [][]byte
+	// used is the total bytes handed out this epoch, live and dead alike;
+	// the rotation heuristic compares it with the shard's live payload.
+	used int
+	// free recycles standard-size slabs across epochs, so a steady-state
+	// shard allocates no new slabs at all.
+	free [][]byte
+}
+
+// newArena returns an arena cutting slabs of the given size.
+func newArena(slabSize int) *arena {
+	if slabSize < minSlabSize {
+		slabSize = minSlabSize
+	}
+	return &arena{slabSize: slabSize}
+}
+
+// alloc returns an n-byte block inside the current epoch. Blocks larger
+// than a slab get a dedicated slab (retired with the epoch like any
+// other). The block is capacity-clamped so an append by the caller cannot
+// cross into a neighbouring entry's bytes.
+func (a *arena) alloc(n int) []byte {
+	a.used += n
+	if n > a.slabSize {
+		b := make([]byte, n)
+		a.done = append(a.done, b)
+		return b
+	}
+	if len(a.cur)-a.off < n {
+		if a.cur != nil {
+			a.done = append(a.done, a.cur)
+		}
+		a.cur = a.newSlab()
+		a.off = 0
+	}
+	b := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	return b
+}
+
+// newSlab takes a recycled slab if one is free, else cuts a fresh one.
+func (a *arena) newSlab() []byte {
+	if k := len(a.free); k > 0 {
+		s := a.free[k-1]
+		a.free = a.free[:k-1]
+		return s
+	}
+	return make([]byte, a.slabSize)
+}
+
+// beginEpoch starts a fresh epoch and returns the retired slabs. The
+// retired slabs still hold the previous epoch's bytes: the caller migrates
+// live entries (alloc draws only from the free list and fresh memory,
+// never from the return value) and then hands the retirees to recycle.
+func (a *arena) beginEpoch() [][]byte {
+	retired := a.done
+	if a.cur != nil {
+		retired = append(retired, a.cur)
+	}
+	a.cur, a.off, a.done, a.used = nil, 0, nil, 0
+	return retired
+}
+
+// recycle returns retired standard-size slabs to the free list, up to
+// maxFreeSlabs; oversize dedicated slabs and any overflow are dropped for
+// the GC to reclaim.
+func (a *arena) recycle(retired [][]byte) {
+	for _, s := range retired {
+		if len(s) == a.slabSize && len(a.free) < maxFreeSlabs {
+			a.free = append(a.free, s)
+		}
+	}
+}

@@ -10,13 +10,27 @@
 // SOA record's TTL and its MINIMUM field.
 //
 // Entries are stored as packed wire bytes with their TTL field offsets
-// recorded at insert time, and are immutable from then on. A hit is served
-// by copying the stored bytes, restamping the transaction ID and decaying
-// the TTLs in place (ServeWire — no Unpack, no clone, no Pack), or, for
-// callers that need a *dnswire.Message, by unpacking a fresh message that
-// shares nothing with the stored entry. The pre-wire-path behaviour —
-// *Message entries served by deep clone — remains available behind
-// WithMessageEntries for comparison benchmarks.
+// recorded at insert time, packed into per-shard append-only arenas so the
+// GC sees a handful of large slabs instead of one small allocation per
+// entry; when a shard's arena accumulates more dead bytes than live ones,
+// it rotates the epoch — live entries are compacted into fresh slabs and
+// the retired slabs recycled. A hit is served by copying the stored bytes,
+// restamping the transaction ID and decaying the TTLs in place (ServeWire
+// — no Unpack, no clone, no Pack), or, for callers that need a
+// *dnswire.Message, by unpacking a fresh message that shares nothing with
+// the stored entry. The pre-wire-path behaviour — *Message entries served
+// by deep clone — remains available behind WithMessageEntries for
+// comparison benchmarks.
+//
+// Capacity can be bounded two ways: WithMaxEntries counts entries, while
+// WithMemoryBudget accounts bytes — each entry charged its arena block,
+// its key and a fixed index overhead — which is the bound that stays
+// honest when answer sizes vary. WithTinyLFU adds frequency-gated
+// admission on top of either bound: a per-shard count-min sketch (4-bit
+// counters, periodic halving, doorkeeper bloom for one-hit wonders)
+// estimates every name's lookup frequency, and an insert that would evict
+// must beat its victims' frequency to be admitted — the policy that keeps
+// a long tail of once-asked names from churning the working set.
 //
 // Two resilience mechanisms keep hot answers flowing when the upstream is
 // slow or down. With WithServeStale, expired entries stay answerable for a
@@ -36,7 +50,10 @@ package dnscache
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"hash/maphash"
+	"math"
+	"strconv"
 	"sync"
 	"time"
 
@@ -63,18 +80,27 @@ func appendKeyTail(dst []byte, qtype dnswire.Type, class dnswire.Class) []byte {
 	return append(dst, byte(qtype>>8), byte(qtype), byte(class>>8), byte(class))
 }
 
-// entry is one cached response. After insertion an entry's payload is
-// immutable — wire, ttlOffsets and msg are never written again — so the
-// hit path may read it outside the shard lock; safety no longer depends on
-// every reader remembering to deep-copy. The hits counter is the one
-// mutable field, guarded by the shard lock.
+// entry is one cached response. Its payload bytes live in the shard's
+// arena and are never rewritten in place, but epoch rotation may relocate
+// them (wire and toffs are re-pointed at a fresh slab under the shard
+// lock), so readers copy the payload out while holding the lock — the copy
+// is a few hundred bytes, far cheaper than a second lock round trip. The
+// hits counter is likewise guarded by the shard lock.
 type entry struct {
 	key string
+	// hash is the key's maphash, retained so the admission filter can
+	// estimate an eviction victim's frequency without rehashing.
+	hash uint64
 	// wire is the packed response, still carrying the upstream exchange's
-	// transaction ID (hits restamp their own copy); ttlOffsets locate its
-	// TTL fields for in-place decay. Unused in message-entry mode.
-	wire       []byte
-	ttlOffsets []int
+	// transaction ID (hits restamp their own copy); toffs is the packed
+	// big-endian uint16 list of its TTL offsets (dnswire.PackTTLOffsets)
+	// for in-place decay. Both alias one arena block. Unused in
+	// message-entry mode.
+	wire  []byte
+	toffs []byte
+	// cost is the entry's accounted footprint against the memory budget:
+	// arena block + key + entryOverhead.
+	cost int
 	// negative records the RFC 2308 NXDOMAIN/NODATA classification, so the
 	// wire hit path can label telemetry without parsing.
 	negative bool
@@ -89,6 +115,12 @@ type entry struct {
 	// near-expiry prefetch gates on. Guarded by the shard lock.
 	hits int
 }
+
+// entryOverhead approximates one entry's index cost outside its arena
+// block — the entry struct, its list.Element, its share of the shard map's
+// buckets and the key's string header — charged against the memory budget
+// so the budget tracks resident footprint, not just payload bytes.
+const entryOverhead = 192
 
 // Stats counts cache effectiveness, aggregated across shards. The JSON
 // tags match the snake_case style of the telemetry snapshot, which
@@ -106,8 +138,23 @@ type Stats struct {
 	// (prefetch + serve-stale).
 	Prefetches int64 `json:"prefetches"`
 	Refreshes  int64 `json:"refreshes"`
+	// AdmissionRejects counts insert candidates the TinyLFU filter refused
+	// because an eviction victim out-ranked them on estimated frequency
+	// (includes entries too large for a whole shard's budget).
+	AdmissionRejects int64 `json:"admission_rejects"`
+	// BytesLive is the accounted footprint of live entries (arena payload
+	// + keys + index overhead) at snapshot time — a gauge, not a counter.
+	BytesLive int64 `json:"bytes_live"`
+	// ArenaEpochs counts arena epoch rotations: live entries compacted
+	// into fresh slabs, retired slabs recycled.
+	ArenaEpochs int64 `json:"arena_epochs"`
+	// SketchResets counts TinyLFU sketch aging resets (counters halved,
+	// doorkeeper cleared).
+	SketchResets int64 `json:"sketch_resets"`
 }
 
+// add merges per-shard counters; BytesLive is excluded — it is a gauge
+// Stats() reads from the shards' live accounting directly.
 func (s *Stats) add(o Stats) {
 	s.Hits += o.Hits
 	s.Misses += o.Misses
@@ -116,6 +163,9 @@ func (s *Stats) add(o Stats) {
 	s.StaleHits += o.StaleHits
 	s.Prefetches += o.Prefetches
 	s.Refreshes += o.Refreshes
+	s.AdmissionRejects += o.AdmissionRejects
+	s.ArenaEpochs += o.ArenaEpochs
+	s.SketchResets += o.SketchResets
 }
 
 // flight is one in-progress upstream exchange shared by coalesced callers.
@@ -134,6 +184,17 @@ type shard struct {
 	flights    map[string]*flight
 	stats      Stats
 	maxEntries int
+	// budget bounds the accounted bytes of live entries (0 = no byte
+	// bound); bytes is the current accounted total (sum of entry.cost) and
+	// wireBytes the live arena payload alone — the rotation heuristic's
+	// live measure.
+	budget    int64
+	bytes     int64
+	wireBytes int
+	// arena packs entry payloads (nil in message-entry mode); sk is the
+	// TinyLFU admission sketch (nil without WithTinyLFU).
+	arena *arena
+	sk    *sketch
 }
 
 // Cache is a sharded caching resolver. Safe for concurrent use.
@@ -143,8 +204,17 @@ type Cache struct {
 	seed     maphash.Seed
 
 	// maxEntries bounds the cache across all shards (LRU eviction per
-	// shard); 0 means 4096.
+	// shard); unset means 4096, or unbounded when a memory budget rules
+	// instead.
 	maxEntries int
+	// budget bounds the cache in accounted bytes across all shards
+	// (WithMemoryBudget); 0 disables the byte bound.
+	budget int64
+	// admission enables the TinyLFU admission filter (WithTinyLFU).
+	admission bool
+	// slabSize overrides the arena slab size (tests force rotations with
+	// tiny slabs); 0 derives it from the budget.
+	slabSize int
 	// nshards is the shard count, rounded up to a power of two; 0 means 16.
 	nshards int
 	// minTTL/maxTTL clamp record TTLs (resolver-style cache policy).
@@ -176,6 +246,56 @@ type Option func(*Cache)
 
 // WithMaxEntries bounds the cache size across all shards.
 func WithMaxEntries(n int) Option { return func(c *Cache) { c.maxEntries = n } }
+
+// WithMemoryBudget bounds the cache by accounted bytes instead of entry
+// count: every entry is charged its arena block (packed response + TTL
+// offsets), its key and entryOverhead of index cost, and the budget is
+// split across shards the way WithMaxEntries is. Setting a budget lifts
+// the default 4096-entry count bound (an explicit WithMaxEntries still
+// applies on top); an entry larger than a whole shard's budget is not
+// cached at all. Non-positive budgets are ignored.
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *Cache) {
+		if bytes > 0 {
+			c.budget = bytes
+		}
+	}
+}
+
+// ParseByteSize parses a human-friendly byte count for WithMemoryBudget
+// flags: a non-negative integer with an optional k, m or g suffix (binary
+// multiples, case-insensitive), e.g. "512k", "64m", "2g".
+func ParseByteSize(s string) (int64, error) {
+	digits, mult := s, int64(1)
+	if n := len(s); n > 0 {
+		switch s[n-1] {
+		case 'k', 'K':
+			mult, digits = 1<<10, s[:n-1]
+		case 'm', 'M':
+			mult, digits = 1<<20, s[:n-1]
+		case 'g', 'G':
+			mult, digits = 1<<30, s[:n-1]
+		}
+	}
+	v, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("dnscache: invalid byte size %q (want e.g. 8388608, 8m, 512k)", s)
+	}
+	return v * mult, nil
+}
+
+// WithTinyLFU enables frequency-gated admission: each shard keeps a
+// count-min sketch (4-bit counters with periodic halving, doorkeeper bloom
+// absorbing one-hit wonders) of lookup frequency, and an insert that would
+// evict must estimate strictly hotter than every victim it displaces, or
+// the insert is refused and the incumbents stay. Expired victims never
+// veto. The filter is what holds the hit rate up when a heavy-tailed name
+// stream (most names asked once) washes over a byte-budgeted cache.
+func WithTinyLFU() Option { return func(c *Cache) { c.admission = true } }
+
+// withArenaSlab overrides the arena slab size — tests shrink it to force
+// frequent epoch rotations.
+func withArenaSlab(n int) Option { return func(c *Cache) { c.slabSize = n } }
 
 // WithTTLBounds clamps cached TTLs.
 func WithTTLBounds(min, max time.Duration) Option {
@@ -238,11 +358,15 @@ func WithClock(now func() time.Time) Option { return func(c *Cache) { c.now = no
 // withClock replaces the clock (tests).
 func withClock(now func() time.Time) Option { return WithClock(now) }
 
+// minShardBudget is the smallest per-shard byte budget worth partitioning
+// for: below it the shard count shrinks, the way a small entry bound does.
+const minShardBudget = 2 << 10
+
 // New wraps upstream with a cache.
 func New(upstream dnstransport.Resolver, opts ...Option) *Cache {
 	c := &Cache{
 		upstream:       upstream,
-		maxEntries:     4096,
+		maxEntries:     -1, // sentinel: default decided after options
 		nshards:        16,
 		maxTTL:         24 * time.Hour,
 		negTTL:         DefaultNegativeTTL,
@@ -253,31 +377,81 @@ func New(upstream dnstransport.Resolver, opts ...Option) *Cache {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.maxEntries < 0 {
+		if c.budget > 0 {
+			// The byte budget is the bound; no entry-count ceiling.
+			c.maxEntries = math.MaxInt
+		} else {
+			c.maxEntries = 4096
+		}
+	}
 	n := 1
 	for n < c.nshards {
 		n <<= 1
 	}
 	// A bound smaller than the shard count would overshoot (every shard
 	// holds at least one entry), so shrink the partition count until the
-	// configured bound is exact.
+	// configured bound is exact. A small byte budget shrinks the same way,
+	// so every remaining shard has room for real entries.
 	for n > 1 && c.maxEntries/n < 1 {
 		n >>= 1
 	}
+	for n > 1 && c.budget > 0 && c.budget/int64(n) < minShardBudget {
+		n >>= 1
+	}
 	c.nshards = n
+	slab := c.slabSize
+	if slab <= 0 {
+		slab = defaultSlabSize
+		if c.budget > 0 {
+			// Scale slabs to the shard budget so a small cache's resident
+			// footprint is not rounded up to whole 256 KiB slabs.
+			if s := int(c.budget / int64(n) / 4); s < slab {
+				slab = s
+			}
+		}
+	}
 	perShard, extra := c.maxEntries/n, c.maxEntries%n
+	perB, extraB := c.budget/int64(n), c.budget%int64(n)
 	for i := 0; i < n; i++ {
 		max := perShard
 		if i < extra {
 			max++
 		}
-		c.shards = append(c.shards, &shard{
+		budget := perB
+		if int64(i) < extraB {
+			budget++
+		}
+		sh := &shard{
 			entries:    make(map[string]*entry),
 			lru:        list.New(),
 			flights:    make(map[string]*flight),
 			maxEntries: max,
-		})
+			budget:     budget,
+		}
+		if !c.messageEntries {
+			sh.arena = newArena(slab)
+		}
+		if c.admission {
+			sh.sk = newSketch(c.expectedPerShard(budget, max))
+		}
+		c.shards = append(c.shards, sh)
 	}
 	return c
+}
+
+// expectedPerShard estimates how many entries one shard will hold — the
+// admission sketch's sizing input. Budget-bound shards assume a ~384-byte
+// average accounted entry; count-bound shards use the bound itself, capped
+// so an unbounded cache does not size an unbounded sketch.
+func (c *Cache) expectedPerShard(budget int64, max int) int {
+	if budget > 0 {
+		return int(budget / 384)
+	}
+	if max > 1<<15 {
+		return 1 << 15
+	}
+	return max
 }
 
 // DefaultNegativeTTL is the fallback negative-caching duration for
@@ -294,27 +468,46 @@ const StaleTTL = 30 * time.Second
 // one-off lookups from paying refresh traffic.
 const prefetchMinHits = 2
 
-// shardFor hashes a key to its partition. maphash.Bytes is the runtime's
+// shardFor hashes a key to its partition, returning the full hash too —
+// the admission sketch keys on it. maphash.Bytes is the runtime's
 // AES-based hash — cheap enough that sharding never shows up next to the
 // per-hit response copy.
-func (c *Cache) shardFor(kb []byte) *shard {
+func (c *Cache) shardFor(kb []byte) (*shard, uint64) {
 	h := maphash.Bytes(c.seed, kb)
-	return c.shards[(h>>32)&uint64(len(c.shards)-1)]
+	return c.shards[(h>>32)&uint64(len(c.shards)-1)], h
 }
 
 // Close implements Resolver; it closes the upstream.
 func (c *Cache) Close() error { return c.upstream.Close() }
 
-// Stats snapshots the counters, summed over shards.
+// Stats snapshots the counters, summed over shards. BytesLive is read
+// from the shards' live accounting at the same instant.
 func (c *Cache) Stats() Stats {
 	var s Stats
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		s.add(sh.stats)
+		s.BytesLive += sh.bytes
 		sh.mu.Unlock()
 	}
 	return s
 }
+
+// BytesLive reports the accounted footprint of live entries across shards
+// (arena payload + keys + index overhead).
+func (c *Cache) BytesLive() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// MemoryBudget reports the configured byte budget (0 = entry-count bound
+// only).
+func (c *Cache) MemoryBudget() int64 { return c.budget }
 
 // Len reports the number of live entries (expired ones may linger until
 // touched).
@@ -331,12 +524,17 @@ func (c *Cache) Len() int {
 // Shards reports the shard count.
 func (c *Cache) Shards() int { return len(c.shards) }
 
-// Flush drops everything.
+// Flush drops everything: entries, byte accounting, and each shard's
+// arena epoch (retired slabs stay on the free list for reuse).
 func (c *Cache) Flush() {
 	for _, sh := range c.shards {
 		sh.mu.Lock()
 		sh.entries = make(map[string]*entry)
 		sh.lru.Init()
+		sh.bytes, sh.wireBytes = 0, 0
+		if sh.arena != nil {
+			sh.arena.recycle(sh.arena.beginEpoch())
+		}
 		sh.mu.Unlock()
 	}
 }
@@ -363,7 +561,7 @@ func (c *Cache) ServeWire(tx *telemetry.Transaction, q *dnswire.Query, dst []byt
 	}
 	var kbuf [keyBufLen]byte
 	kb := appendKeyTail(q.AppendCanonicalName(kbuf[:0]), q.Type, q.Class)
-	sh := c.shardFor(kb)
+	sh, h := c.shardFor(kb)
 
 	sh.mu.Lock()
 	e, ok := sh.entries[string(kb)]
@@ -382,6 +580,12 @@ func (c *Cache) ServeWire(tx *telemetry.Transaction, q *dnswire.Query, dst []byt
 		return nil, telemetry.CacheNone, false
 	}
 	sh.lru.MoveToFront(e.elem)
+	// Feed the admission sketch only on served hits; declined lookups
+	// fall through to Exchange, which counts them there — one frequency
+	// sample per query either way.
+	if sh.sk != nil && sh.sk.add(h) {
+		sh.stats.SketchResets++
+	}
 	var remaining time.Duration
 	refresh, prefetch := false, false
 	if stale {
@@ -403,6 +607,14 @@ func (c *Cache) ServeWire(tx *telemetry.Transaction, q *dnswire.Query, dst []byt
 			refresh, prefetch = !inflight, !inflight
 		}
 	}
+	// Copy, patch and decay under the lock: an epoch rotation relocates
+	// entry payloads and recycles their old slabs, so e.wire and e.toffs
+	// are only safe to read while the lock pins the arena. The copy lands
+	// in the caller's buffer — the response never aliases a slab.
+	resp := append(dst[:0], e.wire...)
+	dnswire.PatchID(resp, q.ID)
+	dnswire.DecayTTLsPacked(resp, e.toffs, uint32(remaining/time.Second))
+	negative := e.negative
 	sh.mu.Unlock()
 
 	if refresh {
@@ -413,15 +625,11 @@ func (c *Cache) ServeWire(tx *telemetry.Transaction, q *dnswire.Query, dst []byt
 		}
 	}
 
-	// The entry is immutable, so the copy and patch run outside the lock.
-	resp := append(dst[:0], e.wire...)
-	dnswire.PatchID(resp, q.ID)
-	dnswire.DecayTTLs(resp, e.ttlOffsets, uint32(remaining/time.Second))
 	outcome := telemetry.CacheHit
 	switch {
 	case stale:
 		outcome = telemetry.CacheStaleHit
-	case e.negative:
+	case negative:
 		outcome = telemetry.CacheNegativeHit
 	}
 	return resp, outcome, true
@@ -455,9 +663,16 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	}
 	var kbuf [keyBufLen]byte
 	kb := appendKey(kbuf[:0], qq.Name.Canonical(), qq.Type, qq.Class)
-	sh := c.shardFor(kb)
+	sh, h := c.shardFor(kb)
 
 	sh.mu.Lock()
+	// Feed the admission sketch once per cacheable lookup. ServeWire counts
+	// the hits it serves itself; everything that reaches this lock — direct
+	// Message-path traffic and wire-path misses falling through — is
+	// counted here, so no query is sampled twice.
+	if sh.sk != nil && sh.sk.add(h) {
+		sh.stats.SketchResets++
+	}
 	if e, ok := sh.entries[string(kb)]; ok {
 		now := c.now()
 		switch {
@@ -471,8 +686,15 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 				_, inflight := sh.flights[string(kb)]
 				prefetch = !inflight
 			}
+			neg, msg := e.negative, e.msg
+			var w []byte
+			if !c.messageEntries {
+				// Copy under the lock: an epoch rotation may relocate the
+				// entry's payload and recycle its slab.
+				w = append([]byte(nil), e.wire...)
+			}
 			sh.mu.Unlock()
-			if e.negative {
+			if neg {
 				tx.SetCache(telemetry.CacheNegativeHit)
 			} else {
 				tx.SetCache(telemetry.CacheHit)
@@ -481,9 +703,9 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 				tx.Prefetch()
 			}
 			if c.messageEntries {
-				return cloneResponse(e.msg, q.ID, remaining), nil
+				return cloneResponse(msg, q.ID, remaining), nil
 			}
-			return unpackEntry(e, q.ID, remaining)
+			return unpackWire(w, q.ID, remaining)
 		case c.staleWindow > 0 && now.Before(e.expires.Add(c.staleWindow)):
 			// RFC 8767 serve-stale: answer immediately from the expired
 			// entry while one background refresh re-populates it — the
@@ -491,15 +713,20 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 			sh.lru.MoveToFront(e.elem)
 			sh.stats.StaleHits++
 			_, inflight := sh.flights[string(kb)]
+			msg := e.msg
+			var w []byte
+			if !c.messageEntries {
+				w = append([]byte(nil), e.wire...)
+			}
 			sh.mu.Unlock()
 			tx.SetCache(telemetry.CacheStaleHit)
 			if !inflight {
 				c.maybeRefresh(sh, string(kb), false)
 			}
 			if c.messageEntries {
-				return cloneResponse(e.msg, q.ID, StaleTTL), nil
+				return cloneResponse(msg, q.ID, StaleTTL), nil
 			}
-			return unpackEntry(e, q.ID, StaleTTL)
+			return unpackWire(w, q.ID, StaleTTL)
 		default:
 			sh.removeLocked(e)
 		}
@@ -545,14 +772,17 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 		e = c.buildEntry(k, resp)
 	}
 
-	evicted := 0
+	evicted, rejected := 0, false
 	sh.mu.Lock()
 	delete(sh.flights, k)
 	if e != nil {
-		evicted = sh.insertLocked(e)
+		evicted, rejected = c.insertLocked(sh, e, h)
 	}
 	sh.mu.Unlock()
 	tx.CacheEvicted(evicted)
+	if rejected {
+		tx.CacheAdmissionRejected()
+	}
 	close(f.done)
 	if err != nil {
 		return nil, err
@@ -586,18 +816,19 @@ func (c *Cache) buildEntry(k string, resp *dnswire.Message) *entry {
 	if err != nil {
 		return nil
 	}
-	e.wire, e.ttlOffsets = wire, offsets
+	e.wire = wire
+	e.toffs = dnswire.PackTTLOffsets(nil, offsets)
 	return e
 }
 
-// unpackEntry rebuilds a Message from an immutable packed entry: a fresh
-// unpack shares no mutable state with the cache, which is what lets every
-// caller mutate its response freely (the shared-EDNS hazard the old deep
-// clone left open). The unpack cannot fail — the entry's bytes came from
-// our own packer — but the error is propagated rather than swallowed.
-func unpackEntry(e *entry, id uint16, remaining time.Duration) (*dnswire.Message, error) {
+// unpackWire rebuilds a Message from a copy of an entry's packed bytes: a
+// fresh unpack shares no mutable state with the cache, which is what lets
+// every caller mutate its response freely (the shared-EDNS hazard the old
+// deep clone left open). The unpack cannot fail — the bytes came from our
+// own packer — but the error is propagated rather than swallowed.
+func unpackWire(wire []byte, id uint16, remaining time.Duration) (*dnswire.Message, error) {
 	m := new(dnswire.Message)
-	if err := m.Unpack(e.wire); err != nil {
+	if err := m.Unpack(wire); err != nil {
 		return nil, err
 	}
 	m.ID = id
@@ -614,23 +845,130 @@ func unpackEntry(e *entry, id uint16, remaining time.Duration) (*dnswire.Message
 	return m, nil
 }
 
-// removeLocked unlinks an entry. Caller holds sh.mu.
+// removeLocked unlinks an entry and releases its byte accounting (its arena
+// bytes stay dead in their slab until the next epoch rotation). Caller
+// holds sh.mu.
 func (sh *shard) removeLocked(e *entry) {
 	delete(sh.entries, e.key)
 	sh.lru.Remove(e.elem)
+	sh.bytes -= int64(e.cost)
+	sh.wireBytes -= len(e.wire) + len(e.toffs)
+}
+
+// needsEvict reports whether installing one more entry of the given cost
+// would push the shard past either bound. Caller holds sh.mu.
+func (sh *shard) needsEvict(cost int) bool {
+	return len(sh.entries)+1 > sh.maxEntries ||
+		(sh.budget > 0 && sh.bytes+int64(cost) > sh.budget)
+}
+
+// admitLocked runs the TinyLFU admission duel for a candidate that would
+// evict: walking from the LRU tail, it accumulates the victims that would
+// have to go for the candidate to fit. A victim already expired past any
+// stale window is dead weight and never vetoes; a live victim vetoes when
+// its estimated frequency is at least the candidate's — ties keep the
+// incumbent, which is what stops a stream of once-asked names from
+// churning an established working set. Caller holds sh.mu.
+func (c *Cache) admitLocked(sh *shard, h uint64, cost int) bool {
+	cf := sh.sk.estimate(h)
+	now := c.now()
+	freedBytes, freed := int64(0), 0
+	for el := sh.lru.Back(); el != nil; el = el.Prev() {
+		if len(sh.entries)-freed+1 <= sh.maxEntries &&
+			(sh.budget <= 0 || sh.bytes-freedBytes+int64(cost) <= sh.budget) {
+			break
+		}
+		v := el.Value.(*entry)
+		if now.Before(v.expires.Add(c.staleWindow)) && sh.sk.estimate(v.hash) >= cf {
+			return false
+		}
+		freedBytes += int64(v.cost)
+		freed++
+	}
+	return true
+}
+
+// placeLocked copies e's payload into the shard's arena — one block holding
+// the packed response followed by its packed TTL offsets — and re-points
+// e.wire and e.toffs into it. When the epoch's handed-out bytes outweigh
+// the live payload by more than a slab of slack, the shard rotates first:
+// compaction then reclaims more than it copies. Caller holds sh.mu.
+func (c *Cache) placeLocked(sh *shard, e *entry) {
+	need := len(e.wire) + len(e.toffs)
+	if sh.arena.used+need > 2*(sh.wireBytes+need)+sh.arena.slabSize {
+		c.rotateLocked(sh)
+	}
+	w := len(e.wire)
+	block := sh.arena.alloc(need)
+	copy(block, e.wire)
+	copy(block[w:], e.toffs)
+	e.wire = block[:w:w]
+	e.toffs = block[w:]
+}
+
+// rotateLocked starts a fresh arena epoch: live entries are compacted into
+// new slabs, entries expired past any stale window are dropped on the way
+// (rotation doubles as the expiry sweep, and the drops count as
+// evictions), and the retired slabs are recycled onto the free list.
+// Caller holds sh.mu.
+func (c *Cache) rotateLocked(sh *shard) {
+	retired := sh.arena.beginEpoch()
+	now := c.now()
+	for el := sh.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry)
+		if !now.Before(e.expires.Add(c.staleWindow)) {
+			sh.removeLocked(e)
+			sh.stats.Evictions++
+		} else {
+			w := len(e.wire)
+			block := sh.arena.alloc(w + len(e.toffs))
+			copy(block, e.wire)
+			copy(block[w:], e.toffs)
+			e.wire = block[:w:w]
+			e.toffs = block[w:]
+		}
+		el = next
+	}
+	sh.arena.recycle(retired)
+	sh.stats.ArenaEpochs++
 }
 
 // insertLocked installs e — replacing any existing entry for its key, as a
-// background refresh of a still-present stale entry does — and evicts past
-// the shard bound, returning the eviction count. Caller holds sh.mu.
-func (sh *shard) insertLocked(e *entry) int {
-	if old, ok := sh.entries[e.key]; ok {
+// background refresh of a still-present stale entry does; replacement
+// bypasses the admission filter, because a refresh that first dropped the
+// old entry and then lost the duel would lose the name entirely — and
+// evicts past the shard bounds. It reports the eviction count and whether
+// admission refused the insert. Caller holds sh.mu.
+func (c *Cache) insertLocked(sh *shard, e *entry, h uint64) (evicted int, rejected bool) {
+	e.hash = h
+	block := 0
+	if !c.messageEntries {
+		block = len(e.wire) + len(e.toffs)
+	}
+	e.cost = entryOverhead + len(e.key) + block
+	if sh.budget > 0 && int64(e.cost) > sh.budget {
+		// Larger than the whole shard's budget: uncacheable at this size.
+		sh.stats.AdmissionRejects++
+		return 0, true
+	}
+	old, replacing := sh.entries[e.key]
+	if !replacing && sh.sk != nil && sh.needsEvict(e.cost) &&
+		!c.admitLocked(sh, h, e.cost) {
+		sh.stats.AdmissionRejects++
+		return 0, true
+	}
+	if replacing {
 		sh.removeLocked(old)
+	}
+	if !c.messageEntries {
+		c.placeLocked(sh, e)
 	}
 	e.elem = sh.lru.PushFront(e)
 	sh.entries[e.key] = e
-	evicted := 0
-	for len(sh.entries) > sh.maxEntries {
+	sh.bytes += int64(e.cost)
+	sh.wireBytes += block
+	for len(sh.entries) > sh.maxEntries || (sh.budget > 0 && sh.bytes > sh.budget) {
 		oldest := sh.lru.Back()
 		if oldest == nil {
 			break
@@ -639,7 +977,7 @@ func (sh *shard) insertLocked(e *entry) int {
 		sh.stats.Evictions++
 		evicted++
 	}
-	return evicted
+	return evicted, false
 }
 
 // maybeRefresh starts a background singleflight refresh of key k unless an
@@ -680,12 +1018,16 @@ func (c *Cache) refresh(sh *shard, k string, f *flight) {
 	if err == nil && cacheable(resp) {
 		e = c.buildEntry(k, resp)
 	}
+	rejected := false
 	sh.mu.Lock()
 	delete(sh.flights, k)
 	if e != nil {
-		sh.insertLocked(e)
+		_, rejected = c.insertLocked(sh, e, maphash.Bytes(c.seed, []byte(k)))
 	}
 	sh.mu.Unlock()
+	if rejected {
+		tx.CacheAdmissionRejected()
+	}
 	close(f.done)
 }
 

@@ -242,6 +242,33 @@ func DecayTTLs(wire []byte, offsets []int, remaining uint32) {
 	}
 }
 
+// PackTTLOffsets appends offsets as packed big-endian uint16 values to dst
+// and returns the extended slice — the form a cache can store contiguously
+// with the packed message it indexes (a DNS message is at most 65535
+// bytes, so every TTLOffsets result fits). Decoded by DecayTTLsPacked.
+func PackTTLOffsets(dst []byte, offsets []int) []byte {
+	for _, off := range offsets {
+		dst = append(dst, byte(off>>8), byte(off))
+	}
+	return dst
+}
+
+// DecayTTLsPacked is DecayTTLs for a PackTTLOffsets-encoded offset list:
+// every recorded TTL is capped at remaining seconds in place. A trailing
+// odd byte or an offset past the message end is ignored rather than
+// panicking, mirroring DecayTTLs.
+func DecayTTLsPacked(wire []byte, packed []byte, remaining uint32) {
+	for i := 0; i+2 <= len(packed); i += 2 {
+		off := int(binary.BigEndian.Uint16(packed[i:]))
+		if off+4 > len(wire) {
+			continue
+		}
+		if binary.BigEndian.Uint32(wire[off:]) > remaining {
+			binary.BigEndian.PutUint32(wire[off:], remaining)
+		}
+	}
+}
+
 // skipPackedName advances past the name starting at off: consecutive plain
 // labels ended by a terminal zero octet or a compression pointer.
 func skipPackedName(wire []byte, off int) (int, error) {

@@ -93,8 +93,24 @@ type Scenario struct {
 	// Names is how many distinct query names each client cycles through
 	// (default 16). Smaller means a hotter proxy cache. Names are disjoint
 	// across clients and transports, so cache behaviour is per-client
-	// deterministic.
+	// deterministic. Ignored when ZipfNames selects the heavy-tailed
+	// generator.
 	Names int
+	// ZipfNames, when positive, replaces the per-client Alexa name cycles
+	// with ranks drawn from a Zipf distribution over this many distinct
+	// names, shared by all clients of a transport — the heavy-tailed
+	// popularity real DoH client traffic shows, and the regime where cache
+	// admission policy decides the hit rate. Supports universes of 10M+
+	// names (ranks are sampled in closed form, never materialized).
+	ZipfNames int
+	// ZipfS is the Zipf exponent (default 1.0, the classic web skew).
+	ZipfS float64
+	// CacheBudget bounds the proxy cache in accounted bytes
+	// (proxy.Config.CacheBudget); 0 keeps the entry-count default.
+	CacheBudget int64
+	// CacheAdmission selects the proxy cache's admission policy ("lru",
+	// "tinylfu", or empty for the proxy default).
+	CacheAdmission string
 	// Timeout bounds one whole client query, fallback legs included
 	// (default 10s).
 	Timeout time.Duration
@@ -171,6 +187,9 @@ func (s Scenario) withDefaults() (Scenario, netsim.Profile, error) {
 	}
 	if s.Names <= 0 {
 		s.Names = 16
+	}
+	if s.ZipfNames > 0 && s.ZipfS <= 0 {
+		s.ZipfS = 1.0
 	}
 	if s.Timeout <= 0 {
 		s.Timeout = 10 * time.Second
@@ -303,6 +322,8 @@ func Run(s Scenario) (*Result, error) {
 		ServeStale:     s.ServeStale,
 		PrefetchWindow: s.PrefetchWindow,
 		UDPBatch:       s.UDPBatch,
+		CacheBudget:    s.CacheBudget,
+		CacheAdmission: s.CacheAdmission,
 	})
 	if err != nil {
 		return nil, err
@@ -314,9 +335,13 @@ func Run(s Scenario) (*Result, error) {
 
 	// The shared third-party pool gives clients realistic name popularity;
 	// the per-client prefix (see clientNames) keeps cache interaction
-	// deterministic by construction.
-	corpus := alexa.Generate(alexa.Config{Pages: s.Clients*s.Names/15 + 20, Seed: s.Seed})
-	domains := corpus.AllDomains()
+	// deterministic by construction. The Zipf generator needs no corpus:
+	// names are rendered from sampled ranks on the fly.
+	var domains []string
+	if s.ZipfNames <= 0 {
+		corpus := alexa.Generate(alexa.Config{Pages: s.Clients*s.Names/15 + 20, Seed: s.Seed})
+		domains = corpus.AllDomains()
+	}
 
 	res := &Result{Scenario: s, Profile: prof}
 	for _, tr := range s.Transports {
@@ -397,7 +422,10 @@ func runTransport(n *netsim.Network, chain *tlsx.Chain, s Scenario, tr string, d
 		if count == 0 {
 			continue
 		}
-		names := clientNames(tr, c, s.Names, domains)
+		var names []dnswire.Name
+		if s.ZipfNames <= 0 {
+			names = clientNames(tr, c, s.Names, domains)
+		}
 		wg.Add(1)
 		go func(c, count int, names []dnswire.Name) {
 			defer wg.Done()
@@ -453,24 +481,40 @@ func runClient(n *netsim.Network, chain *tlsx.Chain, s Scenario, tr string, m *t
 	defer r.Close()
 
 	rng := rand.New(rand.NewSource(s.Seed + 7919*int64(c) + transportSeed(tr)))
+	// nextName picks query i's name: a rank sampled from the shared Zipf
+	// universe (rendered with a transport prefix so the scenario's legs
+	// never share cache entries), or the client's private Alexa cycle. It
+	// runs on the issuing goroutine — rng is not safe for concurrent use,
+	// so open-loop mode samples before spawning the query goroutine.
+	var zipf *Zipf
+	if s.ZipfNames > 0 {
+		zipf = NewZipf(s.ZipfNames, s.ZipfS)
+	}
+	nextName := func(i int) dnswire.Name {
+		if zipf != nil {
+			return dnswire.Name(fmt.Sprintf("%s-%s", tr, ZipfName(zipf.Rank(rng))))
+		}
+		return names[i%len(names)]
+	}
 	if s.Arrival == "open" {
 		t0 := time.Now()
 		var qwg sync.WaitGroup
 		at := time.Duration(0)
 		for i := 0; i < count; i++ {
 			at += time.Duration(rng.ExpFloat64() / s.Rate * float64(time.Second))
+			name := nextName(i)
 			qwg.Add(1)
-			go func(i int, at time.Duration) {
+			go func(at time.Duration, name dnswire.Name) {
 				defer qwg.Done()
 				time.Sleep(time.Until(t0.Add(at)))
-				query(m, proto, r, names[i%len(names)], s.Timeout)
-			}(i, at)
+				query(m, proto, r, name, s.Timeout)
+			}(at, name)
 		}
 		qwg.Wait()
 		return nil
 	}
 	for i := 0; i < count; i++ {
-		query(m, proto, r, names[i%len(names)], s.Timeout)
+		query(m, proto, r, nextName(i), s.Timeout)
 		if s.Think > 0 {
 			time.Sleep(s.Think)
 		}

@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dohcost/internal/dnswire"
+)
+
+// This file is the heavy-tailed workload half of the cache-at-scale story:
+// DoH client traffic characterizations find name popularity strongly
+// Zipf-skewed, which is exactly the regime where a cache's admission
+// policy, not its raw capacity, decides the hit rate. Scenario.ZipfNames
+// switches the generator from the per-client Alexa cycles to ranks drawn
+// from this distribution over a universe of millions of distinct names —
+// most asked once, a head asked constantly.
+
+// Zipf samples ranks 1..n with P(rank) ∝ rank^(-s). Unlike math/rand's
+// Zipf it supports the classic web exponent s = 1.0 exactly (and any
+// s > 0), via the inverse CDF of the continuous power-law approximation —
+// a closed form, no per-rank tables, so a 10M-name universe costs nothing
+// to set up. Safe for concurrent use; the caller's *rand.Rand is not.
+type Zipf struct {
+	n int
+	s float64
+}
+
+// NewZipf builds a sampler over ranks 1..n (n floored at 1). Non-positive
+// s falls back to 1.0.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if s <= 0 {
+		s = 1.0
+	}
+	return &Zipf{n: n, s: s}
+}
+
+// N reports the universe size.
+func (z *Zipf) N() int { return z.n }
+
+// Rank draws one rank in [1, n] from rng.
+func (z *Zipf) Rank(rng *rand.Rand) int {
+	u := rng.Float64()
+	fn := float64(z.n)
+	var r int
+	if z.s == 1 {
+		// CDF(x) ∝ ln x  ⇒  x = n^u.
+		r = int(math.Pow(fn, u))
+	} else {
+		// CDF(x) ∝ (x^(1-s) − 1)  ⇒  x = (u·(n^(1-s) − 1) + 1)^(1/(1-s)).
+		r = int(math.Pow(u*(math.Pow(fn, 1-z.s)-1)+1, 1/(1-z.s)))
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > z.n {
+		r = z.n
+	}
+	return r
+}
+
+// ZipfName renders rank r's query name — a stable synthetic domain, so the
+// same rank always maps to the same cache entry.
+func ZipfName(r int) dnswire.Name {
+	return dnswire.Name(fmt.Sprintf("z%08d.zipf.example.", r))
+}

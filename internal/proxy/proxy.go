@@ -41,6 +41,15 @@ type Config struct {
 	Pool dnstransport.PoolConfig
 	// CacheEntries bounds the response cache; 0 means the dnscache default.
 	CacheEntries int
+	// CacheBudget bounds the response cache in accounted bytes instead of
+	// entries (dnscache.WithMemoryBudget); 0 keeps the entry-count bound.
+	CacheBudget int64
+	// CacheAdmission selects the cache admission policy: "" or "lru"
+	// (admit everything, evict LRU) or "tinylfu" (frequency-gated
+	// admission, dnscache.WithTinyLFU). A CacheBudget without an explicit
+	// choice defaults to "tinylfu" — the combination built for heavy-tailed
+	// name streams.
+	CacheAdmission string
 	// CacheShards sets the cache's lock partitions; 0 means the default.
 	CacheShards int
 	// MinTTL/MaxTTL clamp cached TTLs; zero values use dnscache defaults.
@@ -152,6 +161,20 @@ func New(cfg Config) (*Proxy, error) {
 	var opts []dnscache.Option
 	if cfg.CacheEntries > 0 {
 		opts = append(opts, dnscache.WithMaxEntries(cfg.CacheEntries))
+	}
+	if cfg.CacheBudget > 0 {
+		opts = append(opts, dnscache.WithMemoryBudget(cfg.CacheBudget))
+	}
+	switch cfg.CacheAdmission {
+	case "", "lru":
+		if cfg.CacheAdmission == "" && cfg.CacheBudget > 0 {
+			opts = append(opts, dnscache.WithTinyLFU())
+		}
+	case "tinylfu":
+		opts = append(opts, dnscache.WithTinyLFU())
+	default:
+		pool.Close()
+		return nil, fmt.Errorf("proxy: unknown cache admission policy %q (want lru or tinylfu)", cfg.CacheAdmission)
 	}
 	if cfg.CacheShards > 0 {
 		opts = append(opts, dnscache.WithShards(cfg.CacheShards))
@@ -358,6 +381,9 @@ type CacheReport struct {
 	// Entries is the live entry count; Shards the lock-partition count.
 	Entries int `json:"entries"`
 	Shards  int `json:"shards"`
+	// BudgetBytes is the configured memory budget; omitted when the cache
+	// is entry-count bounded (bytes_live in Stats still reports footprint).
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
 	// HitRatio is cache-answered lookups — fresh and stale hits — over
 	// all lookups (hits+stale_hits+misses+coalesced), 0–1. Stale hits
 	// count as hits: with serve-stale carrying traffic through an
@@ -382,7 +408,12 @@ type CostReport struct {
 // CostReport assembles the current cost view of the proxy.
 func (p *Proxy) CostReport() CostReport {
 	cs := p.cache.Stats()
-	cr := CacheReport{Stats: cs, Entries: p.cache.Len(), Shards: p.cache.Shards()}
+	cr := CacheReport{
+		Stats:       cs,
+		Entries:     p.cache.Len(),
+		Shards:      p.cache.Shards(),
+		BudgetBytes: p.cache.MemoryBudget(),
+	}
 	if total := cs.Hits + cs.StaleHits + cs.Misses + cs.Coalesced; total > 0 {
 		cr.HitRatio = float64(cs.Hits+cs.StaleHits) / float64(total)
 	}
@@ -436,6 +467,12 @@ func writeGauges(w io.Writer, report CostReport) error {
 	t.Value("dohcost_cache_entries", report.Cache.Entries)
 	t.Family("dohcost_cache_hit_ratio", "Fresh+stale hits over all lookups since start.", "gauge")
 	t.Value("dohcost_cache_hit_ratio", report.Cache.HitRatio)
+	t.Family("dohcost_cache_bytes_live", "Accounted bytes of live cache entries (payload + keys + index overhead).", "gauge")
+	t.Value("dohcost_cache_bytes_live", report.Cache.BytesLive)
+	t.Family("dohcost_cache_arena_epochs_total", "Cache arena epoch rotations (live entries compacted, slabs recycled).", "counter")
+	t.Value("dohcost_cache_arena_epochs_total", report.Cache.ArenaEpochs)
+	t.Family("dohcost_cache_sketch_resets_total", "TinyLFU sketch aging resets (counters halved, doorkeeper cleared).", "counter")
+	t.Value("dohcost_cache_sketch_resets_total", report.Cache.SketchResets)
 	t.Family("dohcost_upstream_exchanges_total", "Successful exchanges per upstream.", "counter")
 	for _, u := range report.Upstreams {
 		t.LabeledValue("dohcost_upstream_exchanges_total", "upstream", u.Name, u.Exchanges)

@@ -110,6 +110,8 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		"Cache outcomes per query: hit, negative_hit, miss, coalesced, bypass, none.", "event", s.CacheEvents)
 	t.counter("dohcost_cache_evictions_total",
 		"LRU evictions performed while inserting answers.", s.CacheEvictions)
+	t.counter("dohcost_cache_admission_rejects_total",
+		"Cache insert candidates refused by the TinyLFU admission filter.", s.CacheAdmissionRejects)
 	t.counter("dohcost_pool_dials_total",
 		"Fresh upstream connections established by the pool.", s.PoolDials)
 	t.counter("dohcost_pool_exchanges_total",

@@ -18,17 +18,18 @@ type shard struct {
 	verdicts    [numVerdicts]atomic.Uint64
 	cacheEvents [numCacheOutcomes]atomic.Uint64
 
-	cacheEvictions atomic.Uint64
-	poolDials      atomic.Uint64
-	poolExchanges  atomic.Uint64
-	poolFailures   atomic.Uint64
-	hedgesFired    atomic.Uint64
-	hedgesWon      atomic.Uint64
-	prefetches     atomic.Uint64
-	tcFallbacks    atomic.Uint64
-	udpRetransmits atomic.Uint64
-	bytesSent      atomic.Uint64
-	bytesRecv      atomic.Uint64
+	cacheEvictions   atomic.Uint64
+	admissionRejects atomic.Uint64
+	poolDials        atomic.Uint64
+	poolExchanges    atomic.Uint64
+	poolFailures     atomic.Uint64
+	hedgesFired      atomic.Uint64
+	hedgesWon        atomic.Uint64
+	prefetches       atomic.Uint64
+	tcFallbacks      atomic.Uint64
+	udpRetransmits   atomic.Uint64
+	bytesSent        atomic.Uint64
+	bytesRecv        atomic.Uint64
 
 	// Batched-UDP serving: spills are packets a saturated worker pool
 	// shed to bounded transient goroutines; batch reads/datagrams and the
@@ -265,6 +266,7 @@ func (m *Metrics) Snapshot() *Snapshot {
 			s.CacheEvents[o.String()] += sh.cacheEvents[o].Load()
 		}
 		s.CacheEvictions += sh.cacheEvictions.Load()
+		s.CacheAdmissionRejects += sh.admissionRejects.Load()
 		s.PoolDials += sh.poolDials.Load()
 		s.PoolExchanges += sh.poolExchanges.Load()
 		s.PoolFailures += sh.poolFailures.Load()
@@ -332,6 +334,9 @@ type Snapshot struct {
 	CacheEvents map[string]uint64 `json:"cache_events_total"`
 	// CacheEvictions counts LRU evictions charged to insertions.
 	CacheEvictions uint64 `json:"cache_evictions_total"`
+	// CacheAdmissionRejects counts insert candidates the cache's TinyLFU
+	// admission filter refused.
+	CacheAdmissionRejects uint64 `json:"cache_admission_rejects_total"`
 	// PoolDials counts fresh upstream connections established.
 	PoolDials uint64 `json:"pool_dials_total"`
 	// PoolExchanges counts successful upstream exchanges.

@@ -232,6 +232,14 @@ func (t *Transaction) CacheEvicted(n int) {
 	}
 }
 
+// CacheAdmissionRejected counts one insert candidate refused by the
+// cache's TinyLFU admission filter while handling this query.
+func (t *Transaction) CacheAdmissionRejected() {
+	if t != nil {
+		t.sh.admissionRejects.Add(1)
+	}
+}
+
 // PoolDial counts one fresh upstream connection established for this query
 // (initial fill or redial after a failure).
 func (t *Transaction) PoolDial() {
