@@ -23,6 +23,7 @@ import (
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/guard"
 	"dohcost/internal/hpack"
 	"dohcost/internal/landscape"
 	"dohcost/internal/loadgen"
@@ -735,6 +736,40 @@ func BenchmarkCacheHitWirePath(b *testing.B) {
 		}
 	})
 
+	// The guarded variant prepends exactly what the UDP server does when a
+	// guard is armed — one CheckUDP on the allow path — so the delta
+	// against wire-path is the guard's whole per-packet cost. The
+	// acceptance bound is <5%.
+	b.Run("wire-path-guarded", func(b *testing.B) {
+		c := dnscache.New(staticResolver{})
+		defer c.Close()
+		prime(b, c)
+		tel := telemetry.New()
+		g := guard.New(guard.Config{ClientQPS: 1e9, Burst: 1 << 30, CookieSecret: 1}, tel)
+		key := guard.ClientKey(&net.UDPAddr{IP: net.IPv4(192, 0, 2, 7), Port: 53000})
+		dst := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if g.CheckUDP(key, queryWire) != guard.ActionAllow {
+				b.Fatal("allow path denied")
+			}
+			q, ok := dnswire.ParseQuery(queryWire)
+			if !ok {
+				b.Fatal("fast parse failed")
+			}
+			tx := tel.Begin(telemetry.ProtoUDP)
+			resp, outcome, ok := c.ServeWire(tx, &q, dst[:0], 4096)
+			if !ok {
+				b.Fatal("wire hit lost")
+			}
+			tx.SetCache(outcome)
+			tx.SetVerdict(telemetry.VerdictOK)
+			tx.Finish()
+			_ = resp
+		}
+	})
+
 	b.Run("message-path", func(b *testing.B) {
 		c := dnscache.New(staticResolver{}, dnscache.WithMessageEntries())
 		defer c.Close()
@@ -1008,6 +1043,48 @@ func BenchmarkDNSWireUnpack(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGuardAllowPath measures the abuse guard's per-packet cost on
+// the path every honest datagram pays: one CheckUDP that parses nothing
+// beyond the question bounds, takes one striped lock, and refills one
+// token bucket slot. The allocs/op column is the regression gate — the
+// allow path must stay at zero, with a live telemetry sink attached.
+func BenchmarkGuardAllowPath(b *testing.B) {
+	tel := telemetry.New()
+	queryWire, err := dnswire.NewQuery(4242, "hot00.bench.example.", dnswire.TypeA).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("plain", func(b *testing.B) {
+		g := guard.New(guard.Config{ClientQPS: 1e9, Burst: 1 << 30, CookieSecret: 1}, tel)
+		key := guard.ClientKey(&net.UDPAddr{IP: net.IPv4(192, 0, 2, 7), Port: 53000})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if g.CheckUDP(key, queryWire) != guard.ActionAllow {
+				b.Fatal("allow path denied")
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		g := guard.New(guard.Config{ClientQPS: 1e9, Burst: 1 << 30, CookieSecret: 1}, tel)
+		b.ReportAllocs()
+		var next atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			// Each goroutine is its own client: distinct keys spread over
+			// the striped shards, the production shape.
+			key := guard.ClientKey(&net.UDPAddr{
+				IP:   net.IPv4(192, 0, 2, byte(next.Add(1))),
+				Port: 53000,
+			})
+			for pb.Next() {
+				if g.CheckUDP(key, queryWire) != guard.ActionAllow {
+					b.Fatal("allow path denied")
+				}
+			}
+		})
+	})
 }
 
 func BenchmarkHPACKEncodeDecode(b *testing.B) {

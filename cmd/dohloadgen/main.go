@@ -24,7 +24,9 @@
 //	           [-cache-budget 8m] [-cache-admission tinylfu]
 //	           [-policy hedged] [-hedge-delay 40ms] [-upstreams 2]
 //	           [-degraded-upstream-rtt 600ms] [-serve-stale 1m]
-//	           [-prefetch 10s] [-json]
+//	           [-prefetch 10s] [-attackers 2] [-attack-qps 5000]
+//	           [-guard] [-guard-qps 2000] [-guard-burst 50] [-guard-slip 2]
+//	           [-guard-miss-rate 25] [-json]
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"dohcost/internal/dnscache"
+	"dohcost/internal/guard"
 	"dohcost/internal/loadgen"
 	"dohcost/internal/netsim"
 )
@@ -65,6 +68,13 @@ func main() {
 		serveStale  = flag.Duration("serve-stale", 0, "proxy cache RFC 8767 stale window (0 disables)")
 		prefetch    = flag.Duration("prefetch", 0, "proxy cache near-expiry prefetch window (0 disables)")
 		udpBatch    = flag.Int("udp-batch", 0, "serve the proxy's UDP listener with the batched loop at this vector size (0 = per-packet)")
+		attackers   = flag.Int("attackers", 0, "flooder clients blasting random-subdomain UDP queries alongside every transport leg (0 = none)")
+		attackQPS   = flag.Float64("attack-qps", 0, "per-flooder target query rate (0 = default 200)")
+		guardOn     = flag.Bool("guard", false, "arm the proxy's abuse guard (RRL, DNS cookies, miss breaker)")
+		guardQPS    = flag.Float64("guard-qps", 0, "guard: per-client sustained response rate (0 = default 50)")
+		guardBurst  = flag.Int("guard-burst", 0, "guard: per-client token-bucket burst (0 = 2×qps)")
+		guardSlip   = flag.Int("guard-slip", 0, "guard: every Nth rate-limited UDP response is a TC=1 slip (0 = default 2, negative = never)")
+		guardMiss   = flag.Float64("guard-miss-rate", 0, "guard: per-client sustained cache-miss rate before the breaker refuses (0 = default 20)")
 		asJSON      = flag.Bool("json", false, "print the full result as JSON instead of the table")
 	)
 	flag.Parse()
@@ -81,6 +91,15 @@ func main() {
 		if budget, err = dnscache.ParseByteSize(*cacheBudget); err != nil {
 			fmt.Fprintln(os.Stderr, "dohloadgen: -cache-budget:", err)
 			os.Exit(1)
+		}
+	}
+	var gcfg *guard.Config
+	if *guardOn {
+		gcfg = &guard.Config{
+			ClientQPS: *guardQPS,
+			Burst:     *guardBurst,
+			SlipEvery: *guardSlip,
+			MissRate:  *guardMiss,
 		}
 	}
 	res, err := loadgen.Run(loadgen.Scenario{
@@ -107,6 +126,9 @@ func main() {
 		ServeStale:          *serveStale,
 		PrefetchWindow:      *prefetch,
 		UDPBatch:            *udpBatch,
+		Attackers:           *attackers,
+		AttackQPS:           *attackQPS,
+		Guard:               gcfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dohloadgen:", err)

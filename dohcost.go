@@ -30,6 +30,7 @@ import (
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/guard"
 	"dohcost/internal/loadgen"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
@@ -285,6 +286,29 @@ type (
 	ProxyCostReport = proxy.CostReport
 )
 
+// Abuse guard (internal/guard), armed through ForwardingProxyConfig.Guard:
+// per-client response rate limiting with RRL slip/TC=1 on UDP and honest
+// REFUSED on stream transports, RFC 7873 server cookies whose holders
+// bypass the UDP limits, and a cache-miss circuit breaker in front of the
+// upstream path.
+type (
+	// AbuseGuard is the live guard; obtain a ForwardingProxy's with its
+	// Guard method.
+	AbuseGuard = guard.Guard
+	// AbuseGuardConfig tunes the guard (zero values take defaults).
+	AbuseGuardConfig = guard.Config
+	// AbuseGuardReport is the guard's decision counters and breaker state.
+	AbuseGuardReport = guard.Report
+)
+
+// ErrMissBudget is how the guard's circuit breaker refuses a cache miss;
+// the serving layer answers REFUSED when an exchange returns it.
+var ErrMissBudget = guard.ErrMissBudget
+
+// NewAbuseGuard builds a standalone guard around a telemetry sink (nil is
+// fine), for embedders serving DNS without the proxy assembly.
+func NewAbuseGuard(cfg AbuseGuardConfig, tel *Telemetry) *AbuseGuard { return guard.New(cfg, tel) }
+
 // Per-query cost telemetry, re-exported from internal/telemetry. A
 // ForwardingProxy always carries a Telemetry sink; embedders can also
 // build one with NewTelemetry and pass it through ForwardingProxyConfig
@@ -428,6 +452,8 @@ type (
 	LoadResult = loadgen.Result
 	// TransportLoadResult is one transport's slice of a LoadResult.
 	TransportLoadResult = loadgen.TransportResult
+	// AttackLoadResult is the flooder population's slice of a LoadResult.
+	AttackLoadResult = loadgen.AttackResult
 )
 
 // Impairment profile registry and scenario rendering, re-exported.

@@ -10,6 +10,7 @@ import (
 
 	"dohcost/internal/dnsjson"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/guard"
 	"dohcost/internal/h1"
 	"dohcost/internal/h2"
 	"dohcost/internal/hpack"
@@ -50,6 +51,12 @@ type DoH struct {
 	// the paper cites for DoH's slower resolution times. Zero for
 	// controlled transport experiments.
 	Processing time.Duration
+	// Guard, when non-nil, rate-limits queries per client, keyed by the
+	// identity the accept loop installed in the bound context (Bind);
+	// over-limit queries get a DNS-level REFUSED in an HTTP 200, the way
+	// RFC 8484 surfaces resolution errors. Unbound handlers (no identity
+	// in context) are not limited.
+	Guard *guard.Guard
 	// Telemetry, when non-nil, receives one Transaction per decoded DNS
 	// query (HTTP-level rejections — bad paths, bad encodings — are not
 	// DNS transactions and are not counted).
@@ -174,6 +181,25 @@ func (d *DoH) serve(ctx context.Context, method, rawPath, contentType string, bo
 		}
 	default:
 		return 405, "", nil
+	}
+
+	if d.Guard != nil {
+		if key, bound := guard.KeyFromContext(ctx); bound &&
+			d.Guard.CheckStream(key) == guard.ActionRefuse {
+			if rawQ != nil {
+				if resp, ok := d.Guard.AppendLimited(nil, rawQ, key, guard.ActionRefuse); ok {
+					return 200, ContentTypeWire, resp
+				}
+				return 400, "", nil
+			}
+			// JSON queries already parsed to a Message; refuse in kind.
+			r := q.Reply()
+			r.RCode = dnswire.RCodeRefused
+			if out, err := dnsjson.Encode(r); err == nil {
+				return 200, ContentTypeJSON, out
+			}
+			return 500, "", nil
+		}
 	}
 
 	// The transaction spans decode → handler → DNS-payload encode; the

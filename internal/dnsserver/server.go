@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dohcost/internal/dnswire"
+	"dohcost/internal/guard"
 	"dohcost/internal/h1"
 	"dohcost/internal/h2"
 	"dohcost/internal/netsim"
@@ -65,6 +66,11 @@ func putBuf(b *[]byte) { bufPool.Put(b) }
 // cache-hit fast path allocates nothing per query.
 type UDPServer struct {
 	Handler Handler
+	// Guard, when non-nil, is consulted per datagram before any parse or
+	// handler work: rate-limited packets are dropped or answered with a
+	// minimal TC=1 slip, and the client's identity rides the query context
+	// so the cache-miss breaker downstream can attribute upstream work.
+	Guard *guard.Guard
 	// BaseContext, when non-nil, parents every query's context; the default
 	// is context.Background. UDP is connectionless, so per-query contexts
 	// end with the server itself rather than with any one client.
@@ -305,9 +311,13 @@ func (s *UDPServer) udpLimit(hasEDNS bool, udpSize uint16) int {
 	return limit
 }
 
-// servePacket answers one datagram: wire fast path first, Message path as
-// fallback, both writing from a pooled buffer.
+// servePacket answers one datagram: guard verdict first (drop or slip
+// without parsing), then wire fast path, then the Message path, all
+// writing from pooled buffers.
 func (s *UDPServer) servePacket(ctx context.Context, w packetWriter, pkt []byte, from net.Addr) {
+	if s.Guard != nil && !s.guardAdmitUDP(w, pkt, from) {
+		return
+	}
 	if wr, ok := s.Handler.(WireResponder); ok {
 		if q, ok := dnswire.ParseQuery(pkt); ok {
 			out := getBuf()
@@ -326,6 +336,24 @@ func (s *UDPServer) servePacket(ctx context.Context, w packetWriter, pkt []byte,
 		}
 	}
 	s.serveMessage(ctx, w, pkt, from, nil)
+}
+
+// guardAdmitUDP runs the guard's UDP verdict for one datagram. It reports
+// whether the packet may proceed to the serve path; limited packets are
+// dropped silently or answered with the guard's minimal TC=1 slip.
+func (s *UDPServer) guardAdmitUDP(w packetWriter, pkt []byte, from net.Addr) bool {
+	key := guard.ClientKey(from)
+	switch s.Guard.CheckUDP(key, pkt) {
+	case guard.ActionAllow:
+		return true
+	case guard.ActionSlip:
+		out := getBuf()
+		if resp, ok := s.Guard.AppendLimited((*out)[:0], pkt, key, guard.ActionSlip); ok {
+			w.WriteTo(resp, from)
+		}
+		putBuf(out)
+	}
+	return false
 }
 
 // serveMessage runs the Unpack → Respond → AppendPack path for one
@@ -351,7 +379,28 @@ func (s *UDPServer) serveMessage(ctx context.Context, w packetWriter, pkt []byte
 	}
 	defer tx.Finish()
 	ctx = telemetry.NewContext(ctx, tx)
+	var gkey uint64
+	if s.Guard != nil {
+		// Attribute downstream work (the cache-miss breaker) to the client.
+		gkey = guard.ClientKey(from)
+		ctx = guard.NewContext(ctx, gkey)
+	}
 	resp := Respond(ctx, s.Handler, &q)
+	if s.Guard != nil {
+		// Echo a DNS cookie so the client can earn the rate-limit bypass.
+		// Cached entries share their EDNS between clones, so attach to a
+		// fresh one instead of mutating in place.
+		if data, ok := s.Guard.ServerCookie(nil, pkt, gkey); ok {
+			e := &dnswire.EDNS{UDPSize: 1232}
+			if resp.EDNS != nil {
+				cp := *resp.EDNS
+				cp.Options = append([]dnswire.EDNS0Option(nil), resp.EDNS.Options...)
+				e = &cp
+			}
+			e.Options = append(e.Options, dnswire.EDNS0Option{Code: guard.EDNS0CookieCode, Data: data})
+			resp.EDNS = e
+		}
+	}
 	wire, err := resp.AppendPack((*out)[:0])
 	if err != nil {
 		// The client receives nothing; don't let Respond's ok verdict
@@ -402,6 +451,10 @@ func (s *UDPServer) serveMessage(ctx context.Context, w packetWriter, pkt []byte
 type StreamServer struct {
 	Handler    Handler
 	OutOfOrder bool
+	// Guard, when non-nil, rate-limits queries per client. Stream sources
+	// are proven by the connection handshake, so over-limit queries get an
+	// honest REFUSED (never the UDP path's silent drop or TC slip).
+	Guard *guard.Guard
 	// Proto labels this listener's transactions; the zero value is
 	// telemetry.ProtoTCP, and the DoT accept loop sets ProtoDoT.
 	Proto telemetry.Proto
@@ -437,6 +490,11 @@ func (s *StreamServer) ServeConn(conn net.Conn) error {
 	rbuf := getBuf()
 	defer putBuf(rbuf)
 	wr, fast := s.Handler.(WireResponder)
+	var gkey uint64
+	if s.Guard != nil {
+		gkey = guard.ClientKey(conn.RemoteAddr())
+		ctx = guard.NewContext(ctx, gkey)
+	}
 	for {
 		wire, err := readStreamMessageInto(conn, (*rbuf)[:dnswire.MaxMessageLen])
 		if err != nil {
@@ -444,6 +502,12 @@ func (s *StreamServer) ServeConn(conn net.Conn) error {
 				return nil
 			}
 			return err
+		}
+		if s.Guard != nil && s.Guard.CheckStream(gkey) == guard.ActionRefuse {
+			if err := s.writeRefusal(conn, &writeMu, wire, gkey); err != nil {
+				return err
+			}
+			continue
 		}
 		var tx *telemetry.Transaction
 		if fast {
@@ -481,6 +545,28 @@ func (s *StreamServer) ServeConn(conn net.Conn) error {
 			return err
 		}
 	}
+}
+
+// writeRefusal frames and writes the guard's minimal REFUSED response for
+// one rate-limited stream query; un-echoable queries get nothing (the
+// connection stays up — stream framing is intact, only this query was
+// malformed past the question).
+func (s *StreamServer) writeRefusal(conn net.Conn, writeMu *sync.Mutex, wire []byte, gkey uint64) error {
+	out := getBuf()
+	defer putBuf(out)
+	resp, ok := s.Guard.AppendLimited((*out)[2:2], wire, gkey, guard.ActionRefuse)
+	if !ok || len(resp) > dnswire.MaxMessageLen {
+		return nil
+	}
+	if &resp[0] != &(*out)[2] {
+		resp = append((*out)[2:2], resp...)
+	}
+	frame := (*out)[:2+len(resp)]
+	binary.BigEndian.PutUint16(frame, uint16(len(resp)))
+	writeMu.Lock()
+	defer writeMu.Unlock()
+	_, err := conn.Write(frame)
+	return err
 }
 
 // answerWire serves one query on the wire fast path: the response is
@@ -586,6 +672,10 @@ func WriteStreamMessage(w io.Writer, msg []byte) error {
 // providers in Table 1 deploy theirs.
 type Server struct {
 	Handler Handler
+	// Guard, when non-nil, is the deployment's shared abuse-resilience
+	// layer: every listener consults it, so a client's budget spans
+	// transports (see internal/guard).
+	Guard *guard.Guard
 	// Chain supplies TLS material for DoT and DoH; nil disables both.
 	Chain *tlsx.Chain
 	// TLSMin/TLSMax bound the offered protocol versions (zero = 1.2/1.3).
@@ -663,6 +753,7 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 	r.closers = append(r.closers, pc)
 	udp := &UDPServer{
 		Handler:    s.Handler,
+		Guard:      s.Guard,
 		MaxUDPSize: s.MaxUDPSize,
 		Readers:    s.UDPReaders,
 		Workers:    s.UDPWorkers,
@@ -683,7 +774,7 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 		return nil, err
 	}
 	r.closers = append(r.closers, tcpL)
-	tcp := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder, Telemetry: s.Telemetry}
+	tcp := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder, Guard: s.Guard, Telemetry: s.Telemetry}
 	r.wg.Add(1)
 	go func() { defer r.wg.Done(); tcp.Serve(tcpL) }()
 
@@ -698,7 +789,7 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 			return nil, err
 		}
 		r.closers = append(r.closers, dotL)
-		dot := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder, Proto: telemetry.ProtoDoT, Telemetry: s.Telemetry}
+		dot := &StreamServer{Handler: s.Handler, OutOfOrder: s.DoTOutOfOrder, Proto: telemetry.ProtoDoT, Guard: s.Guard, Telemetry: s.Telemetry}
 		cfg := s.Chain.ServerConfig(s.TLSMin, s.TLSMax)
 		r.wg.Add(1)
 		go func() {
@@ -723,7 +814,7 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 	if dohHandler == nil {
 		dohHandler = s.Handler
 	}
-	doh := &DoH{Handler: dohHandler, Endpoints: s.Endpoints, AltSvc: s.AltSvc, Processing: s.DoHProcessing, Telemetry: s.Telemetry}
+	doh := &DoH{Handler: dohHandler, Endpoints: s.Endpoints, AltSvc: s.AltSvc, Processing: s.DoHProcessing, Guard: s.Guard, Telemetry: s.Telemetry}
 	protos := []string{"h2", "http/1.1"}
 	if s.HTTP1Only {
 		protos = []string{"http/1.1"}
@@ -747,6 +838,11 @@ func (s *Server) Start(n *netsim.Network, host string) (*Running, error) {
 				// HTTPS connection does.
 				ctx, cancel := context.WithCancel(context.Background())
 				defer cancel()
+				if s.Guard != nil {
+					// The client's guard identity rides the connection
+					// context into every DoH query it carries.
+					ctx = guard.NewContext(ctx, guard.ClientKey(conn.RemoteAddr()))
+				}
 				h2h, h1h := doh.Bind(ctx)
 				switch tc.ConnectionState().NegotiatedProtocol {
 				case "h2":

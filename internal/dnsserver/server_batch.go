@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dohcost/internal/dnswire"
+	"dohcost/internal/guard"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/udpio"
 )
@@ -29,13 +30,14 @@ const DefaultBatch = 32
 // shardCounters is one shard socket's serving counters, written by its
 // serve goroutine and read concurrently by ShardStats.
 type shardCounters struct {
-	reads     atomic.Uint64
-	datagrams atomic.Uint64
-	fastHits  atomic.Uint64
-	slowPath  atomic.Uint64
-	spills    atomic.Uint64
-	flushes   atomic.Uint64
-	flushed   atomic.Uint64
+	reads        atomic.Uint64
+	datagrams    atomic.Uint64
+	fastHits     atomic.Uint64
+	slowPath     atomic.Uint64
+	guardDropped atomic.Uint64
+	spills       atomic.Uint64
+	flushes      atomic.Uint64
+	flushed      atomic.Uint64
 }
 
 // UDPShardStats is a point-in-time snapshot of one shard socket's
@@ -49,9 +51,15 @@ type UDPShardStats struct {
 	Datagrams uint64 `json:"datagrams"`
 	// FastHits were answered inline from the batch loop; SlowPath were
 	// handed to the worker pool (cache miss, unparseable, or a shape the
-	// wire path declines).
-	FastHits uint64 `json:"fast_hits"`
-	SlowPath uint64 `json:"slow_path"`
+	// wire path declines); GuardDropped were consumed by the abuse guard
+	// before reaching either (silently dropped or answered with a minimal
+	// TC=1 slip). Every read datagram lands in exactly one of the three,
+	// so Datagrams == FastHits + SlowPath + GuardDropped — guard-limited
+	// datagrams still count in the batch-size histogram, which samples at
+	// read time, consistent with the per-packet path.
+	FastHits     uint64 `json:"fast_hits"`
+	SlowPath     uint64 `json:"slow_path"`
+	GuardDropped uint64 `json:"guard_dropped"`
 	// Spills counts slow-path packets that overflowed the worker queue
 	// into bounded transient goroutines.
 	Spills uint64 `json:"spills"`
@@ -77,6 +85,7 @@ func (s *UDPServer) ShardStats() []UDPShardStats {
 			Datagrams:        sc.datagrams.Load(),
 			FastHits:         sc.fastHits.Load(),
 			SlowPath:         sc.slowPath.Load(),
+			GuardDropped:     sc.guardDropped.Load(),
 			Spills:           sc.spills.Load(),
 			Flushes:          sc.flushes.Load(),
 			FlushedDatagrams: sc.flushed.Load(),
@@ -209,6 +218,28 @@ func (s *UDPServer) serveShard(c udpio.BatchConn, batch int, pool *workPool, sc 
 		v.txs = v.txs[:0]
 		for i := 0; i < n; i++ {
 			pkt := v.ms[i].Buf[:v.ms[i].N]
+			if s.Guard != nil {
+				gkey := guard.ClientKey(v.ms[i].Addr)
+				switch s.Guard.CheckUDP(gkey, pkt) {
+				case guard.ActionDrop:
+					sc.guardDropped.Add(1)
+					continue
+				case guard.ActionSlip:
+					// The slip rides the batch's write vector like a fast
+					// hit, with a nil transaction slot (guard decisions are
+					// counted in guard metrics, not as served queries).
+					if resp, ok := s.Guard.AppendLimited((*v.obufs[nw])[:0], pkt, gkey, guard.ActionSlip); ok {
+						if len(resp) > 0 && &resp[0] != &(*v.obufs[nw])[0] {
+							resp = append((*v.obufs[nw])[:0], resp...)
+						}
+						v.out[nw] = udpio.Message{Buf: *v.obufs[nw], N: len(resp), Addr: v.ms[i].Addr}
+						nw++
+						v.txs = append(v.txs, nil)
+					}
+					sc.guardDropped.Add(1)
+					continue
+				}
+			}
 			if fast {
 				if q, ok := dnswire.ParseQuery(pkt); ok {
 					tx := s.Telemetry.Begin(telemetry.ProtoUDP)

@@ -1,0 +1,125 @@
+package guard
+
+import (
+	"math"
+	"sync"
+)
+
+// The per-client state table. Clients hash to fixed slots — no map, no
+// insertion, no eviction — so the allow path is a mutex, an index and a
+// few arithmetic operations regardless of how many distinct source
+// addresses an attack sprays: memory is bounded by construction, and a
+// source-rotating flood collides into a bounded set of buckets that
+// collectively rate-limit it (the approximation classic DNS RRL makes with
+// its own fixed hash table). Two clients sharing a slot share a rate
+// budget; with the default 4096 slots that needs thousands of concurrently
+// active clients before honest traffic notices.
+//
+// Slots are grouped into lock-striped shards: one mutex guards a
+// contiguous slot block, chosen by the low bits of the client key, so
+// concurrent checks from different sources rarely contend.
+
+// slot is one client's (or colliding client set's) guard state, guarded by
+// its shard mutex.
+type slot struct {
+	// tokens is the query-rate bucket fill, refilled lazily from lastNs.
+	tokens float64
+	lastNs int64
+	// debt counts consecutive rate-limited responses, driving the RRL slip
+	// cadence (every SlipEvery-th limited response is TC instead of drop).
+	debt uint32
+	// missScore is the exponentially-decayed miss counter (per-client miss
+	// rate EWMA), decayed from missNs with the configured half-life.
+	missScore float64
+	missNs    int64
+}
+
+// bucketShard is one lock stripe of the slot table.
+type bucketShard struct {
+	mu    sync.Mutex
+	slots []slot
+	// pad keeps neighbouring shards' mutexes off one cache line.
+	_ [40]byte
+}
+
+// newShards builds nshards stripes of slotsPerShard slots each; both are
+// powers of two.
+func newShards(nshards, slotsPerShard int) []bucketShard {
+	shards := make([]bucketShard, nshards)
+	for i := range shards {
+		shards[i].slots = make([]slot, slotsPerShard)
+	}
+	return shards
+}
+
+// slotFor locates the slot for a client key: low bits pick the lock
+// stripe, upper bits the slot within it, so the two indices are
+// independent.
+func (g *Guard) slotFor(key uint64) (*bucketShard, *slot) {
+	sh := &g.shards[key&uint64(len(g.shards)-1)]
+	return sh, &sh.slots[(key>>20)&uint64(len(sh.slots)-1)]
+}
+
+// allowQuery runs the token-bucket admission for one query at nowNs.
+// When the bucket is empty it also advances the slip cadence and reports
+// whether this limited response should slip (TC) rather than drop.
+// Zero-allocation: callers on the UDP hot path depend on it.
+func (g *Guard) allowQuery(key uint64, nowNs int64) (allowed, slip bool) {
+	sh, s := g.slotFor(key)
+	sh.mu.Lock()
+	if s.lastNs == 0 {
+		s.tokens = g.burst
+	} else if dt := nowNs - s.lastNs; dt > 0 {
+		s.tokens += float64(dt) * g.ratePerNs
+		if s.tokens > g.burst {
+			s.tokens = g.burst
+		}
+	}
+	s.lastNs = nowNs
+	if s.tokens >= 1 {
+		s.tokens--
+		sh.mu.Unlock()
+		return true, false
+	}
+	s.debt++
+	slip = g.cfg.SlipEvery > 0 && s.debt%uint32(g.cfg.SlipEvery) == 0
+	sh.mu.Unlock()
+	return false, slip
+}
+
+// chargeMiss records one cache-miss attempt for key at nowNs and reports
+// whether the client's decayed miss rate is still under the breaker
+// threshold. Refused attempts are charged too: a flood that keeps pushing
+// keeps its breaker open.
+func (g *Guard) chargeMiss(key uint64, nowNs int64) (under bool) {
+	sh, s := g.slotFor(key)
+	sh.mu.Lock()
+	if s.missNs != 0 {
+		if dt := nowNs - s.missNs; dt > 0 {
+			s.missScore *= math.Exp2(-float64(dt) / float64(g.missHalfLifeNs))
+		}
+	}
+	s.missNs = nowNs
+	s.missScore++
+	under = s.missScore <= g.missThreshold
+	sh.mu.Unlock()
+	return under
+}
+
+// tokensSnapshot sums the current token fill per shard (refill not
+// applied) — the observability hook the bucket-invariant property test
+// asserts against.
+func (g *Guard) tokensSnapshot() []float64 {
+	out := make([]float64, len(g.shards))
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		sum := 0.0
+		for j := range sh.slots {
+			sum += sh.slots[j].tokens
+		}
+		sh.mu.Unlock()
+		out[i] = sum
+	}
+	return out
+}

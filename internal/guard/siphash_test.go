@@ -1,0 +1,50 @@
+package guard
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The SipHash-2-4 reference test vectors (Aumasson & Bernstein, appendix A):
+// key bytes 00..0f, message bytes 00..n-1, 64-bit little-endian outputs.
+var sipVectors = []uint64{
+	0x726fdb47dd0e0e31, // len 0
+	0x74f839c593dc67fd, // len 1
+	0x0d6c8009d9a94f5a, // len 2
+	0x85676696d7fb7e2d, // len 3
+	0xcf2794e0277187b7, // len 4
+	0x18765564cd99a68d, // len 5
+	0xcbc9466e58fee3ce, // len 6
+	0xab0200f58b01d137, // len 7
+	0x93f5f5799a932462, // len 8
+}
+
+func TestSipHashReferenceVectors(t *testing.T) {
+	k0 := uint64(0x0706050403020100)
+	k1 := uint64(0x0f0e0d0c0b0a0908)
+	msg := make([]byte, len(sipVectors))
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	for n, want := range sipVectors {
+		if got := siphashBytes(k0, k1, msg[:n]); got != want {
+			t.Errorf("siphashBytes len %d = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestSipHashWordMatchesBytes(t *testing.T) {
+	k0 := uint64(0x0706050403020100)
+	k1 := uint64(0x0f0e0d0c0b0a0908)
+	words := []uint64{0, 1, 0xdeadbeefcafef00d, 1<<64 - 1}
+	var buf []byte
+	for i := 1; i <= len(words); i++ {
+		buf = buf[:0]
+		for _, w := range words[:i] {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+		if got, want := siphash24(k0, k1, words[:i]...), siphashBytes(k0, k1, buf); got != want {
+			t.Errorf("siphash24 over %d words = %#x, siphashBytes = %#x", i, got, want)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"net/netip"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dohcost/internal/alexa"
@@ -41,6 +42,7 @@ import (
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/guard"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
 	"dohcost/internal/steer"
@@ -147,6 +149,20 @@ type Scenario struct {
 	// batched loop at this vector size (see proxy.Config.UDPBatch); 0
 	// keeps the per-packet loop.
 	UDPBatch int
+	// Attackers, when positive, adds that many flooder clients running
+	// concurrently with every transport leg: each blasts random-subdomain
+	// queries over UDP (cache-busting — every query is a guaranteed miss)
+	// from its own simulated host at AttackQPS. This is the adversarial
+	// population the proxy's abuse guard exists for; the flooders' harvest
+	// lands in Result.Attack, on a telemetry sink separate from the honest
+	// clients'.
+	Attackers int
+	// AttackQPS is each flooder's target query rate (default 200).
+	AttackQPS float64
+	// Guard, when non-nil, arms the proxy's abuse guard
+	// (proxy.Config.Guard); nil runs the proxy unguarded, which is how the
+	// no-guard comparison baseline is measured.
+	Guard *guard.Config
 }
 
 // withDefaults fills unset fields.
@@ -212,6 +228,9 @@ func (s Scenario) withDefaults() (Scenario, netsim.Profile, error) {
 	if _, err := steer.ParsePolicy(s.Policy); err != nil {
 		return s, prof, fmt.Errorf("loadgen: %w", err)
 	}
+	if s.Attackers > 0 && s.AttackQPS <= 0 {
+		s.AttackQPS = 200
+	}
 	return s, prof, nil
 }
 
@@ -246,6 +265,20 @@ type TransportResult struct {
 	QPS     float64       `json:"qps"`
 }
 
+// AttackResult is the flooder population's harvest: how the guard
+// disposed of the flood, as observed from the attacking clients. Refused
+// and Truncated are the guard's explicit verdicts (breaker REFUSED,
+// RRL slip with TC=1); Dropped are queries that drew no response before
+// the flooder's per-query timeout — the silently rate-limited majority.
+type AttackResult struct {
+	Attackers int    `json:"attackers"`
+	Queries   uint64 `json:"queries"`
+	Answered  uint64 `json:"answered"`
+	Refused   uint64 `json:"refused"`
+	Truncated uint64 `json:"truncated"`
+	Dropped   uint64 `json:"dropped"`
+}
+
 // Result is one scenario run: per-transport client-side harvests plus the
 // proxy's own server-side view of the same traffic.
 type Result struct {
@@ -262,6 +295,10 @@ type Result struct {
 	// Steering is the proxy's end-of-run steering model: policy and
 	// per-upstream SRTT/success scores, best-ranked first.
 	Steering steer.Report `json:"steering"`
+	// Attack is the flooder population's harvest; nil without Attackers.
+	Attack *AttackResult `json:"attack,omitempty"`
+	// Guard is the proxy guard's end-of-run report; nil when unguarded.
+	Guard *guard.Report `json:"guard,omitempty"`
 }
 
 // Run executes the scenario and returns the harvest.
@@ -324,6 +361,7 @@ func Run(s Scenario) (*Result, error) {
 		UDPBatch:       s.UDPBatch,
 		CacheBudget:    s.CacheBudget,
 		CacheAdmission: s.CacheAdmission,
+		Guard:          s.Guard,
 	})
 	if err != nil {
 		return nil, err
@@ -344,17 +382,142 @@ func Run(s Scenario) (*Result, error) {
 	}
 
 	res := &Result{Scenario: s, Profile: prof}
+
+	// The flooders run for the whole scenario, overlapping every honest
+	// transport leg — the regime the guard's fairness claim is about.
+	var (
+		atk     attackCounters
+		atkStop chan struct{}
+		atkWG   sync.WaitGroup
+	)
+	if s.Attackers > 0 {
+		atkStop = make(chan struct{})
+		for a := 0; a < s.Attackers; a++ {
+			atkWG.Add(1)
+			go func(a int) {
+				defer atkWG.Done()
+				runAttacker(n, s, a, atkStop, &atk)
+			}(a)
+		}
+	}
+
 	for _, tr := range s.Transports {
 		trRes, err := runTransport(n, chain, s, tr, domains)
 		if err != nil {
+			if atkStop != nil {
+				close(atkStop)
+				atkWG.Wait()
+			}
 			return nil, fmt.Errorf("loadgen: transport %s: %w", tr, err)
 		}
 		res.PerTransport = append(res.PerTransport, trRes)
 	}
+	if atkStop != nil {
+		close(atkStop)
+		atkWG.Wait()
+		res.Attack = &AttackResult{
+			Attackers: s.Attackers,
+			Queries:   atk.queries.Load(),
+			Answered:  atk.answered.Load(),
+			Refused:   atk.refused.Load(),
+			Truncated: atk.truncated.Load(),
+			Dropped:   atk.dropped.Load(),
+		}
+	}
 	res.Server = p.Telemetry().Snapshot()
 	res.Cache = p.CacheStats()
 	res.Steering = p.SteeringReport()
+	if g := p.Guard(); g != nil {
+		gr := g.Report()
+		res.Guard = &gr
+	}
 	return res, nil
+}
+
+// attackCounters is the flooder population's shared harvest, written by
+// every attacker goroutine.
+type attackCounters struct {
+	queries, answered, refused, truncated, dropped atomic.Uint64
+}
+
+// attackerHost names flooder a's simulated host — distinct from every
+// honest client's host, so the guard sees the flood as its own client
+// identities.
+func attackerHost(a int) string { return fmt.Sprintf("atk%d", a) }
+
+// attackTimeout is how long a flooder waits for any one response; guard
+// drops leave it to expire, so it stays short to keep the flood flowing.
+const attackTimeout = 250 * time.Millisecond
+
+// runAttacker floods the proxy's UDP listener with random-subdomain
+// queries at ~s.AttackQPS until stop closes. Every name is unique, so
+// every admitted query is a cache miss headed for the upstream — the
+// cache-busting flood the miss breaker exists to absorb. Responses are
+// classified into the shared counters; errors (dominated by guard drops
+// timing out) count as Dropped.
+func runAttacker(n *netsim.Network, s Scenario, a int, stop <-chan struct{}, res *attackCounters) {
+	host := attackerHost(a)
+	pc, err := n.ListenPacket(fmt.Sprintf("%s:%d", host, 5353))
+	if err != nil {
+		return
+	}
+	u := dnstransport.NewUDPClient(pc, netsim.Addr(ProxyHost+":53"))
+	u.Timeout = attackTimeout
+	u.Retries = 0
+	defer u.Close()
+
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x6174746b ^ int64(a)<<32))
+	// Queries go out in small per-tick bursts rather than one per tick:
+	// a per-query timer at flood rates would be at the mercy of timer
+	// granularity and quietly undershoot the target QPS.
+	const atkTick = 2 * time.Millisecond
+	batch := int(s.AttackQPS*atkTick.Seconds() + 0.5)
+	if batch < 1 {
+		batch = 1
+	}
+	// In-flight queries are bounded so a fully-dropped flood (every query
+	// waiting out attackTimeout) throttles instead of accumulating
+	// goroutines without limit.
+	sem := make(chan struct{}, 256)
+	var qwg sync.WaitGroup
+	tick := time.NewTicker(atkTick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			qwg.Wait()
+			return
+		case <-tick.C:
+		}
+		for b := 0; b < batch; b++ {
+			select {
+			case sem <- struct{}{}:
+			case <-stop:
+				qwg.Wait()
+				return
+			}
+			name := dnswire.Name(fmt.Sprintf("x%08x.flood-a%d.invalid.", rng.Uint32(), a))
+			qwg.Add(1)
+			go func(name dnswire.Name) {
+				defer qwg.Done()
+				defer func() { <-sem }()
+				res.queries.Add(1)
+				ctx, cancel := context.WithTimeout(context.Background(), attackTimeout)
+				defer cancel()
+				resp, err := u.Exchange(ctx, dnswire.NewQuery(0, name, dnswire.TypeA))
+				switch {
+				case err != nil:
+					res.dropped.Add(1)
+				case resp.Truncated:
+					res.truncated.Add(1)
+				case resp.RCode == dnswire.RCodeRefused:
+					res.refused.Add(1)
+				default:
+					res.answered.Add(1)
+				}
+			}(name)
+		}
+	}
 }
 
 // clientHost names client c's simulated host. Every client owning its own
@@ -599,6 +762,14 @@ func Render(r *Result) string {
 	ratio := 0.0
 	if total > 0 {
 		ratio = float64(cs.Hits+cs.StaleHits) / float64(total) * 100
+	}
+	if a := r.Attack; a != nil {
+		fmt.Fprintf(&sb, "\nattack: %d flooders, %d queries → %d answered / %d refused / %d tc-slipped / %d dropped\n",
+			a.Attackers, a.Queries, a.Answered, a.Refused, a.Truncated, a.Dropped)
+	}
+	if g := r.Guard; g != nil {
+		fmt.Fprintf(&sb, "guard: %d allowed / %d dropped / %d slipped / %d refused (%d breaker), %d cookies issued, %d validated\n",
+			g.Allowed, g.Drops, g.Slips, g.Refusals, g.BreakerRefusals, g.CookiesIssued, g.CookiesValidated)
 	}
 	fmt.Fprintf(&sb, "\nproxy: %d hits / %d stale / %d misses / %d coalesced (%.1f%% hit rate)",
 		cs.Hits, cs.StaleHits, cs.Misses, cs.Coalesced, ratio)

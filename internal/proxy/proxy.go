@@ -13,6 +13,7 @@ package proxy
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -24,6 +25,7 @@ import (
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/guard"
 	"dohcost/internal/netsim"
 	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
@@ -107,6 +109,13 @@ type Config struct {
 	// PrefetchWindow refreshes hot cache entries in the background when a
 	// hit finds them within this much of expiry. Zero disables.
 	PrefetchWindow time.Duration
+	// Guard, when non-nil, arms the abuse guard (internal/guard) on every
+	// listener: per-client response rate limiting with slip/TC on UDP,
+	// honest REFUSED on stream transports, RFC 7873 server cookies whose
+	// holders bypass the UDP limits, and a cache-miss circuit breaker
+	// between the cache and the upstream steerer. Zero-valued fields take
+	// the guard defaults; nil serves unguarded.
+	Guard *guard.Config
 	// Telemetry, when non-nil, is the metrics sink shared with the caller;
 	// nil makes the proxy create its own (telemetry is always on — its
 	// hot path is sharded atomics, cheap enough to never gate).
@@ -129,6 +138,7 @@ type Proxy struct {
 	pool    *dnstransport.Pool
 	steer   *steer.Steerer
 	cache   *dnscache.Cache
+	guard   *guard.Guard
 	timeout time.Duration
 	server  *dnsserver.Server
 	run     *dnsserver.Running
@@ -212,10 +222,20 @@ func New(cfg Config) (*Proxy, error) {
 		HedgeDelay:   cfg.HedgeDelay,
 		ExploreEvery: cfg.ExploreEvery,
 	})
+	var g *guard.Guard
+	// The breaker sits between the cache and the steerer, so every miss —
+	// foreground or background refresh — passes through AdmitMiss before
+	// it can occupy an upstream connection.
+	var resolver dnstransport.Resolver = st
+	if cfg.Guard != nil {
+		g = guard.New(*cfg.Guard, tel)
+		resolver = breakerResolver{g: g, next: st}
+	}
 	p := &Proxy{
 		pool:      pool,
 		steer:     st,
-		cache:     dnscache.New(st, opts...),
+		cache:     dnscache.New(resolver, opts...),
+		guard:     g,
 		timeout:   timeout,
 		tel:       tel,
 		udpListen: cfg.UDPListen,
@@ -229,10 +249,31 @@ func New(cfg Config) (*Proxy, error) {
 		DoTOutOfOrder: !cfg.InOrderDoT,
 		MaxUDPSize:    cfg.MaxUDPSize,
 		UDPBatch:      cfg.UDPBatch,
+		Guard:         g,
 		Telemetry:     tel,
 	}
 	return p, nil
 }
+
+// breakerResolver gates upstream exchanges behind the guard's cache-miss
+// circuit breaker: a per-client miss-rate check (when the serving layer
+// put a client key in ctx) plus the global in-flight-miss ceiling. Refused
+// misses return guard.ErrMissBudget without touching the steerer; the
+// serving handler maps that to a DNS REFUSED.
+type breakerResolver struct {
+	g    *guard.Guard
+	next dnstransport.Resolver
+}
+
+func (r breakerResolver) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	if err := r.g.AdmitMiss(ctx); err != nil {
+		return nil, err
+	}
+	defer r.g.MissDone()
+	return r.next.Exchange(ctx, q)
+}
+
+func (r breakerResolver) Close() error { return r.next.Close() }
 
 // fastHandler is the proxy's serving handler. It implements both serving
 // paths the servers know about: the Message path (ServeDNS: cache →
@@ -248,7 +289,16 @@ type fastHandler struct{ p *Proxy }
 func (h fastHandler) ServeDNS(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 	ctx, cancel := context.WithTimeout(ctx, h.p.timeout)
 	defer cancel()
-	return h.p.cache.Exchange(ctx, q)
+	resp, err := h.p.cache.Exchange(ctx, q)
+	if err != nil && errors.Is(err, guard.ErrMissBudget) {
+		// A breaker-refused miss is a policy decision, not a server
+		// failure: answer REFUSED so well-behaved clients back off or
+		// fail over instead of retrying a SERVFAIL.
+		r := q.Reply()
+		r.RCode = dnswire.RCodeRefused
+		return r, nil
+	}
+	return resp, err
 }
 
 // ServeDNSWire implements dnsserver.WireResponder: the zero-allocation
@@ -305,6 +355,7 @@ func (p *Proxy) startUDPListen() error {
 	p.udpConns = conns
 	p.udpSrv = &dnsserver.UDPServer{
 		Handler:   p.Handler(),
+		Guard:     p.guard,
 		Telemetry: p.tel,
 	}
 	p.udpWG.Add(1)
@@ -371,6 +422,10 @@ func (p *Proxy) UpstreamStats() []dnstransport.UpstreamStats { return p.pool.Sta
 // upstream's live SRTT/success model, best-ranked first.
 func (p *Proxy) SteeringReport() steer.Report { return p.steer.Report() }
 
+// Guard returns the proxy's abuse guard, or nil when Config.Guard was not
+// set — for tests and embedders that want the live Report.
+func (p *Proxy) Guard() *guard.Guard { return p.guard }
+
 // Telemetry returns the proxy's metrics sink, for snapshots beyond what
 // CostReport packages or for registering a transaction Listener late.
 func (p *Proxy) Telemetry() *telemetry.Metrics { return p.tel }
@@ -400,6 +455,9 @@ type CostReport struct {
 	Cache     CacheReport                  `json:"cache"`
 	Upstreams []dnstransport.UpstreamStats `json:"upstreams"`
 	Steering  steer.Report                 `json:"steering"`
+	// Guard is the abuse guard's decision counters and live breaker state;
+	// omitted when the proxy runs unguarded.
+	Guard *guard.Report `json:"guard,omitempty"`
 	// UDPShards is the batched UDP listener's per-shard serving counters;
 	// omitted when UDP runs the per-packet loop.
 	UDPShards []dnsserver.UDPShardStats `json:"udp_shards,omitempty"`
@@ -417,13 +475,18 @@ func (p *Proxy) CostReport() CostReport {
 	if total := cs.Hits + cs.StaleHits + cs.Misses + cs.Coalesced; total > 0 {
 		cr.HitRatio = float64(cs.Hits+cs.StaleHits) / float64(total)
 	}
-	return CostReport{
+	report := CostReport{
 		Telemetry: p.tel.Snapshot(),
 		Cache:     cr,
 		Upstreams: p.pool.Stats(),
 		Steering:  p.steer.Report(),
 		UDPShards: p.UDPShardStats(),
 	}
+	if p.guard != nil {
+		gr := p.guard.Report()
+		report.Guard = &gr
+	}
+	return report
 }
 
 // Observability returns an HTTP handler exposing the proxy's runtime cost
@@ -496,6 +559,12 @@ func writeGauges(w io.Writer, report CostReport) error {
 	t.Family("dohcost_upstream_success_rate", "Steering model: attempt-success EWMA per upstream.", "gauge")
 	for _, u := range report.Steering.Upstreams {
 		t.LabeledValue("dohcost_upstream_success_rate", "upstream", u.Name, u.SuccessRate)
+	}
+	if g := report.Guard; g != nil {
+		t.Family("dohcost_guard_inflight_misses", "Cache misses currently holding a breaker slot.", "gauge")
+		t.Value("dohcost_guard_inflight_misses", g.InflightMisses)
+		t.Family("dohcost_guard_cookie_epoch", "Current server-cookie rotation epoch (0 when cookies are disabled).", "gauge")
+		t.Value("dohcost_guard_cookie_epoch", g.CookieEpoch)
 	}
 	return t.Err()
 }

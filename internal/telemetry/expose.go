@@ -138,6 +138,18 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		t.counterVec("dohcost_udp_batch_size_reads_total",
 			"Batched UDP reads by datagrams-returned bucket.", "datagrams", s.UDPBatchSizes)
 	}
+	t.counter("dohcost_guard_drops_total",
+		"UDP datagrams silently discarded by the abuse guard's per-client rate limit.", s.GuardDrops)
+	t.counter("dohcost_guard_slips_total",
+		"Rate-limited UDP queries answered with a minimal TC=1 slip instead of a drop.", s.GuardSlips)
+	t.counter("dohcost_guard_refusals_total",
+		"Queries answered REFUSED by the abuse guard (stream rate limit or miss breaker).", s.GuardRefusals)
+	t.counter("dohcost_guard_breaker_refusals_total",
+		"Cache misses refused by the miss-flood circuit breaker.", s.GuardBreakerRefusals)
+	t.counter("dohcost_guard_cookies_validated_total",
+		"UDP queries whose DNS server cookie validated, earning the rate-limit bypass.", s.GuardCookiesValidated)
+	t.counter("dohcost_guard_cookies_issued_total",
+		"Fresh DNS server cookies attached to responses.", s.GuardCookiesIssued)
 	t.counter("dohcost_upstream_bytes_sent_total",
 		"DNS message bytes sent to upstreams.", s.UpstreamBytesSent)
 	t.counter("dohcost_upstream_bytes_received_total",

@@ -39,6 +39,15 @@ type shard struct {
 	udpBatchDatagrams atomic.Uint64
 	udpBatchSize      [numBatchBuckets]atomic.Uint64
 
+	// Abuse-guard decisions: UDP rate-limit drops and TC slips, stream and
+	// breaker refusals, and the DNS-cookie handshake counters.
+	guardDrops            atomic.Uint64
+	guardSlips            atomic.Uint64
+	guardRefusals         atomic.Uint64
+	guardBreakerRefusals  atomic.Uint64
+	guardCookiesValidated atomic.Uint64
+	guardCookiesIssued    atomic.Uint64
+
 	// The histograms dominate the shard's footprint (and pad the small
 	// counter block above away from the next shard's).
 	latency         [numProtos]histogram
@@ -202,6 +211,53 @@ func (m *Metrics) UDPSpill() {
 	m.pick().udpSpills.Add(1)
 }
 
+// GuardDrop counts one UDP datagram silently discarded by the abuse
+// guard's per-client rate limit.
+func (m *Metrics) GuardDrop() {
+	if m != nil {
+		m.pick().guardDrops.Add(1)
+	}
+}
+
+// GuardSlip counts one rate-limited UDP query answered with a minimal
+// TC=1 truncation instead of a drop (the RRL slip escape hatch).
+func (m *Metrics) GuardSlip() {
+	if m != nil {
+		m.pick().guardSlips.Add(1)
+	}
+}
+
+// GuardRefusal counts one query answered REFUSED by the guard — stream
+// rate limiting or the miss breaker.
+func (m *Metrics) GuardRefusal() {
+	if m != nil {
+		m.pick().guardRefusals.Add(1)
+	}
+}
+
+// GuardBreakerRefusal counts one cache miss refused by the miss-flood
+// circuit breaker (a subset of GuardRefusal's total on serve paths).
+func (m *Metrics) GuardBreakerRefusal() {
+	if m != nil {
+		m.pick().guardBreakerRefusals.Add(1)
+	}
+}
+
+// GuardCookieValid counts one UDP query whose server cookie validated,
+// earning the rate-limit bypass.
+func (m *Metrics) GuardCookieValid() {
+	if m != nil {
+		m.pick().guardCookiesValidated.Add(1)
+	}
+}
+
+// GuardCookieIssued counts one fresh server cookie attached to a response.
+func (m *Metrics) GuardCookieIssued() {
+	if m != nil {
+		m.pick().guardCookiesIssued.Add(1)
+	}
+}
+
 // ctxKey is the context key for the Transaction.
 type ctxKey struct{}
 
@@ -276,6 +332,12 @@ func (m *Metrics) Snapshot() *Snapshot {
 		s.TCFallbacks += sh.tcFallbacks.Load()
 		s.UDPRetransmits += sh.udpRetransmits.Load()
 		s.UDPSpills += sh.udpSpills.Load()
+		s.GuardDrops += sh.guardDrops.Load()
+		s.GuardSlips += sh.guardSlips.Load()
+		s.GuardRefusals += sh.guardRefusals.Load()
+		s.GuardBreakerRefusals += sh.guardBreakerRefusals.Load()
+		s.GuardCookiesValidated += sh.guardCookiesValidated.Load()
+		s.GuardCookiesIssued += sh.guardCookiesIssued.Load()
 		s.UDPBatchReads += sh.udpBatchReads.Load()
 		s.UDPBatchDatagrams += sh.udpBatchDatagrams.Load()
 		for b := 0; b < numBatchBuckets; b++ {
@@ -367,6 +429,19 @@ type Snapshot struct {
 	// UDPBatchSizes is the datagrams-per-syscall histogram: bucket label
 	// ("1", "2-3", …, "64+") → batched reads returning that many.
 	UDPBatchSizes map[string]uint64 `json:"udp_batch_size_reads,omitempty"`
+	// GuardDrops / GuardSlips count UDP datagrams the abuse guard rate-
+	// limited: silently discarded vs answered with a minimal TC=1 slip.
+	GuardDrops uint64 `json:"guard_drops_total"`
+	GuardSlips uint64 `json:"guard_slips_total"`
+	// GuardRefusals counts queries answered REFUSED by the guard;
+	// GuardBreakerRefusals is the miss-flood circuit breaker's share.
+	GuardRefusals        uint64 `json:"guard_refusals_total"`
+	GuardBreakerRefusals uint64 `json:"guard_breaker_refusals_total"`
+	// GuardCookiesValidated counts rate-limit bypasses earned by valid DNS
+	// server cookies; GuardCookiesIssued counts cookies attached to
+	// responses.
+	GuardCookiesValidated uint64 `json:"guard_cookies_validated_total"`
+	GuardCookiesIssued    uint64 `json:"guard_cookies_issued_total"`
 	// UpstreamBytesSent / UpstreamBytesReceived are upstream message
 	// bytes, the paper's Figure 3 axis.
 	UpstreamBytesSent     uint64 `json:"upstream_bytes_sent_total"`
