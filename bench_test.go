@@ -19,6 +19,7 @@ import (
 
 	"dohcost/internal/alexa"
 	"dohcost/internal/core"
+	"dohcost/internal/dialer"
 	"dohcost/internal/dnscache"
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
@@ -435,9 +436,9 @@ func BenchmarkProxyThroughput(b *testing.B) {
 	p, err := proxy.New(proxy.Config{
 		Upstreams: []dnstransport.PoolUpstream{{
 			Name: "recursive.upstream",
-			Dial: func() (dnstransport.Resolver, error) {
-				return dnstransport.NewTCPClient(func() (net.Conn, error) {
-					return n.Dial("proxy.dns", "recursive.upstream:53")
+			Dial: func(ctx context.Context) (dnstransport.Resolver, error) {
+				return dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) {
+					return n.DialContext(ctx, "proxy.dns", "recursive.upstream:53")
 				}), nil
 			},
 		}},
@@ -501,7 +502,7 @@ func BenchmarkUDPBatchServe(b *testing.B) {
 	p, err := proxy.New(proxy.Config{
 		Upstreams: []dnstransport.PoolUpstream{{
 			Name: "static.upstream",
-			Dial: func() (dnstransport.Resolver, error) { return staticResolver{}, nil },
+			Dial: func(ctx context.Context) (dnstransport.Resolver, error) { return staticResolver{}, nil },
 		}},
 	})
 	if err != nil {
@@ -910,9 +911,9 @@ func BenchmarkHedgedExchange(b *testing.B) {
 		defer run.Close()
 	}
 	mkUp := func(host string) dnstransport.PoolUpstream {
-		return dnstransport.PoolUpstream{Name: host, Dial: func() (dnstransport.Resolver, error) {
-			return dnstransport.NewTCPClient(func() (net.Conn, error) {
-				return n.Dial("steerer", host+":53")
+		return dnstransport.PoolUpstream{Name: host, Dial: func(ctx context.Context) (dnstransport.Resolver, error) {
+			return dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) {
+				return n.DialContext(ctx, "steerer", host+":53")
 			}), nil
 		}}
 	}
@@ -1137,6 +1138,49 @@ func BenchmarkTransportExchange(b *testing.B) {
 				cancel()
 			}
 		})
+	}
+}
+
+// BenchmarkHappyEyeballsDial measures one RFC 8305 dial race over a
+// dual-homed upstream on the simulated network: resolve both families,
+// race staggered attempts, first established connection wins. With both
+// families healthy the preferred family connects immediately, so this is
+// the dialer's fixed per-connection overhead (goroutines, timers, race
+// bookkeeping) on top of a raw netsim dial.
+func BenchmarkHappyEyeballsDial(b *testing.B) {
+	n := netsim.New(1)
+	for _, h := range []string{"v4.up", "v6.up"} {
+		l, err := n.Listen(h + ":53")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		go func() {
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+	}
+	he := dialer.New(dialer.Config{
+		Resolve: func(ctx context.Context, host string) ([]string, []string, error) {
+			return []string{"v4." + host + ":53"}, []string{"v6." + host + ":53"}, nil
+		},
+		Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+			return n.DialContext(ctx, "client", addr)
+		},
+	})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := he.DialContext(ctx, "up")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
 	}
 }
 

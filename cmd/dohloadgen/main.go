@@ -26,7 +26,10 @@
 //	           [-degraded-upstream-rtt 600ms] [-serve-stale 1m]
 //	           [-prefetch 10s] [-attackers 2] [-attack-qps 5000]
 //	           [-guard] [-guard-qps 2000] [-guard-burst 50] [-guard-slip 2]
-//	           [-guard-miss-rate 25] [-json]
+//	           [-guard-miss-rate 25]
+//	           [-he] [-he-stagger 250ms] [-dial-fault broken-v6]
+//	           [-flap-after 200ms] [-flap-for 100ms] [-bootstrap-probe]
+//	           [-json]
 package main
 
 import (
@@ -75,6 +78,12 @@ func main() {
 		guardBurst  = flag.Int("guard-burst", 0, "guard: per-client token-bucket burst (0 = 2×qps)")
 		guardSlip   = flag.Int("guard-slip", 0, "guard: every Nth rate-limited UDP response is a TC=1 slip (0 = default 2, negative = never)")
 		guardMiss   = flag.Float64("guard-miss-rate", 0, "guard: per-client sustained cache-miss rate before the breaker refuses (0 = default 20)")
+		he          = flag.Bool("he", false, "dual-home every upstream (v4.<host>/v6.<host>) and dial through the Happy-Eyeballs racing dialer")
+		heStagger   = flag.Duration("he-stagger", 0, "Happy Eyeballs connection-attempt delay between racing dials (0 = RFC 8305 default 250ms)")
+		dialFault   = flag.String("dial-fault", "", "dial impairment profile on the upstream homes: "+strings.Join(netsim.DialProfileNames(), ", ")+" (empty = none; needs -he to matter)")
+		flapAfter   = flag.Duration("flap-after", 0, "sever upstream 0's link this long after the clients start (0 = no flap)")
+		flapFor     = flag.Duration("flap-for", 0, "how long the -flap-after outage lasts (0 = default 100ms)")
+		bootstrap   = flag.Bool("bootstrap-probe", false, "probe every upstream before the listeners come up and seed the steering scoreboard with the verdicts")
 		asJSON      = flag.Bool("json", false, "print the full result as JSON instead of the table")
 	)
 	flag.Parse()
@@ -129,6 +138,12 @@ func main() {
 		Attackers:           *attackers,
 		AttackQPS:           *attackQPS,
 		Guard:               gcfg,
+		HappyEyeballs:       *he,
+		HEStagger:           *heStagger,
+		DialFault:           *dialFault,
+		FlapAfter:           *flapAfter,
+		FlapFor:             *flapFor,
+		BootstrapProbe:      *bootstrap,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dohloadgen:", err)

@@ -20,6 +20,7 @@
 //	         [-udp-batch 32] [-udp-listen 127.0.0.1:5300] [-udp-shards 4]
 //	         [-guard] [-guard-qps 50] [-guard-burst 100] [-guard-slip 2]
 //	         [-guard-miss-rate 20] [-guard-inflight-miss 1024] [-guard-no-cookies]
+//	         [-he] [-he-stagger 250ms] [-bootstrap-probe]
 //	         [-metrics-addr 127.0.0.1:9090] [-hold 30s] [-cost-json]
 package main
 
@@ -34,6 +35,7 @@ import (
 	"os"
 	"time"
 
+	"dohcost/internal/dialer"
 	"dohcost/internal/dnscache"
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
@@ -42,6 +44,7 @@ import (
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
 	"dohcost/internal/stats"
+	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
 )
 
@@ -75,6 +78,10 @@ type options struct {
 	guardMissRate     float64
 	guardInflightMiss int
 	guardNoCookies    bool
+
+	he             bool
+	heStagger      time.Duration
+	bootstrapProbe bool
 }
 
 func main() {
@@ -105,6 +112,9 @@ func main() {
 	flag.Float64Var(&o.guardMissRate, "guard-miss-rate", 0, "guard: per-client sustained cache-miss rate before the breaker refuses (0 = default 20)")
 	flag.IntVar(&o.guardInflightMiss, "guard-inflight-miss", 0, "guard: global ceiling on concurrent upstream-bound misses (0 = default 1024)")
 	flag.BoolVar(&o.guardNoCookies, "guard-no-cookies", false, "guard: disable RFC 7873 server cookies (cookie holders otherwise bypass UDP rate limits)")
+	flag.BoolVar(&o.he, "he", false, "dual-home each upstream (v4.<host>/v6.<host>) and dial through the Happy-Eyeballs racing dialer")
+	flag.DurationVar(&o.heStagger, "he-stagger", 0, "Happy Eyeballs connection-attempt delay between racing dials (0 = RFC 8305 default 250ms)")
+	flag.BoolVar(&o.bootstrapProbe, "bootstrap-probe", false, "probe every upstream before the listeners come up and seed the steering scoreboard")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -147,25 +157,79 @@ func run(o options) error {
 	}
 	n := netsim.New(time.Now().UnixNano())
 
-	// Deploy the upstream recursive resolvers.
-	var poolUps []dnstransport.PoolUpstream
+	// The shared metrics sink: the proxy's server-side view, also fed by
+	// the racing dialer's per-family attempt counters when -he is set.
+	tel := telemetry.New()
+	var he *dialer.HappyEyeballs
+	if o.he {
+		he = dialer.New(dialer.Config{
+			Resolve: func(ctx context.Context, uhost string) ([]string, []string, error) {
+				return []string{"v4." + uhost + ":53"}, []string{"v6." + uhost + ":53"}, nil
+			},
+			Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+				return n.DialContext(ctx, host, addr)
+			},
+			Stagger:   o.heStagger,
+			PreferV6:  true, // lead with v6, as RFC 8305 clients do
+			Telemetry: tel,
+		})
+	}
+
+	// Deploy the upstream recursive resolvers — dual-homed as v4.<host>
+	// and v6.<host> when the Happy-Eyeballs dialer races families.
+	var (
+		poolUps []dnstransport.PoolUpstream
+		probes  []dialer.Target
+	)
 	for i := 0; i < upstreams; i++ {
 		uhost := fmt.Sprintf("recursive%d.upstream", i)
-		n.SetLink(host, uhost, netsim.Link{Delay: upstreamRTT / 2})
-		srv := &dnsserver.Server{Handler: dnsserver.Static(netip.MustParseAddr("192.0.2.1"), 300)}
-		run, err := srv.Start(n, uhost)
-		if err != nil {
-			return err
+		homes := []string{uhost}
+		if o.he {
+			homes = []string{"v4." + uhost, "v6." + uhost}
 		}
-		defer run.Close()
-		dial := func(uhost string) func() (dnstransport.Resolver, error) {
-			return func() (dnstransport.Resolver, error) {
-				return dnstransport.NewTCPClient(func() (net.Conn, error) {
-					return n.Dial(host, uhost+":53")
-				}), nil
+		for _, home := range homes {
+			n.SetLink(host, home, netsim.Link{Delay: upstreamRTT / 2})
+			srv := &dnsserver.Server{Handler: dnsserver.Static(netip.MustParseAddr("192.0.2.1"), 300)}
+			run, err := srv.Start(n, home)
+			if err != nil {
+				return err
 			}
+			defer run.Close()
 		}
-		poolUps = append(poolUps, dnstransport.PoolUpstream{Name: uhost, Dial: dial(uhost)})
+		dialConn := func(uhost string) func(ctx context.Context) (net.Conn, error) {
+			return func(ctx context.Context) (net.Conn, error) {
+				if he != nil {
+					return he.DialContext(ctx, uhost)
+				}
+				return n.DialContext(ctx, host, uhost+":53")
+			}
+		}(uhost)
+		poolUps = append(poolUps, dnstransport.PoolUpstream{Name: uhost, Dial: func(ctx context.Context) (dnstransport.Resolver, error) {
+			return dnstransport.NewTCPClient(dialConn), nil
+		}})
+		if o.bootstrapProbe {
+			probes = append(probes, dialer.Target{
+				Upstream: uhost,
+				Proto:    "tcp",
+				Probe: func(ctx context.Context) (time.Duration, error) {
+					r := dnstransport.NewTCPClient(dialConn)
+					defer r.Close()
+					t0 := time.Now()
+					resp, err := r.Exchange(ctx, dnswire.NewQuery(0, "probe.bootstrap.invalid.", dnswire.TypeA))
+					if err != nil {
+						return 0, err
+					}
+					if resp.RCode != dnswire.RCodeSuccess {
+						return 0, fmt.Errorf("probe rcode %v", resp.RCode)
+					}
+					return time.Since(t0), nil
+				},
+			})
+		}
+	}
+	var prober *dialer.Prober
+	if o.bootstrapProbe {
+		prober = &dialer.Prober{Targets: probes}
 	}
 
 	// The proxy itself, with its own certificate.
@@ -189,6 +253,9 @@ func run(o options) error {
 		UDPListen:      o.udpListen,
 		UDPShards:      o.udpShards,
 		Guard:          guardConfig(o),
+		Dialer:         he,
+		Bootstrap:      prober,
+		Telemetry:      tel,
 	})
 	if err != nil {
 		return err
@@ -231,10 +298,10 @@ func run(o options) error {
 		r    dnstransport.Resolver
 	}{
 		{"udp", dnstransport.NewUDPClient(pc, netsim.Addr(host+":53"))},
-		{"tcp", dnstransport.NewTCPClient(func() (net.Conn, error) { return n.Dial("client-tcp", host+":53") })},
-		{"dot", dnstransport.NewDoTClient(func() (net.Conn, error) { return n.Dial("client-dot", host+":853") }, chain.ClientConfig(host))},
+		{"tcp", dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client-tcp", host+":53") })},
+		{"dot", dnstransport.NewDoTClient(func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client-dot", host+":853") }, chain.ClientConfig(host))},
 		{"doh-h2", &dnstransport.DoHClient{
-			Dial: func() (net.Conn, error) { return n.Dial("client-doh", host+":443") },
+			Dial: func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client-doh", host+":443") },
 			TLS:  chain.ClientConfig(host), Persistent: true,
 		}},
 	}
@@ -298,6 +365,23 @@ func run(o options) error {
 		fmt.Printf("steer    %-22s srtt %.2fms ±%.2fms, success %.2f (%d samples)\n",
 			u.Name, u.SRTTMs, u.RTTVarMs, u.SuccessRate, u.Samples)
 	}
+	if he != nil {
+		for _, h := range he.Report().Hosts {
+			fmt.Printf("dialer   %-22s winner %-3s (age %.0fms, %d consecutive fails)\n",
+				h.Host, h.Winner, h.WinnerAgeMs, h.Fails)
+		}
+	}
+	if b := p.Bootstrap(); b != nil {
+		br := b.Report()
+		fmt.Printf("bootstrap: %d sweep(s)\n", br.Sweeps)
+		for _, v := range br.Verdicts {
+			if v.OK {
+				fmt.Printf("probe    %-22s %-4s ok in %.2fms\n", v.Upstream, v.Proto, v.RTTMs)
+			} else {
+				fmt.Printf("probe    %-22s %-4s FAILED: %s\n", v.Upstream, v.Proto, v.Err)
+			}
+		}
+	}
 	if g := p.Guard(); g != nil {
 		gr := g.Report()
 		fmt.Printf("guard: %d allowed / %d dropped / %d slipped / %d refused (%d breaker), cookies %d issued / %d validated\n",
@@ -320,6 +404,16 @@ func run(o options) error {
 	fmt.Printf("verdicts: ok=%d servfail=%d canceled=%d — upstream: %d exchanges, %d dials, %d B up, %d B down\n",
 		snap.Verdicts["ok"], snap.Verdicts["servfail"], snap.Verdicts["canceled"],
 		snap.PoolExchanges, snap.PoolDials, snap.UpstreamBytesSent, snap.UpstreamBytesReceived)
+	if len(snap.Dials) > 0 {
+		for _, fam := range []string{"v4", "v6", "unknown"} {
+			d := snap.Dials[fam]
+			if d == nil {
+				continue
+			}
+			fmt.Printf("dials %-8s ok=%d error=%d backoff=%d wins=%d\n",
+				fam, d["ok"], d["error"], d["backoff"], snap.DialWins[fam])
+		}
+	}
 
 	if hold > 0 {
 		fmt.Printf("\nholding %v for observability scrapes...\n", hold)

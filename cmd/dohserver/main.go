@@ -65,14 +65,14 @@ func main() {
 		r    dnstransport.Resolver
 	}{
 		{"udp", dnstransport.NewUDPClient(pc, netsim.Addr(*host+":53"))},
-		{"tcp", dnstransport.NewTCPClient(func() (net.Conn, error) { return n.Dial("client", *host+":53") })},
-		{"dot", dnstransport.NewDoTClient(func() (net.Conn, error) { return n.Dial("client", *host+":853") }, chain.ClientConfig(*host))},
+		{"tcp", dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client", *host+":53") })},
+		{"dot", dnstransport.NewDoTClient(func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client", *host+":853") }, chain.ClientConfig(*host))},
 		{"doh-h1", &dnstransport.DoHClient{
-			Dial: func() (net.Conn, error) { return n.Dial("client", *host+":443") },
+			Dial: func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client", *host+":443") },
 			TLS:  chain.ClientConfig(*host), Mode: dnstransport.ModeH1, Persistent: true,
 		}},
 		{"doh-h2", &dnstransport.DoHClient{
-			Dial: func() (net.Conn, error) { return n.Dial("client", *host+":443") },
+			Dial: func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client", *host+":443") },
 			TLS:  chain.ClientConfig(*host), Mode: dnstransport.ModeH2, Persistent: true,
 		}},
 	}

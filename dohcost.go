@@ -22,10 +22,12 @@
 package dohcost
 
 import (
+	"context"
 	"fmt"
 	"net"
 
 	"dohcost/internal/core"
+	"dohcost/internal/dialer"
 	"dohcost/internal/dnscache"
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
@@ -305,6 +307,38 @@ type (
 // the serving layer answers REFUSED when an exchange returns it.
 var ErrMissBudget = guard.ErrMissBudget
 
+// Resilient upstream connectivity (internal/dialer), wired through
+// ForwardingProxyConfig.Dialer / .Bootstrap / .Storm: a Happy-Eyeballs
+// (RFC 8305) racing dialer with per-upstream winner memory, a
+// reachability prober that seeds the steering scoreboard before the
+// listeners come up, and an error-storm detector that triggers re-probes
+// on suspected network changes.
+type (
+	// RacingDialer races IPv4 and IPv6 dial attempts with staggered
+	// starts and remembers the winning family per upstream.
+	RacingDialer = dialer.HappyEyeballs
+	// RacingDialerConfig assembles a RacingDialer.
+	RacingDialerConfig = dialer.Config
+	// RacingDialerReport is the dialer section of a proxy cost report.
+	RacingDialerReport = dialer.Report
+	// BootstrapProber sweeps upstream×protocol reachability and caches
+	// verdicts.
+	BootstrapProber = dialer.Prober
+	// BootstrapTarget is one upstream×protocol probe.
+	BootstrapTarget = dialer.Target
+	// BootstrapVerdict is one cached probe outcome.
+	BootstrapVerdict = dialer.Verdict
+	// BootstrapReport is the prober's verdict table snapshot.
+	BootstrapReport = dialer.ProbeReport
+	// ErrorStorm detects runs of consecutive upstream failures and fires
+	// a (rate-limited) network-change callback.
+	ErrorStorm = dialer.Storm
+)
+
+// NewRacingDialer builds a Happy-Eyeballs dialer; Config.Resolve and
+// Config.Dial are required.
+func NewRacingDialer(cfg RacingDialerConfig) *RacingDialer { return dialer.New(cfg) }
+
 // NewAbuseGuard builds a standalone guard around a telemetry sink (nil is
 // fine), for embedders serving DNS without the proxy assembly.
 func NewAbuseGuard(cfg AbuseGuardConfig, tel *Telemetry) *AbuseGuard { return guard.New(cfg, tel) }
@@ -394,8 +428,8 @@ func (e *Environment) ProxyUDP(host string, opts Options) (Resolver, error) {
 		return nil, err
 	}
 	c := dnstransport.NewUDPClient(pc, netsim.Addr(host+":53"))
-	fb := dnstransport.NewTCPClient(func() (net.Conn, error) {
-		return e.topo.Net.Dial(core.ClientHost, host+":53")
+	fb := dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) {
+		return e.topo.Net.DialContext(ctx, core.ClientHost, host+":53")
 	})
 	fb.Recorder = opts.Recorder
 	c.Fallback = fb
@@ -415,7 +449,9 @@ func (e *Environment) ProxyDoH(host string, opts Options) (Resolver, error) {
 		mode = dnstransport.ModeH1
 	}
 	return &dnstransport.DoHClient{
-		Dial:       func() (net.Conn, error) { return e.topo.Net.Dial(core.ClientHost, host+":443") },
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			return e.topo.Net.DialContext(ctx, core.ClientHost, host+":443")
+		},
 		TLS:        chain.ClientConfig(host),
 		Mode:       mode,
 		Persistent: opts.Persistent,
@@ -426,12 +462,12 @@ func (e *Environment) ProxyDoH(host string, opts Options) (Resolver, error) {
 // poolUpstream wires one study resolver as a pool target: DoT where the
 // deployment has a TLS stack, plain TCP otherwise.
 func (e *Environment) poolUpstream(from string, host ResolverHost) PoolUpstream {
-	return PoolUpstream{Name: string(host), Dial: func() (Resolver, error) {
+	return PoolUpstream{Name: string(host), Dial: func(ctx context.Context) (Resolver, error) {
 		if c, err := e.topo.DoTResolver(from, string(host)); err == nil {
 			return c, nil
 		}
-		return dnstransport.NewTCPClient(func() (net.Conn, error) {
-			return e.topo.Net.Dial(from, string(host)+":53")
+		return dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) {
+			return e.topo.Net.DialContext(ctx, from, string(host)+":53")
 		}), nil
 	}}
 }
@@ -456,6 +492,11 @@ type (
 	AttackLoadResult = loadgen.AttackResult
 )
 
+// DialFaultProfile is a named dial-level impairment regime for an
+// upstream's dual-homed addresses ("broken-v6", "flaky-dial"), applied
+// through LoadScenario.DialFault or netsim directly.
+type DialFaultProfile = netsim.DialProfile
+
 // Impairment profile registry and scenario rendering, re-exported.
 var (
 	// ImpairmentProfiles lists the built-in profiles.
@@ -464,6 +505,12 @@ var (
 	ImpairmentProfileNames = netsim.ProfileNames
 	// LookupImpairmentProfile resolves a profile by name.
 	LookupImpairmentProfile = netsim.LookupProfile
+	// DialFaultProfiles lists the built-in dial-fault profiles.
+	DialFaultProfiles = netsim.DialProfiles
+	// DialFaultProfileNames lists the built-in dial-fault profile names.
+	DialFaultProfileNames = netsim.DialProfileNames
+	// LookupDialFaultProfile resolves a dial-fault profile by name.
+	LookupDialFaultProfile = netsim.LookupDialProfile
 	// RenderScenario formats a LoadResult as a per-transport table.
 	RenderScenario = loadgen.Render
 )

@@ -162,8 +162,8 @@ func TestFacadeSteeringAndCacheResilience(t *testing.T) {
 	}
 	defer env.Close()
 	pool, err := NewPool([]PoolUpstream{
-		{Name: "cf", Dial: func() (Resolver, error) { return env.DoT(Cloudflare, Options{Persistent: true}) }},
-		{Name: "go", Dial: func() (Resolver, error) { return env.DoT(Google, Options{Persistent: true}) }},
+		{Name: "cf", Dial: func(ctx context.Context) (Resolver, error) { return env.DoT(Cloudflare, Options{Persistent: true}) }},
+		{Name: "go", Dial: func(ctx context.Context) (Resolver, error) { return env.DoT(Google, Options{Persistent: true}) }},
 	}, PoolConfig{})
 	if err != nil {
 		t.Fatal(err)

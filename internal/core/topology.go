@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/netip"
@@ -190,8 +191,8 @@ func (t *Topology) UDPResolver(from, host string) (*dnstransport.UDPClient, erro
 		return nil, err
 	}
 	c := dnstransport.NewUDPClient(pc, netsim.Addr(host+":53"))
-	c.Fallback = dnstransport.NewTCPClient(func() (net.Conn, error) {
-		return t.Net.Dial(from, host+":53")
+	c.Fallback = dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) {
+		return t.Net.DialContext(ctx, from, host+":53")
 	})
 	return c, nil
 }
@@ -203,7 +204,7 @@ func (t *Topology) DoTResolver(from, host string) (*dnstransport.StreamClient, e
 		return nil, fmt.Errorf("core: no TLS deployment at %s", host)
 	}
 	return dnstransport.NewDoTClient(
-		func() (net.Conn, error) { return t.Net.Dial(from, host+":853") },
+		func(ctx context.Context) (net.Conn, error) { return t.Net.DialContext(ctx, from, host+":853") },
 		chain.ClientConfig(host),
 	), nil
 }
@@ -215,7 +216,7 @@ func (t *Topology) DoHResolver(from, host string, mode dnstransport.DoHMode, per
 		return nil, fmt.Errorf("core: no TLS deployment at %s", host)
 	}
 	return &dnstransport.DoHClient{
-		Dial:       func() (net.Conn, error) { return t.Net.Dial(from, host+":443") },
+		Dial:       func(ctx context.Context) (net.Conn, error) { return t.Net.DialContext(ctx, from, host+":443") },
 		TLS:        chain.ClientConfig(host),
 		Mode:       mode,
 		Persistent: persistent,

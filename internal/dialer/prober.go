@@ -1,0 +1,233 @@
+package dialer
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultProbeTimeout bounds one reachability probe.
+const DefaultProbeTimeout = 3 * time.Second
+
+// DefaultKickInterval rate-limits on-demand re-probes: error storms can
+// fire Kick every few milliseconds, the network changes far slower.
+const DefaultKickInterval = 5 * time.Second
+
+// Target is one upstream×protocol combination the prober sweeps.
+type Target struct {
+	// Upstream is the pool/steering name of the upstream the verdict is
+	// about.
+	Upstream string
+	// Proto labels the probed transport ("udp", "tcp", "dot", "doh").
+	Proto string
+	// Probe performs one small real exchange against the combination
+	// and returns the observed round-trip time. The prober bounds ctx.
+	Probe func(ctx context.Context) (time.Duration, error)
+}
+
+// Verdict is one cached probe outcome.
+type Verdict struct {
+	// Upstream and Proto identify the combination.
+	Upstream string `json:"upstream"`
+	Proto    string `json:"proto"`
+	// OK reports whether the probe completed.
+	OK bool `json:"ok"`
+	// RTTMs is the probe round trip when OK.
+	RTTMs float64 `json:"rtt_ms,omitempty"`
+	// Err is the failure, when not OK.
+	Err string `json:"err,omitempty"`
+	// AgeMs is how long ago the verdict was recorded (filled at
+	// snapshot time).
+	AgeMs float64 `json:"age_ms"`
+
+	at time.Time
+}
+
+// Seeder receives per-upstream bootstrap evidence; steer.Steerer
+// implements it.
+type Seeder interface {
+	// Seed primes the model for upstream name with a synthetic
+	// observation — ok=false plants d as a failure-weighted RTT.
+	Seed(name string, d time.Duration, ok bool)
+}
+
+// Prober sweeps reachability across upstream×protocol combinations,
+// caches the verdicts, and seeds a steering scoreboard so queries never
+// have to discover a dead combination the hard way. Safe for concurrent
+// use.
+type Prober struct {
+	// Targets is the sweep set.
+	Targets []Target
+	// Timeout bounds each probe; zero means DefaultProbeTimeout.
+	Timeout time.Duration
+	// Seeder, when non-nil, is primed after every sweep: one seed per
+	// upstream, the fastest OK probe's RTT, or the probe timeout as a
+	// failure when every protocol of that upstream failed. (Seeding is
+	// idempotent on the steer side — live samples win.)
+	Seeder Seeder
+	// KickInterval rate-limits Kick-triggered re-sweeps; zero means
+	// DefaultKickInterval.
+	KickInterval time.Duration
+
+	mu       sync.Mutex
+	verdicts map[string]Verdict // "upstream/proto" → latest verdict
+	lastRun  time.Time
+	running  bool
+	sweeps   int
+}
+
+// Run sweeps every target concurrently, blocks until all verdicts are
+// in, caches them, and seeds the scoreboard. It returns the fresh
+// verdicts sorted by upstream then protocol.
+func (p *Prober) Run(ctx context.Context) []Verdict {
+	timeout := p.Timeout
+	if timeout == 0 {
+		timeout = DefaultProbeTimeout
+	}
+	out := make([]Verdict, len(p.Targets))
+	var wg sync.WaitGroup
+	for i, t := range p.Targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			rtt, err := t.Probe(pctx)
+			v := Verdict{Upstream: t.Upstream, Proto: t.Proto, at: time.Now()}
+			if err != nil {
+				v.Err = err.Error()
+			} else {
+				v.OK = true
+				v.RTTMs = float64(rtt) / float64(time.Millisecond)
+			}
+			out[i] = v
+		}(i, t)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	if p.verdicts == nil {
+		p.verdicts = make(map[string]Verdict, len(out))
+	}
+	for _, v := range out {
+		p.verdicts[v.Upstream+"/"+v.Proto] = v
+	}
+	p.lastRun = time.Now()
+	p.sweeps++
+	p.mu.Unlock()
+
+	p.seed(out, timeout)
+	sortVerdicts(out)
+	return out
+}
+
+// seed distills the sweep into one synthetic observation per upstream.
+func (p *Prober) seed(vs []Verdict, timeout time.Duration) {
+	if p.Seeder == nil {
+		return
+	}
+	type agg struct {
+		best time.Duration
+		ok   bool
+	}
+	byUp := make(map[string]*agg)
+	var order []string
+	for _, v := range vs {
+		a := byUp[v.Upstream]
+		if a == nil {
+			a = &agg{}
+			byUp[v.Upstream] = a
+			order = append(order, v.Upstream)
+		}
+		if v.OK {
+			rtt := time.Duration(v.RTTMs * float64(time.Millisecond))
+			if !a.ok || rtt < a.best {
+				a.best, a.ok = rtt, true
+			}
+		}
+	}
+	for _, name := range order {
+		a := byUp[name]
+		if a.ok {
+			p.Seeder.Seed(name, a.best, true)
+		} else {
+			p.Seeder.Seed(name, timeout, false)
+		}
+	}
+}
+
+// Kick requests an asynchronous re-sweep — the network-change /
+// error-storm entry point. At most one sweep runs at a time and sweeps
+// are spaced at least KickInterval apart; a Kick that loses either race
+// is dropped, because the sweep it wanted is already fresh or already
+// running. Reports whether a sweep was started.
+func (p *Prober) Kick(ctx context.Context) bool {
+	interval := p.KickInterval
+	if interval == 0 {
+		interval = DefaultKickInterval
+	}
+	p.mu.Lock()
+	if p.running || time.Since(p.lastRun) < interval {
+		p.mu.Unlock()
+		return false
+	}
+	p.running = true
+	p.mu.Unlock()
+	go func() {
+		defer func() {
+			p.mu.Lock()
+			p.running = false
+			p.mu.Unlock()
+		}()
+		p.Run(ctx)
+	}()
+	return true
+}
+
+// Verdicts snapshots the cached verdicts, sorted by upstream then
+// protocol, with ages filled in.
+func (p *Prober) Verdicts() []Verdict {
+	p.mu.Lock()
+	out := make([]Verdict, 0, len(p.verdicts))
+	now := time.Now()
+	for _, v := range p.verdicts {
+		v.AgeMs = float64(now.Sub(v.at)) / float64(time.Millisecond)
+		out = append(out, v)
+	}
+	p.mu.Unlock()
+	sortVerdicts(out)
+	return out
+}
+
+// ProbeReport is the bootstrap section of /debug/cost.
+type ProbeReport struct {
+	// Sweeps counts completed full sweeps.
+	Sweeps int `json:"sweeps"`
+	// LastRunAgeMs is how long ago the last sweep finished; -1 before
+	// the first.
+	LastRunAgeMs float64 `json:"last_run_age_ms"`
+	// Verdicts is the cached verdict table.
+	Verdicts []Verdict `json:"verdicts,omitempty"`
+}
+
+// Report snapshots the prober for the cost report.
+func (p *Prober) Report() ProbeReport {
+	p.mu.Lock()
+	r := ProbeReport{Sweeps: p.sweeps, LastRunAgeMs: -1}
+	if !p.lastRun.IsZero() {
+		r.LastRunAgeMs = float64(time.Since(p.lastRun)) / float64(time.Millisecond)
+	}
+	p.mu.Unlock()
+	r.Verdicts = p.Verdicts()
+	return r
+}
+
+func sortVerdicts(vs []Verdict) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Upstream != vs[j].Upstream {
+			return vs[i].Upstream < vs[j].Upstream
+		}
+		return vs[i].Proto < vs[j].Proto
+	})
+}

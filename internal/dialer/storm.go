@@ -1,0 +1,75 @@
+package dialer
+
+import (
+	"sync"
+	"time"
+)
+
+// Storm defaults.
+const (
+	// DefaultStormThreshold is how many consecutive upstream failures
+	// count as a storm.
+	DefaultStormThreshold = 5
+	// DefaultStormCooldown spaces storm firings: once signalled, the
+	// detector stays quiet until the cooldown passes, however many
+	// further failures arrive.
+	DefaultStormCooldown = 30 * time.Second
+)
+
+// Storm turns a stream of per-exchange outcomes into a network-change
+// signal: a run of consecutive failures longer than Threshold fires
+// OnStorm (typically Prober.Kick), then holds off for Cooldown. A
+// single success resets the run — storms are about everything failing
+// at once, which is what an access-network change looks like from the
+// proxy, not about one flaky upstream. Safe for concurrent use.
+type Storm struct {
+	// Threshold is the consecutive-failure count that fires; zero means
+	// DefaultStormThreshold.
+	Threshold int
+	// Cooldown spaces firings; zero means DefaultStormCooldown.
+	Cooldown time.Duration
+	// OnStorm is called (synchronously, without the lock) when a storm
+	// is detected.
+	OnStorm func()
+
+	mu        sync.Mutex
+	run       int
+	lastFired time.Time
+	fired     int
+}
+
+// Note feeds one exchange outcome. err == nil resets the failure run.
+func (s *Storm) Note(err error) {
+	var fire func()
+	s.mu.Lock()
+	if err == nil {
+		s.run = 0
+	} else {
+		s.run++
+		threshold := s.Threshold
+		if threshold == 0 {
+			threshold = DefaultStormThreshold
+		}
+		cooldown := s.Cooldown
+		if cooldown == 0 {
+			cooldown = DefaultStormCooldown
+		}
+		if s.run >= threshold && time.Since(s.lastFired) >= cooldown {
+			s.lastFired = time.Now()
+			s.run = 0
+			s.fired++
+			fire = s.OnStorm
+		}
+	}
+	s.mu.Unlock()
+	if fire != nil {
+		fire()
+	}
+}
+
+// Fired reports how many storms have been signalled.
+func (s *Storm) Fired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}

@@ -47,8 +47,15 @@ const (
 // DoHClient resolves DNS over HTTPS. The zero value is not usable; fill the
 // exported configuration and call Exchange. Safe for concurrent use.
 type DoHClient struct {
-	// Dial opens the raw transport to the server's :443.
-	Dial func() (net.Conn, error)
+	// Dial opens the raw transport to the server's :443. It receives the
+	// dial context (the exchange context capped by DialTimeout) and must
+	// honor its cancellation — a blackholed address must surface as a dial
+	// error within the budget, not a stalled exchange.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// DialTimeout caps connection establishment (dial, TLS handshake, HTTP
+	// setup) independently of the exchange context. 0 means
+	// DefaultDialTimeout; negative disables the cap.
+	DialTimeout time.Duration
 	// TLS must carry trust anchors and server name; ALPN is set per Mode.
 	TLS *tls.Config
 	// Mode selects HTTP/2 (default) or pipelined HTTP/1.1.
@@ -113,8 +120,9 @@ func (c *DoHClient) Close() error {
 }
 
 // connect establishes TLS with the right ALPN and builds the HTTP client.
-func (c *DoHClient) connect() error {
-	raw, err := c.Dial()
+// ctx bounds the dial and the TLS handshake.
+func (c *DoHClient) connect(ctx context.Context) error {
+	raw, err := c.Dial(ctx)
 	if err != nil {
 		return err
 	}
@@ -133,7 +141,7 @@ func (c *DoHClient) connect() error {
 		c.mu.Unlock()
 	}
 	tc := tls.Client(raw, cfg)
-	if err := tc.Handshake(); err != nil {
+	if err := tc.HandshakeContext(ctx); err != nil {
 		raw.Close()
 		return fmt.Errorf("dnstransport: doh handshake: %w", err)
 	}
@@ -167,8 +175,9 @@ func (c *DoHClient) connect() error {
 	return nil
 }
 
-// ensure returns live HTTP clients, dialing when needed.
-func (c *DoHClient) ensure() (h2c *h2.ClientConn, h1c *h1.PipelineClient, fresh bool, err error) {
+// ensure returns live HTTP clients, dialing when needed. Dials run under
+// ctx capped by DialTimeout.
+func (c *DoHClient) ensure(ctx context.Context) (h2c *h2.ClientConn, h1c *h1.PipelineClient, fresh bool, err error) {
 	c.genmu.Lock()
 	defer c.genmu.Unlock()
 	c.mu.Lock()
@@ -181,7 +190,10 @@ func (c *DoHClient) ensure() (h2c *h2.ClientConn, h1c *h1.PipelineClient, fresh 
 	if h2c != nil || h1c != nil {
 		return h2c, h1c, false, nil
 	}
-	if err := c.connect(); err != nil {
+	dctx, cancel := dialContext(ctx, c.DialTimeout)
+	err = c.connect(dctx)
+	cancel()
+	if err != nil {
 		return nil, nil, false, err
 	}
 	c.mu.Lock()
@@ -208,7 +220,7 @@ func (c *DoHClient) dropConn() {
 // Exchange implements Resolver.
 func (c *DoHClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 	start := time.Now()
-	h2c, h1c, fresh, err := c.ensure()
+	h2c, h1c, fresh, err := c.ensure(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -16,10 +16,11 @@ import (
 // PoolUpstream names one upstream resolver deployment and how to open a
 // persistent connection to it. Dial is called whenever the pool needs a
 // fresh connection (initial fill, or redial after a failure); it should
-// return a persistent Resolver (StreamClient, DoHClient, …).
+// return a persistent Resolver (StreamClient, DoHClient, …) and honor the
+// context, which carries the triggering exchange's deadline.
 type PoolUpstream struct {
 	Name string
-	Dial func() (Resolver, error)
+	Dial func(ctx context.Context) (Resolver, error)
 }
 
 // PoolConfig tunes a Pool.
@@ -85,7 +86,10 @@ type Pool struct {
 // included, so setup cost — the dominant DoH cost — is visible), and the
 // error (nil on success). Attempts abandoned by the caller's cancellation
 // are reported with context.Canceled; scorers should ignore those — a
-// cancelled hedge loser says nothing about the upstream. A deadline that
+// cancelled hedge loser says nothing about the upstream. Checkouts refused
+// locally because the slot is in redial backoff (ErrBackoff) are not
+// reported at all: nothing touched the network, and the dial failure that
+// started the backoff was already observed. A deadline that
 // expired mid-exchange is charged like any failure, by the pool and by
 // scorers alike: an upstream that ate the whole budget is exactly what the
 // model must learn. Observers run inline on the exchange path and must be
@@ -121,7 +125,7 @@ type poolConn struct {
 // poolUpstream is one upstream's connection set and health state.
 type poolUpstream struct {
 	name  string
-	dial  func() (Resolver, error)
+	dial  func(ctx context.Context) (Resolver, error)
 	conns []*poolConn
 	next  atomic.Uint64 // round-robin cursor over conns
 
@@ -254,8 +258,10 @@ func (u *poolUpstream) fail(cfg PoolConfig) {
 
 // get returns the slot's live resolver, dialing if the slot is empty and
 // its redial backoff has elapsed; dialed reports whether this checkout
-// established a fresh connection.
-func (c *poolConn) get(p *Pool, u *poolUpstream) (r Resolver, dialed bool, err error) {
+// established a fresh connection. A slot still in backoff refuses with an
+// error wrapping ErrBackoff so callers can tell local refusal from a dial
+// that actually failed.
+func (c *poolConn) get(ctx context.Context, p *Pool, u *poolUpstream) (r Resolver, dialed bool, err error) {
 	cfg := p.cfg
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -263,7 +269,7 @@ func (c *poolConn) get(p *Pool, u *poolUpstream) (r Resolver, dialed bool, err e
 		return c.r, false, nil
 	}
 	if cfg.now().Before(c.redialAt) {
-		return nil, false, fmt.Errorf("dnstransport: pool upstream %s: connection in redial backoff", u.name)
+		return nil, false, fmt.Errorf("dnstransport: pool upstream %s: %w", u.name, ErrBackoff)
 	}
 	// Re-check under the slot lock: Close sets the flag before walking the
 	// slots, so either we see it here or Close's walk will close whatever
@@ -272,7 +278,7 @@ func (c *poolConn) get(p *Pool, u *poolUpstream) (r Resolver, dialed bool, err e
 	if p.closed.Load() {
 		return nil, false, ErrClosed
 	}
-	r, err = u.dial()
+	r, err = u.dial(ctx)
 	if err != nil {
 		c.noteBroken(cfg)
 		return nil, false, fmt.Errorf("dnstransport: pool dial %s: %w", u.name, err)
@@ -355,11 +361,24 @@ func (p *Pool) exchangeVia(ctx context.Context, u *poolUpstream, q *dnswire.Mess
 	tx := telemetry.FromContext(ctx)
 	start := time.Now()
 	slot := u.conns[u.next.Add(1)%uint64(len(u.conns))]
-	r, dialed, err := slot.get(p, u)
+	r, dialed, err := slot.get(ctx, p, u)
 	if dialed {
 		tx.PoolDial()
 	}
 	if err != nil {
+		if errors.Is(err, ErrBackoff) {
+			// The slot refused locally: nothing touched the network, so the
+			// observer (scoreboard) learns nothing and telemetry counts the
+			// refusal apart from dial failures — conflating the two made
+			// /debug/cost overstate how broken an upstream was while it was
+			// merely resting. Health IS still charged: an upstream whose
+			// only slots are resting cannot serve, and counting refusals
+			// toward MaxFailures is what lets the pool mark it down and
+			// skip it instead of bouncing off the backoff every query.
+			tx.PoolBackoff()
+			u.fail(p.cfg)
+			return nil, err
+		}
 		tx.PoolFailure()
 		u.fail(p.cfg)
 		p.observe(u.name, time.Since(start), err)

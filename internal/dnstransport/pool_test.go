@@ -62,7 +62,7 @@ type fakeUpstream struct {
 }
 
 func (u *fakeUpstream) poolUpstream() PoolUpstream {
-	return PoolUpstream{Name: u.name, Dial: func() (Resolver, error) {
+	return PoolUpstream{Name: u.name, Dial: func(ctx context.Context) (Resolver, error) {
 		u.attempts.Add(1)
 		if u.dialErr.Load() {
 			return nil, fmt.Errorf("%s: dial refused", u.name)

@@ -22,11 +22,17 @@ import (
 // server that serializes (the common case the paper found) produces exactly
 // the knock-on delays of Figure 2.
 type StreamClient struct {
-	dial func() (net.Conn, error)
+	dial func(ctx context.Context) (net.Conn, error)
 
 	// Persistent keeps one connection across exchanges; otherwise each
 	// exchange dials, resolves and closes.
 	Persistent bool
+	// DialTimeout caps connection establishment (dial plus any TLS
+	// handshake) independently of the exchange context: a blackholed
+	// address must not eat a caller's whole query budget. 0 means
+	// DefaultDialTimeout; negative disables the cap (the caller's context
+	// still applies).
+	DialTimeout time.Duration
 	// Recorder, when set, receives per-exchange costs. On persistent
 	// connections costs are per-exchange deltas.
 	Recorder CostRecorder
@@ -41,23 +47,26 @@ type StreamClient struct {
 	genmu     sync.Mutex // serializes connection (re)establishment
 }
 
-// NewTCPClient builds a StreamClient over plain TCP.
-func NewTCPClient(dial func() (net.Conn, error)) *StreamClient {
+// NewTCPClient builds a StreamClient over plain TCP. The dial function
+// receives the dial context (the exchange context capped by DialTimeout)
+// and must honor its cancellation.
+func NewTCPClient(dial func(ctx context.Context) (net.Conn, error)) *StreamClient {
 	return &StreamClient{dial: dial, Persistent: true, pending: newPendingMap(), nextID: 1}
 }
 
 // NewDoTClient builds a StreamClient that performs a TLS handshake over the
 // dialed connection (RFC 7858). cfg must carry trust anchors and server
-// name.
-func NewDoTClient(dial func() (net.Conn, error), cfg *tls.Config) *StreamClient {
+// name. The dial context covers the TLS handshake too, so a stalled
+// middlebox cannot hold the exchange past the dial budget.
+func NewDoTClient(dial func(ctx context.Context) (net.Conn, error), cfg *tls.Config) *StreamClient {
 	return &StreamClient{
-		dial: func() (net.Conn, error) {
-			raw, err := dial()
+		dial: func(ctx context.Context) (net.Conn, error) {
+			raw, err := dial(ctx)
 			if err != nil {
 				return nil, err
 			}
 			tc := tls.Client(raw, cfg)
-			if err := tc.Handshake(); err != nil {
+			if err := tc.HandshakeContext(ctx); err != nil {
 				raw.Close()
 				return nil, fmt.Errorf("dnstransport: dot handshake: %w", err)
 			}
@@ -84,8 +93,9 @@ func (c *StreamClient) Close() error {
 }
 
 // ensureConn returns the live connection, dialing if necessary, and reports
-// whether this call established it.
-func (c *StreamClient) ensureConn() (net.Conn, bool, error) {
+// whether this call established it. Dials run under ctx capped by
+// DialTimeout, so a caller's deadline always bounds connection setup.
+func (c *StreamClient) ensureConn(ctx context.Context) (net.Conn, bool, error) {
 	c.genmu.Lock()
 	defer c.genmu.Unlock()
 	c.mu.Lock()
@@ -100,7 +110,9 @@ func (c *StreamClient) ensureConn() (net.Conn, bool, error) {
 	}
 	c.mu.Unlock()
 
-	conn, err := c.dial()
+	dctx, cancel := dialContext(ctx, c.DialTimeout)
+	conn, err := c.dial(dctx)
+	cancel()
 	if err != nil {
 		return nil, false, err
 	}
@@ -157,7 +169,7 @@ func (c *StreamClient) dropConn(conn net.Conn) {
 // Exchange implements Resolver.
 func (c *StreamClient) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
 	start := time.Now()
-	conn, fresh, err := c.ensureConn()
+	conn, fresh, err := c.ensureConn(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -66,7 +66,7 @@ func (tb *testbed) udpClient(t *testing.T) *UDPClient {
 
 func (tb *testbed) tcpClient(t *testing.T) *StreamClient {
 	t.Helper()
-	c := NewTCPClient(func() (net.Conn, error) { return tb.net.Dial("client", tb.host+":53") })
+	c := NewTCPClient(func(ctx context.Context) (net.Conn, error) { return tb.net.DialContext(ctx, "client", tb.host+":53") })
 	t.Cleanup(func() { c.Close() })
 	return c
 }
@@ -74,7 +74,7 @@ func (tb *testbed) tcpClient(t *testing.T) *StreamClient {
 func (tb *testbed) dotClient(t *testing.T) *StreamClient {
 	t.Helper()
 	c := NewDoTClient(
-		func() (net.Conn, error) { return tb.net.Dial("client", tb.host+":853") },
+		func(ctx context.Context) (net.Conn, error) { return tb.net.DialContext(ctx, "client", tb.host+":853") },
 		tb.chain.ClientConfig(tb.host),
 	)
 	t.Cleanup(func() { c.Close() })
@@ -84,7 +84,7 @@ func (tb *testbed) dotClient(t *testing.T) *StreamClient {
 func (tb *testbed) dohClient(t *testing.T, mode DoHMode, persistent bool) *DoHClient {
 	t.Helper()
 	c := &DoHClient{
-		Dial:       func() (net.Conn, error) { return tb.net.Dial("client", tb.host+":443") },
+		Dial:       func(ctx context.Context) (net.Conn, error) { return tb.net.DialContext(ctx, "client", tb.host+":443") },
 		TLS:        tb.chain.ClientConfig(tb.host),
 		Mode:       mode,
 		Persistent: persistent,
@@ -295,7 +295,7 @@ func TestUDPTruncationFallsBackToTCP(t *testing.T) {
 	// truncated response (the case TestUDPTruncationOnSmallEDNS pins down).
 	tb := newTestbed(t, bigHandler(), nil)
 	c := tb.udpClient(t)
-	c.Fallback = NewTCPClient(func() (net.Conn, error) { return tb.net.Dial("client", tb.host+":53") })
+	c.Fallback = NewTCPClient(func(ctx context.Context) (net.Conn, error) { return tb.net.DialContext(ctx, "client", tb.host+":53") })
 	q := dnswire.NewQuery(0, "fb.example.com.", dnswire.TypeTXT)
 	q.EDNS.UDPSize = 512
 	resp, err := c.Exchange(context.Background(), q)

@@ -139,7 +139,9 @@ func (p *Prober) ProbeService(prov *Provider, svc Service) (Features, error) {
 // tryDoH reports whether a resolution in the given encoding succeeds.
 func (p *Prober) tryDoH(ctx context.Context, chain *tlsx.Chain, svc Service, enc dnstransport.DoHEncoding) bool {
 	c := &dnstransport.DoHClient{
-		Dial: func() (net.Conn, error) { return p.Deployment.Net.Dial(p.ClientHost, svc.Host+":443") },
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			return p.Deployment.Net.DialContext(ctx, p.ClientHost, svc.Host+":443")
+		},
 		TLS:  chain.ClientConfig(svc.Host),
 		Path: svc.Path, Encoding: enc,
 	}
@@ -215,7 +217,9 @@ func (p *Prober) probeCAA(ctx context.Context, host string) (bool, error) {
 // tryDoT attempts a resolution over :853.
 func (p *Prober) tryDoT(ctx context.Context, chain *tlsx.Chain, host string) bool {
 	c := dnstransport.NewDoTClient(
-		func() (net.Conn, error) { return p.Deployment.Net.Dial(p.ClientHost, host+":853") },
+		func(ctx context.Context) (net.Conn, error) {
+			return p.Deployment.Net.DialContext(ctx, p.ClientHost, host+":853")
+		},
 		chain.ClientConfig(host),
 	)
 	defer c.Close()

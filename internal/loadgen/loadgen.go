@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"dohcost/internal/alexa"
+	"dohcost/internal/dialer"
 	"dohcost/internal/dnscache"
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
@@ -163,6 +164,35 @@ type Scenario struct {
 	// (proxy.Config.Guard); nil runs the proxy unguarded, which is how the
 	// no-guard comparison baseline is measured.
 	Guard *guard.Config
+	// HappyEyeballs dual-homes every upstream (v4.<host> and v6.<host>
+	// each run a full resolver) and opens the proxy's upstream
+	// connections through the RFC 8305 racing dialer instead of a direct
+	// single-homed dial: family-interleaved staggered attempts, first
+	// established connection wins, winning family remembered per
+	// upstream. This is the substrate the dial-fault scenarios measure
+	// recovery on.
+	HappyEyeballs bool
+	// HEStagger overrides the racing dialer's connection-attempt delay
+	// (default dialer.DefaultStagger, the RFC's 250 ms).
+	HEStagger time.Duration
+	// DialFault names a netsim dial impairment profile ("broken-v6",
+	// "flaky-dial") applied to every upstream's address pair. Most
+	// profiles need HappyEyeballs set to matter: without dual-homing
+	// only the profile's V4 fault lands, on the single-homed host.
+	DialFault string
+	// FlapAfter, when positive, schedules a link flap on upstream 0 (all
+	// of its homes): the link drops FlapAfter after the clients start
+	// and recovers after FlapFor (default 100 ms) — the mid-run network
+	// change the dialer/pool/steering stack must ride out without
+	// client-visible failures.
+	FlapAfter time.Duration
+	FlapFor   time.Duration
+	// BootstrapProbe sweeps upstream reachability through the proxy's
+	// bootstrap prober before the listeners come up, seeding the
+	// steering scoreboard (and, with HappyEyeballs, warming each
+	// upstream's winning-family memory) so the first client queries
+	// never explore a dead combination.
+	BootstrapProbe bool
 }
 
 // withDefaults fills unset fields.
@@ -230,6 +260,14 @@ func (s Scenario) withDefaults() (Scenario, netsim.Profile, error) {
 	}
 	if s.Attackers > 0 && s.AttackQPS <= 0 {
 		s.AttackQPS = 200
+	}
+	if s.DialFault != "" {
+		if _, ok := netsim.LookupDialProfile(s.DialFault); !ok {
+			return s, prof, fmt.Errorf("loadgen: unknown dial fault profile %q (have %v)", s.DialFault, netsim.DialProfileNames())
+		}
+	}
+	if s.FlapAfter > 0 && s.FlapFor <= 0 {
+		s.FlapFor = 100 * time.Millisecond
 	}
 	return s, prof, nil
 }
@@ -299,6 +337,13 @@ type Result struct {
 	Attack *AttackResult `json:"attack,omitempty"`
 	// Guard is the proxy guard's end-of-run report; nil when unguarded.
 	Guard *guard.Report `json:"guard,omitempty"`
+	// Dialer is the Happy-Eyeballs race memory at end of run (winning
+	// family and demotion state per upstream); nil without
+	// Scenario.HappyEyeballs.
+	Dialer *dialer.Report `json:"dialer,omitempty"`
+	// Bootstrap is the reachability prober's verdict table; nil without
+	// Scenario.BootstrapProbe.
+	Bootstrap *dialer.ProbeReport `json:"bootstrap,omitempty"`
 }
 
 // Run executes the scenario and returns the harvest.
@@ -314,28 +359,96 @@ func Run(s Scenario) (*Result, error) {
 		}
 	}
 
-	var poolUps []dnstransport.PoolUpstream
+	// The shared metrics sink: the proxy's server-side view, also fed by
+	// the racing dialer's per-family attempt counters.
+	tel := telemetry.New()
+	var he *dialer.HappyEyeballs
+	if s.HappyEyeballs {
+		he = dialer.New(dialer.Config{
+			Resolve: func(ctx context.Context, host string) ([]string, []string, error) {
+				return []string{"v4." + host + ":53"}, []string{"v6." + host + ":53"}, nil
+			},
+			Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+				return n.DialContext(ctx, ProxyHost, addr)
+			},
+			Stagger: s.HEStagger,
+			// Lead with v6, as RFC 8305 clients do — which is exactly what
+			// makes the broken-v6 profile interesting.
+			PreferV6:  true,
+			Telemetry: tel,
+		})
+	}
+
+	var (
+		poolUps   []dnstransport.PoolUpstream
+		probes    []dialer.Target
+		flapHosts []string
+	)
 	for i := 0; i < s.Upstreams; i++ {
 		uhost := upstreamHost(i)
 		rtt := s.UpstreamRTT
 		if i == 0 && s.DegradedUpstreamRTT > 0 {
 			rtt = s.DegradedUpstreamRTT
 		}
-		n.SetLink(ProxyHost, uhost, netsim.Link{Delay: rtt / 2})
-		upstream := &dnsserver.Server{Handler: dnsserver.Static(netip.MustParseAddr("192.0.2.53"), 300)}
-		upRun, err := upstream.Start(n, uhost)
-		if err != nil {
-			return nil, fmt.Errorf("loadgen: starting upstream %s: %w", uhost, err)
+		homes := []string{uhost}
+		if s.HappyEyeballs {
+			homes = []string{"v4." + uhost, "v6." + uhost}
 		}
-		defer upRun.Close()
+		for _, home := range homes {
+			n.SetLink(ProxyHost, home, netsim.Link{Delay: rtt / 2})
+			upstream := &dnsserver.Server{Handler: dnsserver.Static(netip.MustParseAddr("192.0.2.53"), 300)}
+			upRun, err := upstream.Start(n, home)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: starting upstream %s: %w", home, err)
+			}
+			defer upRun.Close()
+		}
+		if s.DialFault != "" {
+			dp, _ := netsim.LookupDialProfile(s.DialFault)
+			if s.HappyEyeballs {
+				n.ApplyDialProfile("v4."+uhost, "v6."+uhost, dp)
+			} else {
+				n.SetDialFault(uhost, dp.V4)
+			}
+		}
+		if s.FlapAfter > 0 && i == 0 {
+			flapHosts = homes
+		}
+		dialConn := func(ctx context.Context) (net.Conn, error) {
+			if he != nil {
+				return he.DialContext(ctx, uhost)
+			}
+			return n.DialContext(ctx, ProxyHost, uhost+":53")
+		}
 		poolUps = append(poolUps, dnstransport.PoolUpstream{
 			Name: uhost,
-			Dial: func() (dnstransport.Resolver, error) {
-				return dnstransport.NewTCPClient(func() (net.Conn, error) {
-					return n.Dial(ProxyHost, uhost+":53")
-				}), nil
+			Dial: func(ctx context.Context) (dnstransport.Resolver, error) {
+				return dnstransport.NewTCPClient(dialConn), nil
 			},
 		})
+		if s.BootstrapProbe {
+			probes = append(probes, dialer.Target{
+				Upstream: uhost,
+				Proto:    "tcp",
+				Probe: func(ctx context.Context) (time.Duration, error) {
+					r := dnstransport.NewTCPClient(dialConn)
+					defer r.Close()
+					t0 := time.Now()
+					resp, err := r.Exchange(ctx, dnswire.NewQuery(0, "probe.bootstrap.invalid.", dnswire.TypeA))
+					if err != nil {
+						return 0, err
+					}
+					if resp.RCode != dnswire.RCodeSuccess {
+						return 0, fmt.Errorf("probe rcode %v", resp.RCode)
+					}
+					return time.Since(t0), nil
+				},
+			})
+		}
+	}
+	var prober *dialer.Prober
+	if s.BootstrapProbe {
+		prober = &dialer.Prober{Targets: probes, Timeout: 2 * time.Second}
 	}
 
 	chain, err := tlsx.GenerateChain(tlsx.CloudflareLike(ProxyHost))
@@ -362,6 +475,9 @@ func Run(s Scenario) (*Result, error) {
 		CacheBudget:    s.CacheBudget,
 		CacheAdmission: s.CacheAdmission,
 		Guard:          s.Guard,
+		Dialer:         he,
+		Bootstrap:      prober,
+		Telemetry:      tel,
 	})
 	if err != nil {
 		return nil, err
@@ -401,6 +517,13 @@ func Run(s Scenario) (*Result, error) {
 		}
 	}
 
+	// Arm the mid-run flap now, not at topology-build time: the windows
+	// offset from this call, so FlapAfter counts from (just before) the
+	// moment clients start issuing queries.
+	for _, h := range flapHosts {
+		n.SetLinkFlap(h, netsim.FlapWindow{Start: s.FlapAfter, End: s.FlapAfter + s.FlapFor})
+	}
+
 	for _, tr := range s.Transports {
 		trRes, err := runTransport(n, chain, s, tr, domains)
 		if err != nil {
@@ -430,6 +553,14 @@ func Run(s Scenario) (*Result, error) {
 	if g := p.Guard(); g != nil {
 		gr := g.Report()
 		res.Guard = &gr
+	}
+	if he != nil {
+		dr := he.Report()
+		res.Dialer = &dr
+	}
+	if prober != nil {
+		br := prober.Report()
+		res.Bootstrap = &br
 	}
 	return res, nil
 }
@@ -708,7 +839,7 @@ func query(m *telemetry.Metrics, proto telemetry.Proto, r dnstransport.Resolver,
 // transport. UDP carries the RFC 7766 TCP fallback for truncated answers.
 func newResolver(n *netsim.Network, chain *tlsx.Chain, s Scenario, tr string, c int) (dnstransport.Resolver, error) {
 	host := clientHost(c)
-	dial53 := func() (net.Conn, error) { return n.Dial(host, ProxyHost+":53") }
+	dial53 := func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, host, ProxyHost+":53") }
 	switch tr {
 	case "udp":
 		pc, err := n.ListenPacket(fmt.Sprintf("%s:%d", host, 5353))
@@ -723,12 +854,12 @@ func newResolver(n *netsim.Network, chain *tlsx.Chain, s Scenario, tr string, c 
 	case "tcp":
 		return dnstransport.NewTCPClient(dial53), nil
 	case "dot":
-		return dnstransport.NewDoTClient(func() (net.Conn, error) {
-			return n.Dial(host, ProxyHost+":853")
+		return dnstransport.NewDoTClient(func(ctx context.Context) (net.Conn, error) {
+			return n.DialContext(ctx, host, ProxyHost+":853")
 		}, chain.ClientConfig(ProxyHost)), nil
 	case "doh":
 		return &dnstransport.DoHClient{
-			Dial:       func() (net.Conn, error) { return n.Dial(host, ProxyHost+":443") },
+			Dial:       func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, host, ProxyHost+":443") },
 			TLS:        chain.ClientConfig(ProxyHost),
 			Mode:       dnstransport.ModeH2,
 			Persistent: true,
@@ -770,6 +901,28 @@ func Render(r *Result) string {
 	if g := r.Guard; g != nil {
 		fmt.Fprintf(&sb, "guard: %d allowed / %d dropped / %d slipped / %d refused (%d breaker), %d cookies issued, %d validated\n",
 			g.Allowed, g.Drops, g.Slips, g.Refusals, g.BreakerRefusals, g.CookiesIssued, g.CookiesValidated)
+	}
+	if d := r.Dialer; d != nil {
+		fmt.Fprintf(&sb, "dialer: %.0fms stagger", d.StaggerMs)
+		for _, h := range d.Hosts {
+			w := h.Winner
+			if w == "" {
+				w = "none"
+			}
+			fmt.Fprintf(&sb, "; %s→%s", h.Host, w)
+		}
+		sb.WriteString("\n")
+	}
+	if b := r.Bootstrap; b != nil {
+		fmt.Fprintf(&sb, "bootstrap: %d sweeps", b.Sweeps)
+		for _, v := range b.Verdicts {
+			state := "dead"
+			if v.OK {
+				state = fmt.Sprintf("%.1fms", v.RTTMs)
+			}
+			fmt.Fprintf(&sb, "; %s/%s %s", v.Upstream, v.Proto, state)
+		}
+		sb.WriteString("\n")
 	}
 	fmt.Fprintf(&sb, "\nproxy: %d hits / %d stale / %d misses / %d coalesced (%.1f%% hit rate)",
 		cs.Hits, cs.StaleHits, cs.Misses, cs.Coalesced, ratio)

@@ -187,6 +187,12 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return 0, nil
 	}
+	if c.net.connSevered(c.local, c.remote) {
+		// A flap window covers one endpoint: the path is gone, so the write
+		// surfaces as a reset instead of silently queueing — severing
+		// established connections is the point of the flap schedule.
+		return 0, errLinkDown("write", string(c.remote))
+	}
 	mss := c.link.mss(c.net.mssValue())
 	packets := int64((len(p) + mss - 1) / mss)
 	retrans := c.link.streamRetransmits(packets)

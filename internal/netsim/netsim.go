@@ -23,6 +23,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -143,6 +145,12 @@ type Network struct {
 	listeners map[Addr]*Listener
 	packets   map[Addr]*PacketConn
 	nextEphem int
+
+	// faults holds per-host dial faults and link-flap schedules (see
+	// dialfault.go). faultsActive counts installed fault states so the
+	// per-write flap check stays lock-free on un-faulted networks.
+	faults       map[string]*hostFault
+	faultsActive atomic.Int32
 }
 
 // SetMSS overrides the TCP maximum segment size used for packet accounting.
@@ -331,37 +339,11 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 // Dial opens a stream connection from the named client host to a listener.
 // It charges one round-trip time up front, modelling the TCP SYN/SYN-ACK
 // exchange, so connection setup latency is visible to the experiments.
+// Dial cannot be interrupted and blocks indefinitely on blackholed
+// destinations; fault-injected experiments should use DialContext with a
+// deadline.
 func (n *Network) Dial(from, to string) (net.Conn, error) {
-	local := Addr(from)
-	if !strings.Contains(from, ":") {
-		local = n.ephemeral(from)
-	}
-	remote := Addr(to)
-	n.mu.Lock()
-	l, ok := n.listeners[remote]
-	n.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("netsim: dial %s: connection refused", to)
-	}
-
-	c2s := newHalf()
-	s2c := newHalf()
-	fwd := n.stateFor(local, remote)
-	rev := n.stateFor(remote, local)
-	client := &Conn{local: local, remote: remote, in: s2c, out: c2s, link: fwd, net: n}
-	server := &Conn{local: remote, remote: local, in: c2s, out: s2c, link: rev, net: n}
-
-	// SYN / SYN-ACK round trip before the connection is usable.
-	handshake := fwd.delay() + rev.delay()
-	if handshake > 0 {
-		time.Sleep(handshake)
-	}
-	select {
-	case l.backlog <- server:
-	case <-l.done:
-		return nil, fmt.Errorf("netsim: dial %s: connection refused (listener closed)", to)
-	}
-	return client, nil
+	return n.DialContext(context.Background(), from, to)
 }
 
 // Listener accepts stream connections on one address.

@@ -68,6 +68,11 @@ func (p *PacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
 		// UDP is fire-and-forget: writing to a dead host is not an error.
 		return len(b), nil
 	}
+	if p.net.connSevered(p.addr, dst) {
+		// Inside a flap window the path is down: datagrams vanish like any
+		// other traffic, and the sender finds out via its own timeout.
+		return len(b), nil
+	}
 	link := p.net.stateFor(p.addr, dst)
 	if link.MTU > 0 && len(b)+DatagramHeaderBytes > link.MTU {
 		// Oversized for the path: blackholed, DF-style. No RNG draw — MTU

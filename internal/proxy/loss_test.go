@@ -173,8 +173,8 @@ func testTCFallbackSmallMTU(t *testing.T, answers int) {
 	}
 	u := dnstransport.NewUDPClient(pc, netsim.Addr("proxy.dns:53"))
 	u.Timeout = 300 * time.Millisecond
-	u.Fallback = dnstransport.NewTCPClient(func() (net.Conn, error) {
-		return n.Dial("cli", "proxy.dns:53")
+	u.Fallback = dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) {
+		return n.DialContext(ctx, "cli", "proxy.dns:53")
 	})
 	defer u.Close()
 

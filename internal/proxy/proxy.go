@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"dohcost/internal/dialer"
 	"dohcost/internal/dnscache"
 	"dohcost/internal/dnsserver"
 	"dohcost/internal/dnstransport"
@@ -116,6 +117,24 @@ type Config struct {
 	// between the cache and the upstream steerer. Zero-valued fields take
 	// the guard defaults; nil serves unguarded.
 	Guard *guard.Config
+	// Dialer, when non-nil, is the Happy-Eyeballs racing dialer the
+	// Upstreams' Dial closures were built over. The proxy does not dial
+	// through it directly — the closures already do — but registering it
+	// here puts its per-upstream race memory (winning family, demotion
+	// state) into CostReport and /debug/cost.
+	Dialer *dialer.HappyEyeballs
+	// Bootstrap, when non-nil, is the reachability prober: Start sweeps
+	// it synchronously before the listeners come up, seeding the
+	// steering scoreboard with per-upstream verdicts so the first real
+	// queries never explore a combination the probe saw black-hole, and
+	// an error storm on the forwarding path kicks an asynchronous
+	// re-sweep (network-change recovery). Its Seeder defaults to the
+	// proxy's steerer when unset.
+	Bootstrap *dialer.Prober
+	// Storm tunes the error-storm detector that triggers Bootstrap
+	// re-sweeps; nil with Bootstrap set uses the dialer defaults
+	// (5 consecutive failures, 30 s cooldown).
+	Storm *dialer.Storm
 	// Telemetry, when non-nil, is the metrics sink shared with the caller;
 	// nil makes the proxy create its own (telemetry is always on — its
 	// hot path is sharded atomics, cheap enough to never gate).
@@ -152,6 +171,11 @@ type Proxy struct {
 	udpSrv    *dnsserver.UDPServer
 	udpConns  []udpio.BatchConn
 	udpWG     sync.WaitGroup
+
+	// Resilient-connectivity layer (Config.Dialer / Config.Bootstrap).
+	dialer    *dialer.HappyEyeballs
+	bootstrap *dialer.Prober
+	storm     *dialer.Storm
 }
 
 // New builds the forwarding pipeline. Close releases it.
@@ -222,14 +246,35 @@ func New(cfg Config) (*Proxy, error) {
 		HedgeDelay:   cfg.HedgeDelay,
 		ExploreEvery: cfg.ExploreEvery,
 	})
+	bootstrap := cfg.Bootstrap
+	storm := cfg.Storm
+	var resolver dnstransport.Resolver = st
+	if bootstrap != nil {
+		if bootstrap.Seeder == nil {
+			bootstrap.Seeder = st
+		}
+		if storm == nil {
+			storm = &dialer.Storm{}
+		}
+		if storm.OnStorm == nil {
+			storm.OnStorm = func() { bootstrap.Kick(context.Background()) }
+		}
+		// The storm detector watches final forwarding outcomes, above the
+		// steerer: a query fails there only after steering and failover
+		// exhausted every upstream — and a run of those is what an
+		// access-network change looks like. Watching per-attempt pool
+		// events instead would starve the detector the moment the pool's
+		// slots settle into redial backoff (refusals bypass the observer).
+		resolver = stormResolver{storm: storm, next: st}
+	}
 	var g *guard.Guard
 	// The breaker sits between the cache and the steerer, so every miss —
 	// foreground or background refresh — passes through AdmitMiss before
-	// it can occupy an upstream connection.
-	var resolver dnstransport.Resolver = st
+	// it can occupy an upstream connection. It wraps outside the storm
+	// detector: breaker-refused misses are policy, not network evidence.
 	if cfg.Guard != nil {
 		g = guard.New(*cfg.Guard, tel)
-		resolver = breakerResolver{g: g, next: st}
+		resolver = breakerResolver{g: g, next: resolver}
 	}
 	p := &Proxy{
 		pool:      pool,
@@ -241,6 +286,9 @@ func New(cfg Config) (*Proxy, error) {
 		udpListen: cfg.UDPListen,
 		udpShards: cfg.UDPShards,
 		udpBatch:  cfg.UDPBatch,
+		dialer:    cfg.Dialer,
+		bootstrap: bootstrap,
+		storm:     storm,
 	}
 	p.server = &dnsserver.Server{
 		Handler:       p.Handler(),
@@ -274,6 +322,26 @@ func (r breakerResolver) Exchange(ctx context.Context, q *dnswire.Message) (*dns
 }
 
 func (r breakerResolver) Close() error { return r.next.Close() }
+
+// stormResolver feeds every final forwarding outcome to the error-storm
+// detector. It sits directly above the steerer: an error here means
+// steering and pool failover exhausted every upstream for this query.
+// Caller cancellations are neither success nor failure — a departed
+// client says nothing about the network.
+type stormResolver struct {
+	storm *dialer.Storm
+	next  dnstransport.Resolver
+}
+
+func (r stormResolver) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	resp, err := r.next.Exchange(ctx, q)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		r.storm.Note(err)
+	}
+	return resp, err
+}
+
+func (r stormResolver) Close() error { return r.next.Close() }
 
 // fastHandler is the proxy's serving handler. It implements both serving
 // paths the servers know about: the Message path (ServeDNS: cache →
@@ -329,6 +397,13 @@ func (p *Proxy) Handler() dnsserver.Handler {
 func (p *Proxy) Start(n *netsim.Network, host string) error {
 	if p.run != nil {
 		return fmt.Errorf("proxy: already started")
+	}
+	if p.bootstrap != nil {
+		// Sweep reachability before accepting queries: by the time the
+		// listeners are up, the steering scoreboard already knows which
+		// upstream×protocol combinations are dead, so the first clients
+		// never pay to rediscover them.
+		p.bootstrap.Run(context.Background())
 	}
 	run, err := p.server.Start(n, host)
 	if err != nil {
@@ -426,6 +501,11 @@ func (p *Proxy) SteeringReport() steer.Report { return p.steer.Report() }
 // set — for tests and embedders that want the live Report.
 func (p *Proxy) Guard() *guard.Guard { return p.guard }
 
+// Bootstrap returns the proxy's reachability prober, or nil when
+// Config.Bootstrap was not set — for embedders that want to Kick a
+// re-sweep on an external network-change signal.
+func (p *Proxy) Bootstrap() *dialer.Prober { return p.bootstrap }
+
 // Telemetry returns the proxy's metrics sink, for snapshots beyond what
 // CostReport packages or for registering a transaction Listener late.
 func (p *Proxy) Telemetry() *telemetry.Metrics { return p.tel }
@@ -458,6 +538,15 @@ type CostReport struct {
 	// Guard is the abuse guard's decision counters and live breaker state;
 	// omitted when the proxy runs unguarded.
 	Guard *guard.Report `json:"guard,omitempty"`
+	// Dialer is the Happy-Eyeballs race memory (winning family per
+	// upstream, demotion state); omitted without Config.Dialer.
+	Dialer *dialer.Report `json:"dialer,omitempty"`
+	// Bootstrap is the reachability prober's cached verdict table;
+	// omitted without Config.Bootstrap.
+	Bootstrap *dialer.ProbeReport `json:"bootstrap,omitempty"`
+	// StormsFired counts error storms that triggered a bootstrap
+	// re-sweep.
+	StormsFired int `json:"storms_fired,omitempty"`
 	// UDPShards is the batched UDP listener's per-shard serving counters;
 	// omitted when UDP runs the per-packet loop.
 	UDPShards []dnsserver.UDPShardStats `json:"udp_shards,omitempty"`
@@ -485,6 +574,17 @@ func (p *Proxy) CostReport() CostReport {
 	if p.guard != nil {
 		gr := p.guard.Report()
 		report.Guard = &gr
+	}
+	if p.dialer != nil {
+		dr := p.dialer.Report()
+		report.Dialer = &dr
+	}
+	if p.bootstrap != nil {
+		br := p.bootstrap.Report()
+		report.Bootstrap = &br
+	}
+	if p.storm != nil {
+		report.StormsFired = p.storm.Fired()
 	}
 	return report
 }
@@ -559,6 +659,20 @@ func writeGauges(w io.Writer, report CostReport) error {
 	t.Family("dohcost_upstream_success_rate", "Steering model: attempt-success EWMA per upstream.", "gauge")
 	for _, u := range report.Steering.Upstreams {
 		t.LabeledValue("dohcost_upstream_success_rate", "upstream", u.Name, u.SuccessRate)
+	}
+	if b := report.Bootstrap; b != nil {
+		t.Family("dohcost_bootstrap_sweeps_total", "Completed reachability probe sweeps.", "counter")
+		t.Value("dohcost_bootstrap_sweeps_total", b.Sweeps)
+		t.Family("dohcost_bootstrap_target_ok", "Latest probe verdict per upstream/protocol combination (1 = reachable).", "gauge")
+		for _, v := range b.Verdicts {
+			ok := 0
+			if v.OK {
+				ok = 1
+			}
+			t.LabeledValue2("dohcost_bootstrap_target_ok", "upstream", v.Upstream, "proto", v.Proto, ok)
+		}
+		t.Family("dohcost_storms_fired_total", "Error storms that triggered a bootstrap re-sweep.", "counter")
+		t.Value("dohcost_storms_fired_total", report.StormsFired)
 	}
 	if g := report.Guard; g != nil {
 		t.Family("dohcost_guard_inflight_misses", "Cache misses currently holding a breaker slot.", "gauge")

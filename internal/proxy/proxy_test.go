@@ -53,9 +53,9 @@ func startUpstream(t *testing.T, n *netsim.Network, host string) *upstreamHost {
 func tcpUpstream(n *netsim.Network, proxyHost, host string) dnstransport.PoolUpstream {
 	return dnstransport.PoolUpstream{
 		Name: host,
-		Dial: func() (dnstransport.Resolver, error) {
-			return dnstransport.NewTCPClient(func() (net.Conn, error) {
-				return n.Dial(proxyHost, host+":53")
+		Dial: func(ctx context.Context) (dnstransport.Resolver, error) {
+			return dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) {
+				return n.DialContext(ctx, proxyHost, host+":53")
 			}), nil
 		},
 	}
@@ -97,10 +97,10 @@ func proxyClients(t *testing.T, n *netsim.Network, host string, chain *tlsx.Chai
 		t.Fatal(err)
 	}
 	udp := dnstransport.NewUDPClient(pc, netsim.Addr(host+":53"))
-	tcp := dnstransport.NewTCPClient(func() (net.Conn, error) { return n.Dial("client", host+":53") })
-	dot := dnstransport.NewDoTClient(func() (net.Conn, error) { return n.Dial("client", host+":853") }, chain.ClientConfig(host))
+	tcp := dnstransport.NewTCPClient(func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client", host+":53") })
+	dot := dnstransport.NewDoTClient(func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client", host+":853") }, chain.ClientConfig(host))
 	doh := &dnstransport.DoHClient{
-		Dial:       func() (net.Conn, error) { return n.Dial("client", host+":443") },
+		Dial:       func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client", host+":443") },
 		TLS:        chain.ClientConfig(host),
 		Persistent: true,
 	}

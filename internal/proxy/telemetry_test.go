@@ -46,7 +46,7 @@ func TestProxyTelemetryEndToEnd(t *testing.T) {
 	udp := dnstransport.NewUDPClient(pc, netsim.Addr("proxy.dns:53"))
 	defer udp.Close()
 	doh := &dnstransport.DoHClient{
-		Dial:       func() (net.Conn, error) { return n.Dial("client", "proxy.dns:443") },
+		Dial:       func(ctx context.Context) (net.Conn, error) { return n.DialContext(ctx, "client", "proxy.dns:443") },
 		TLS:        chain.ClientConfig("proxy.dns"),
 		Persistent: true,
 	}

@@ -78,6 +78,26 @@ func (sc *score) cost() float64 {
 	return base * (1 + failurePenalty*(1-sc.success))
 }
 
+// seed primes an unsampled model with one synthetic observation and is a
+// no-op once real samples exist: bootstrap evidence must never overwrite
+// the live model. A success seed plants the probe's RTT as the SRTT; a
+// failure seed plants the probe timeout, which cost() inflates by the
+// full failurePenalty — a known-dead upstream starts ranked behind every
+// healthy one instead of at the unsampled cost of zero, so the first real
+// queries never hedge into it.
+func (sc *score) seed(d time.Duration, ok bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.samples != 0 {
+		return
+	}
+	sc.srtt, sc.rttvar = d, d/2
+	if ok {
+		sc.success = 1
+	}
+	sc.samples++
+}
+
 // rto is the TCP-style retransmission bound SRTT + 4·RTTVAR — for a
 // roughly normal attempt distribution it sits past the p95, which is what
 // the adaptive hedge delay wants: hedge only when this attempt is already

@@ -186,6 +186,25 @@ func (s *Steerer) observe(name string, d time.Duration, err error) {
 	}
 }
 
+// Observe feeds one exchange attempt into the model by upstream name. It
+// is the exported face of the steerer's own observer, for callers that
+// chain additional sinks onto the backend's single ExchangeObserver slot:
+// replace the observer with your own and call Observe from it so the
+// scoreboard keeps learning.
+func (s *Steerer) Observe(name string, d time.Duration, err error) { s.observe(name, d, err) }
+
+// Seed primes upstream name's model with one synthetic observation — a
+// bootstrap probe's verdict, typically — and is a no-op once the upstream
+// has real samples or when the name is unknown. ok=false plants d (the
+// probe timeout) as the RTT with a zero success rate, ranking the
+// upstream behind every healthy one from the first query; ok=true plants
+// the probe's measured RTT as a normal first sample.
+func (s *Steerer) Seed(name string, d time.Duration, ok bool) {
+	if i, known := s.byName[name]; known {
+		s.scores[i].seed(d, ok)
+	}
+}
+
 // Close implements Resolver: the backend (and its pooled connections) is
 // released.
 func (s *Steerer) Close() error { return s.backend.Close() }

@@ -47,6 +47,11 @@ func (t *TextWriter) LabeledValue(name, label, labelVal string, v any) {
 	t.printf("%s{%s=%q} %v\n", name, label, labelVal, v)
 }
 
+// LabeledValue2 emits one sample carrying two labels.
+func (t *TextWriter) LabeledValue2(name, l1, v1, l2, v2 string, v any) {
+	t.printf("%s{%s=%q,%s=%q} %v\n", name, l1, v1, l2, v2, v)
+}
+
 // counter emits a labelless counter family with its single sample.
 func (t *TextWriter) counter(name, help string, v uint64) {
 	t.Family(name, help, "counter")
@@ -117,7 +122,22 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	t.counter("dohcost_pool_exchanges_total",
 		"Successful upstream exchanges.", s.PoolExchanges)
 	t.counter("dohcost_pool_failures_total",
-		"Failed upstream attempts (checkout, dial or exchange) before failover.", s.PoolFailures)
+		"Failed upstream attempts (dial or exchange) before failover.", s.PoolFailures)
+	t.counter("dohcost_pool_backoffs_total",
+		"Pool connection checkouts refused locally in redial backoff (no network activity).", s.PoolBackoffs)
+	if len(s.Dials) > 0 {
+		t.Family("dohcost_dials_total",
+			"Socket dial attempts by address family and outcome (ok, error, backoff).", "counter")
+		for _, fam := range sortedKeys(s.Dials) {
+			for _, outcome := range sortedKeys(s.Dials[fam]) {
+				t.LabeledValue2("dohcost_dials_total", "family", fam, "outcome", outcome, s.Dials[fam][outcome])
+			}
+		}
+	}
+	if len(s.DialWins) > 0 {
+		t.counterVec("dohcost_dial_wins_total",
+			"Happy-Eyeballs dial race wins by address family.", "family", s.DialWins)
+	}
 	t.counter("dohcost_hedges_fired_total",
 		"Hedge exchanges launched by the steering layer (second attempt raced after the hedge delay).", s.HedgesFired)
 	t.counter("dohcost_hedges_won_total",
@@ -157,6 +177,8 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 
 	t.summaryVec("dohcost_query_latency_seconds",
 		"Accept-to-response latency by listener transport.", "proto", s.Latency)
+	t.summaryVec("dohcost_dial_latency_seconds",
+		"Socket dial attempt duration by address family.", "family", s.DialLatency)
 	if s.UpstreamLatency != nil && s.UpstreamLatency.Count > 0 {
 		t.Family("dohcost_upstream_latency_seconds",
 			"Upstream exchange latency (cache misses only).", "summary")

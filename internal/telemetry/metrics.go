@@ -23,6 +23,7 @@ type shard struct {
 	poolDials        atomic.Uint64
 	poolExchanges    atomic.Uint64
 	poolFailures     atomic.Uint64
+	poolBackoffs     atomic.Uint64
 	hedgesFired      atomic.Uint64
 	hedgesWon        atomic.Uint64
 	prefetches       atomic.Uint64
@@ -48,10 +49,18 @@ type shard struct {
 	guardCookiesValidated atomic.Uint64
 	guardCookiesIssued    atomic.Uint64
 
+	// Dial-layer ledger: socket dial attempts by family × outcome (the
+	// Happy-Eyeballs dialer records v4/v6 attempts; the pool mirrors its
+	// backoff refusals under family "unknown"), race wins by family, and
+	// per-family attempt latency.
+	dials    [numDialFamilies][numDialOutcomes]atomic.Uint64
+	dialWins [numDialFamilies]atomic.Uint64
+
 	// The histograms dominate the shard's footprint (and pad the small
 	// counter block above away from the next shard's).
 	latency         [numProtos]histogram
 	upstreamLatency histogram
+	dialLatency     [numDialFamilies]histogram
 }
 
 // Metrics is the aggregation sink for Transactions. One Metrics instance
@@ -211,6 +220,37 @@ func (m *Metrics) UDPSpill() {
 	m.pick().udpSpills.Add(1)
 }
 
+// ObserveDial records one socket dial attempt: its address family, its
+// outcome, and its duration (which lands in the per-family dial latency
+// distribution). The Happy-Eyeballs dialer is the primary writer; any
+// layer that dials sockets directly may record here too.
+func (m *Metrics) ObserveDial(fam DialFamily, outcome DialOutcome, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if fam >= numDialFamilies {
+		fam = DialFamilyUnknown
+	}
+	if outcome >= numDialOutcomes {
+		outcome = DialError
+	}
+	sh := m.pick()
+	sh.dials[fam][outcome].Add(1)
+	sh.dialLatency[fam].observe(d)
+}
+
+// DialWin records which family's attempt won a Happy-Eyeballs dial race
+// (or was the sole attempt that established the connection).
+func (m *Metrics) DialWin(fam DialFamily) {
+	if m == nil {
+		return
+	}
+	if fam >= numDialFamilies {
+		fam = DialFamilyUnknown
+	}
+	m.pick().dialWins[fam].Add(1)
+}
+
 // GuardDrop counts one UDP datagram silently discarded by the abuse
 // guard's per-client rate limit.
 func (m *Metrics) GuardDrop() {
@@ -308,6 +348,10 @@ func (m *Metrics) Snapshot() *Snapshot {
 	var latency [numProtos]Distribution
 	var latCount, latSum [numProtos]uint64
 	var upCount, upSum uint64
+	var dialLat [numDialFamilies]Distribution
+	var dialCount, dialSum [numDialFamilies]uint64
+	var dials [numDialFamilies][numDialOutcomes]uint64
+	var dialWins [numDialFamilies]uint64
 	for _, sh := range m.shards {
 		for p := Proto(0); p < numProtos; p++ {
 			s.Queries[p.String()] += sh.queries[p].Load()
@@ -326,6 +370,16 @@ func (m *Metrics) Snapshot() *Snapshot {
 		s.PoolDials += sh.poolDials.Load()
 		s.PoolExchanges += sh.poolExchanges.Load()
 		s.PoolFailures += sh.poolFailures.Load()
+		s.PoolBackoffs += sh.poolBackoffs.Load()
+		for f := DialFamily(0); f < numDialFamilies; f++ {
+			for o := DialOutcome(0); o < numDialOutcomes; o++ {
+				dials[f][o] += sh.dials[f][o].Load()
+			}
+			dialWins[f] += sh.dialWins[f].Load()
+			c, sum := dialLat[f].merge(&sh.dialLatency[f])
+			dialCount[f] += c
+			dialSum[f] += sum
+		}
 		s.HedgesFired += sh.hedgesFired.Load()
 		s.HedgesWon += sh.hedgesWon.Load()
 		s.Prefetches += sh.prefetches.Load()
@@ -380,6 +434,34 @@ func (m *Metrics) Snapshot() *Snapshot {
 		s.Latency[p.String()] = &d
 	}
 	s.UpstreamLatency.finalize(upCount, upSum)
+	for f := DialFamily(0); f < numDialFamilies; f++ {
+		for o := DialOutcome(0); o < numDialOutcomes; o++ {
+			if dials[f][o] == 0 {
+				continue
+			}
+			if s.Dials == nil {
+				s.Dials = map[string]map[string]uint64{}
+			}
+			if s.Dials[f.String()] == nil {
+				s.Dials[f.String()] = map[string]uint64{}
+			}
+			s.Dials[f.String()][o.String()] = dials[f][o]
+		}
+		if dialWins[f] > 0 {
+			if s.DialWins == nil {
+				s.DialWins = map[string]uint64{}
+			}
+			s.DialWins[f.String()] = dialWins[f]
+		}
+		if dialCount[f] > 0 {
+			dialLat[f].finalize(dialCount[f], dialSum[f])
+			d := dialLat[f]
+			if s.DialLatency == nil {
+				s.DialLatency = map[string]*Distribution{}
+			}
+			s.DialLatency[f.String()] = &d
+		}
+	}
 	return s
 }
 
@@ -403,9 +485,19 @@ type Snapshot struct {
 	PoolDials uint64 `json:"pool_dials_total"`
 	// PoolExchanges counts successful upstream exchanges.
 	PoolExchanges uint64 `json:"pool_exchanges_total"`
-	// PoolFailures counts failed upstream attempts (checkout refusals,
-	// dial errors, broken exchanges) before failover.
+	// PoolFailures counts failed upstream attempts (dial errors, broken
+	// exchanges) before failover; PoolBackoffs counts checkouts refused
+	// locally in redial backoff, kept apart so /debug/cost does not read
+	// a resting upstream as a failing one.
 	PoolFailures uint64 `json:"pool_failures_total"`
+	PoolBackoffs uint64 `json:"pool_backoffs_total"`
+	// Dials is the dial-layer ledger: family ("v4", "v6", "unknown") →
+	// outcome ("ok", "error", "backoff") → attempts. DialWins counts
+	// Happy-Eyeballs race wins per family, and DialLatency holds the
+	// per-family attempt duration distributions.
+	Dials       map[string]map[string]uint64 `json:"dials_total,omitempty"`
+	DialWins    map[string]uint64            `json:"dial_wins_total,omitempty"`
+	DialLatency map[string]*Distribution     `json:"dial_latency,omitempty"`
 	// HedgesFired counts hedge exchanges launched by the steering layer;
 	// HedgesWon counts the ones whose answer beat the primary back.
 	HedgesFired uint64 `json:"hedges_fired_total"`

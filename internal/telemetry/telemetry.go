@@ -67,6 +67,64 @@ func (p Proto) String() string {
 	return "unknown"
 }
 
+// DialFamily labels the address family of one socket dial attempt — the
+// Happy-Eyeballs dialer's comparison axis. DialFamilyUnknown covers dials
+// whose family the recording layer cannot see (the pool's resolver-level
+// backoff refusals).
+type DialFamily uint8
+
+// Dial attempt address families.
+const (
+	// DialFamilyUnknown is a dial whose address family is not visible to
+	// the recording layer.
+	DialFamilyUnknown DialFamily = iota
+	// DialFamilyV4 is an IPv4 dial attempt.
+	DialFamilyV4
+	// DialFamilyV6 is an IPv6 dial attempt.
+	DialFamilyV6
+
+	numDialFamilies
+)
+
+// String returns the metrics label for the family ("v4", "v6", "unknown").
+func (f DialFamily) String() string {
+	switch f {
+	case DialFamilyV4:
+		return "v4"
+	case DialFamilyV6:
+		return "v6"
+	}
+	return "unknown"
+}
+
+// DialOutcome classifies one dial attempt for the dials_total counters.
+type DialOutcome uint8
+
+// Dial attempt outcomes.
+const (
+	// DialOK is an attempt that established a connection.
+	DialOK DialOutcome = iota
+	// DialError is an attempt that failed (refused, reset, timed out).
+	DialError
+	// DialBackoff is a pool checkout refused locally because the slot was
+	// still in redial backoff — no socket was dialed.
+	DialBackoff
+
+	numDialOutcomes
+)
+
+// String returns the metrics label for the outcome ("ok", "error",
+// "backoff").
+func (o DialOutcome) String() string {
+	switch o {
+	case DialOK:
+		return "ok"
+	case DialError:
+		return "error"
+	}
+	return "backoff"
+}
+
 // CacheOutcome classifies what the cache did with a query.
 type CacheOutcome uint8
 
@@ -248,12 +306,22 @@ func (t *Transaction) PoolDial() {
 	}
 }
 
-// PoolFailure counts one failed upstream attempt — a checkout refused in
-// redial backoff, a dial error, or a broken exchange — before any
-// failover.
+// PoolFailure counts one failed upstream attempt — a dial error or a
+// broken exchange — before any failover.
 func (t *Transaction) PoolFailure() {
 	if t != nil {
 		t.sh.poolFailures.Add(1)
+	}
+}
+
+// PoolBackoff counts one pool connection checkout refused locally because
+// the slot was still in redial backoff. Counted apart from PoolFailure
+// (nothing touched the network) and mirrored into the
+// dials_total{family="unknown",outcome="backoff"} ledger.
+func (t *Transaction) PoolBackoff() {
+	if t != nil {
+		t.sh.poolBackoffs.Add(1)
+		t.sh.dials[DialFamilyUnknown][DialBackoff].Add(1)
 	}
 }
 
