@@ -30,6 +30,7 @@ import (
 	"dohcost/internal/loadgen"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/stats"
 	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
@@ -796,6 +797,57 @@ func BenchmarkCacheHitWirePath(b *testing.B) {
 			tx.Finish()
 		}
 	})
+}
+
+// BenchmarkWireHitTraced is the tracing regression gate: the wire-hit
+// fast path with a tracer installed and baseline sampling active (every
+// 16th hit acquires a record, fills parse/cache spans, captures the
+// qname and goes through the tail sampler) must still report 0
+// allocs/op. The loop mirrors the UDP server's traced per-datagram
+// shape, extra time.Now reads included.
+func BenchmarkWireHitTraced(b *testing.B) {
+	queryWire, err := dnswire.NewQuery(4242, "hot00.bench.example.", dnswire.TypeA).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := dnscache.New(staticResolver{})
+	defer c.Close()
+	if _, err := c.Exchange(context.Background(), dnswire.NewQuery(0, "hot00.bench.example.", dnswire.TypeA)); err != nil {
+		b.Fatal(err)
+	}
+	tel := telemetry.New()
+	tr := qtrace.New(qtrace.Config{SampleEvery: 16})
+	defer tr.Close()
+	tel.SetTracer(tr)
+	dst := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tParse := time.Now()
+		q, ok := dnswire.ParseQuery(queryWire)
+		if !ok {
+			b.Fatal("fast parse failed")
+		}
+		tx := tel.Begin(telemetry.ProtoUDP)
+		if tx.Traced() {
+			tx.TraceSpanBetween(qtrace.PhaseParse, tParse, time.Now())
+			tx.TraceQuery(&q)
+		}
+		tc := tx.TraceStart()
+		resp, outcome, ok := c.ServeWire(tx, &q, dst[:0], 4096)
+		if !ok {
+			b.Fatal("wire hit lost")
+		}
+		tx.TraceSpan(qtrace.PhaseCache, tc)
+		tx.SetCache(outcome)
+		tx.SetVerdict(telemetry.VerdictOK)
+		tx.Finish()
+		_ = resp
+	}
+	b.StopTimer()
+	if st := tr.Stats(); st.Offered != uint64(b.N) {
+		b.Fatalf("tracer offered %d records for %d queries", st.Offered, b.N)
+	}
 }
 
 // BenchmarkArenaHitPath measures the zero-alloc wire hit against

@@ -84,6 +84,8 @@ func main() {
 		flapAfter   = flag.Duration("flap-after", 0, "sever upstream 0's link this long after the clients start (0 = no flap)")
 		flapFor     = flag.Duration("flap-for", 0, "how long the -flap-after outage lasts (0 = default 100ms)")
 		bootstrap   = flag.Bool("bootstrap-probe", false, "probe every upstream before the listeners come up and seed the steering scoreboard with the verdicts")
+		trace       = flag.Bool("trace", false, "arm the proxy's per-query lifecycle tracing; the result grows sampler stats and a slowest-traces digest")
+		traceSample = flag.Int("trace-sample", 0, "tracing: keep 1-in-N unremarkable traces as baseline (0 = default 64)")
 		asJSON      = flag.Bool("json", false, "print the full result as JSON instead of the table")
 	)
 	flag.Parse()
@@ -144,6 +146,8 @@ func main() {
 		FlapAfter:           *flapAfter,
 		FlapFor:             *flapFor,
 		BootstrapProbe:      *bootstrap,
+		Trace:               *trace,
+		TraceSample:         *traceSample,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dohloadgen:", err)

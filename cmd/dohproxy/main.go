@@ -21,7 +21,14 @@
 //	         [-guard] [-guard-qps 50] [-guard-burst 100] [-guard-slip 2]
 //	         [-guard-miss-rate 20] [-guard-inflight-miss 1024] [-guard-no-cookies]
 //	         [-he] [-he-stagger 250ms] [-bootstrap-probe]
-//	         [-metrics-addr 127.0.0.1:9090] [-hold 30s] [-cost-json]
+//	         [-trace] [-trace-sample 64] [-query-log trace.jsonl] [-slow-ms 50]
+//	         [-pprof] [-metrics-addr 127.0.0.1:9090] [-hold 30s] [-cost-json]
+//
+// With -trace, every query records phase spans (parse, guard, cache,
+// steer, dial, upstream, write) and the tail sampler keeps errored, slow
+// and 1-in-N baseline traces on /debug/trace; -slow-ms additionally
+// prints one console line per over-threshold query with its phase
+// breakdown, and -query-log appends every kept trace as JSONL.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"dohcost/internal/guard"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/stats"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
@@ -82,6 +90,12 @@ type options struct {
 	he             bool
 	heStagger      time.Duration
 	bootstrapProbe bool
+
+	traceOn     bool
+	traceSample int
+	queryLog    string
+	slowMS      float64
+	pprofOn     bool
 }
 
 func main() {
@@ -115,12 +129,39 @@ func main() {
 	flag.BoolVar(&o.he, "he", false, "dual-home each upstream (v4.<host>/v6.<host>) and dial through the Happy-Eyeballs racing dialer")
 	flag.DurationVar(&o.heStagger, "he-stagger", 0, "Happy Eyeballs connection-attempt delay between racing dials (0 = RFC 8305 default 250ms)")
 	flag.BoolVar(&o.bootstrapProbe, "bootstrap-probe", false, "probe every upstream before the listeners come up and seed the steering scoreboard")
+	flag.BoolVar(&o.traceOn, "trace", false, "arm per-query lifecycle tracing: phase spans, tail-sampled onto /debug/trace")
+	flag.IntVar(&o.traceSample, "trace-sample", 0, "tracing: keep 1-in-N unremarkable traces as baseline (0 = default 64)")
+	flag.StringVar(&o.queryLog, "query-log", "", "tracing: append every kept trace as a JSONL record to this file, rotated at 64 MiB (implies -trace)")
+	flag.Float64Var(&o.slowMS, "slow-ms", 0, "tracing: print one console line with a phase breakdown per query slower than this many ms (implies -trace)")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "mount /debug/pprof and Go runtime gauges on -metrics-addr")
 	flag.Parse()
 
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dohproxy:", err)
 		os.Exit(1)
 	}
+}
+
+// tracingConfig maps the -trace* / -slow-ms / -query-log flags to a
+// qtrace configuration, or nil when tracing is not armed. -slow-ms and
+// -query-log each imply -trace.
+func tracingConfig(o options) (*qtrace.Config, error) {
+	if !o.traceOn && o.slowMS <= 0 && o.queryLog == "" {
+		return nil, nil
+	}
+	cfg := &qtrace.Config{SampleEvery: o.traceSample}
+	if o.slowMS > 0 {
+		cfg.SlowFloor = time.Duration(o.slowMS * float64(time.Millisecond))
+		cfg.SlowLog = os.Stdout
+	}
+	if o.queryLog != "" {
+		ql, err := qtrace.OpenQueryLog(o.queryLog, 0)
+		if err != nil {
+			return nil, fmt.Errorf("-query-log: %w", err)
+		}
+		cfg.Log = ql
+	}
+	return cfg, nil
 }
 
 // guardConfig maps the -guard-* flags to a guard configuration, or nil
@@ -237,6 +278,10 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	trcfg, err := tracingConfig(o)
+	if err != nil {
+		return err
+	}
 	p, err := proxy.New(proxy.Config{
 		Upstreams:      poolUps,
 		Pool:           dnstransport.PoolConfig{ConnsPerUpstream: conns},
@@ -256,6 +301,8 @@ func run(o options) error {
 		Dialer:         he,
 		Bootstrap:      prober,
 		Telemetry:      tel,
+		Tracing:        trcfg,
+		Profiling:      o.pprofOn,
 	})
 	if err != nil {
 		return err
@@ -282,6 +329,12 @@ func run(o options) error {
 		}
 		defer l.Close()
 		fmt.Printf("observability: curl http://%s/metrics | http://%s/debug/cost\n", l.Addr(), l.Addr())
+		if trcfg != nil {
+			fmt.Printf("tracing: curl http://%s/debug/trace?min_ms=10\n", l.Addr())
+		}
+		if o.pprofOn {
+			fmt.Printf("profiling: curl http://%s/debug/pprof/\n", l.Addr())
+		}
 		go http.Serve(l, p.Observability())
 	}
 	fmt.Println()
@@ -386,6 +439,13 @@ func run(o options) error {
 		gr := g.Report()
 		fmt.Printf("guard: %d allowed / %d dropped / %d slipped / %d refused (%d breaker), cookies %d issued / %d validated\n",
 			gr.Allowed, gr.Drops, gr.Slips, gr.Refusals, gr.BreakerRefusals, gr.CookiesIssued, gr.CookiesValidated)
+	}
+	if tr := p.Tracer(); tr != nil {
+		st := tr.Stats()
+		fmt.Printf("trace: %d offered, kept %d errored / %d slow / %d baseline, %d ring-dropped, %d log-dropped\n",
+			st.Offered, st.KeptErrored, st.KeptSlow, st.KeptBaseline, st.RingDropped, st.LogDropped)
+		fmt.Printf("trace slow thresholds: cache %.2fms, upstream %.2fms, error %.2fms\n",
+			st.SlowThresholdMs["cache"], st.SlowThresholdMs["upstream"], st.SlowThresholdMs["error"])
 	}
 
 	// Server-side view of the same workload, from the telemetry subsystem:

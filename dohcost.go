@@ -36,6 +36,7 @@ import (
 	"dohcost/internal/loadgen"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
@@ -287,6 +288,42 @@ type (
 	// ProxyCostReport is the /debug/cost payload of a ForwardingProxy.
 	ProxyCostReport = proxy.CostReport
 )
+
+// Per-query lifecycle tracing (internal/qtrace), armed through
+// ForwardingProxyConfig.Tracing: every served query records monotonic
+// phase spans (parse, guard, cache, steer, hedge legs, dial, upstream,
+// write) and a tail-based sampler keeps errored queries, queries slower
+// than an adaptive per-class p99, and a 1-in-N healthy baseline in a
+// lock-free ring served on /debug/trace.
+type (
+	// TraceConfig tunes the tracer (zero values take defaults).
+	TraceConfig = qtrace.Config
+	// QueryTracer owns the sampling policy and kept-trace rings; obtain a
+	// ForwardingProxy's with its Tracer method.
+	QueryTracer = qtrace.Tracer
+	// TraceStats is the sampler's decision counters and live thresholds.
+	TraceStats = qtrace.Stats
+	// TraceFilter selects traces from the rings.
+	TraceFilter = qtrace.Filter
+	// TraceView is one kept trace rendered for JSON consumers.
+	TraceView = qtrace.View
+	// TraceSpanView is one phase interval of a TraceView.
+	TraceSpanView = qtrace.SpanView
+	// TraceQueryLog is the size-rotated JSONL query log
+	// (TraceConfig.Log).
+	TraceQueryLog = qtrace.QueryLog
+)
+
+// NewQueryTracer builds a standalone tracer, for embedders serving DNS
+// without the proxy assembly: install it on a Telemetry sink with
+// SetTracer.
+func NewQueryTracer(cfg TraceConfig) *QueryTracer { return qtrace.New(cfg) }
+
+// OpenTraceQueryLog opens (appending) a JSONL query log rotated at
+// maxBytes (0 = the 64 MiB default), for TraceConfig.Log.
+func OpenTraceQueryLog(path string, maxBytes int64) (*TraceQueryLog, error) {
+	return qtrace.OpenQueryLog(path, maxBytes)
+}
 
 // Abuse guard (internal/guard), armed through ForwardingProxyConfig.Guard:
 // per-client response rate limiting with RRL slip/TC=1 on UDP and honest

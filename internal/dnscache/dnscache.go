@@ -59,6 +59,7 @@ import (
 
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/telemetry"
 )
 
@@ -661,6 +662,10 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 		tx.SetCache(telemetry.CacheBypass)
 		return c.upstream.Exchange(ctx, q)
 	}
+	// The cache-lookup span covers key build, shard lock and the in-memory
+	// decision; on a miss it ends when the flight is registered, so the
+	// upstream wait never inflates it.
+	tl := tx.TraceStart()
 	var kbuf [keyBufLen]byte
 	kb := appendKey(kbuf[:0], qq.Name.Canonical(), qq.Type, qq.Class)
 	sh, h := c.shardFor(kb)
@@ -694,6 +699,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 				w = append([]byte(nil), e.wire...)
 			}
 			sh.mu.Unlock()
+			tx.TraceSpan(qtrace.PhaseCache, tl)
 			if neg {
 				tx.SetCache(telemetry.CacheNegativeHit)
 			} else {
@@ -719,6 +725,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 				w = append([]byte(nil), e.wire...)
 			}
 			sh.mu.Unlock()
+			tx.TraceSpan(qtrace.PhaseCache, tl)
 			tx.SetCache(telemetry.CacheStaleHit)
 			if !inflight {
 				c.maybeRefresh(sh, string(kb), false)
@@ -735,6 +742,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	if f, ok := sh.flights[string(kb)]; ok {
 		sh.stats.Coalesced++
 		sh.mu.Unlock()
+		tx.TraceSpan(qtrace.PhaseCache, tl)
 		tx.SetCache(telemetry.CacheCoalesced)
 		select {
 		case <-f.done:
@@ -751,6 +759,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	sh.flights[k] = f
 	sh.stats.Misses++
 	sh.mu.Unlock()
+	tx.TraceSpan(qtrace.PhaseCache, tl)
 	tx.SetCache(telemetry.CacheMiss)
 
 	// The flight is shared by every coalesced caller, so it must not die
@@ -767,6 +776,9 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 	resp, err := c.upstream.Exchange(exCtx, q)
 	f.resp, f.err = resp, err
 
+	// The admission span covers entry packing, the admission filter and
+	// the insert (evictions included) — the post-upstream cost of a miss.
+	ta := tx.TraceStart()
 	var e *entry
 	if err == nil && cacheable(resp) {
 		e = c.buildEntry(k, resp)
@@ -779,6 +791,7 @@ func (c *Cache) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Mess
 		evicted, rejected = c.insertLocked(sh, e, h)
 	}
 	sh.mu.Unlock()
+	tx.TraceSpan(qtrace.PhaseAdmit, ta)
 	tx.CacheEvicted(evicted)
 	if rejected {
 		tx.CacheAdmissionRejected()

@@ -1,0 +1,106 @@
+package dnsserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dohcost/internal/dnswire"
+	"dohcost/internal/qtrace"
+	"dohcost/internal/telemetry"
+	"dohcost/internal/udpio"
+)
+
+// TestBatchShardedTracing drives concurrent clients through SO_REUSEPORT
+// batch shards with the per-query tracer armed — the -race workout for
+// concurrent trace-record writes from every shard goroutine into the
+// shared sampler rings — and checks the sampled traces carry the wire
+// fast path's phase spans.
+func TestBatchShardedTracing(t *testing.T) {
+	stub := newWireStub(t, "hot.example.")
+	conns, err := udpio.ListenShards("udp", "127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	tr := qtrace.New(qtrace.Config{SampleEvery: 2})
+	tel.SetTracer(tr)
+	srv := &UDPServer{Handler: stub, Telemetry: tel}
+	done := make(chan struct{})
+	go func() { defer close(done); srv.ServeBatch(conns, 32) }()
+	addr := conns[0].LocalAddr().String()
+
+	const clients = 8
+	const perClient = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			queries := make(map[uint16][]byte, perClient)
+			for i := 0; i < perClient; i++ {
+				id := uint16(g*perClient + i + 1)
+				wire, err := dnswire.NewQuery(id, "hot.example.", dnswire.TypeA).Pack()
+				if err != nil {
+					errs <- err
+					return
+				}
+				queries[id] = wire
+			}
+			for id, raw := range collectResponses(t, addr, queries) {
+				var m dnswire.Message
+				if err := m.Unpack(raw); err != nil {
+					errs <- fmt.Errorf("client %d: bad response: %w", g, err)
+					return
+				}
+				if m.ID != id {
+					errs <- fmt.Errorf("client %d: response ID %#x != %#x", g, m.ID, id)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := tr.Stats()
+	if st.Offered < clients*perClient {
+		t.Errorf("tracer saw %d offers, want >= %d", st.Offered, clients*perClient)
+	}
+	if kept := st.KeptErrored + st.KeptSlow + st.KeptBaseline; kept == 0 {
+		t.Error("no traces sampled with SampleEvery=2")
+	}
+	views := tr.Traces(qtrace.Filter{Limit: 1 << 20})
+	if len(views) == 0 {
+		t.Fatal("sampler rings empty after traced batch run")
+	}
+	for _, v := range views {
+		if v.QName != "hot.example." || v.Proto != "udp" {
+			t.Fatalf("trace identity = %q/%s, want hot.example./udp", v.QName, v.Proto)
+		}
+		phases := make(map[string]bool, len(v.Spans))
+		for _, sp := range v.Spans {
+			phases[sp.Phase] = true
+		}
+		for _, want := range []string{"parse", "cache", "write"} {
+			if !phases[want] {
+				t.Fatalf("trace missing %s span: %+v", want, v.Spans)
+			}
+		}
+	}
+
+	for _, c := range conns {
+		c.Close()
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeBatch did not return after conns closed")
+	}
+	tr.Close()
+}

@@ -14,6 +14,7 @@ import (
 	"dohcost/internal/h1"
 	"dohcost/internal/h2"
 	"dohcost/internal/hpack"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/telemetry"
 )
 
@@ -213,9 +214,19 @@ func (d *DoH) serve(ctx context.Context, method, rawPath, contentType string, bo
 		// no Message in between. The body escapes into the HTTP response,
 		// so it is appended to a fresh slice rather than a pooled buffer.
 		if wr, ok := d.Handler.(WireResponder); ok {
+			var tParse time.Time
+			if d.Telemetry.Tracing() {
+				tParse = time.Now()
+			}
 			if fq, ok := dnswire.ParseQuery(rawQ); ok {
 				tx = d.Telemetry.Begin(telemetry.ProtoDoH)
+				if tx.Traced() {
+					tx.TraceSpanBetween(qtrace.PhaseParse, tParse, time.Now())
+					tx.TraceQuery(&fq)
+				}
+				tc := tx.TraceStart()
 				if out, handled := wr.ServeDNSWire(tx, &fq, nil, dnswire.MaxMessageLen); handled {
+					tx.TraceSpan(qtrace.PhaseCache, tc)
 					tx.SetVerdict(telemetry.VerdictOK)
 					tx.Finish()
 					return 200, ContentTypeWire, out
@@ -234,6 +245,9 @@ func (d *DoH) serve(ctx context.Context, method, rawPath, contentType string, bo
 	}
 	if tx == nil {
 		tx = d.Telemetry.Begin(telemetry.ProtoDoH)
+	}
+	if tx.Traced() && len(q.Questions) > 0 {
+		tx.TraceQueryName(string(q.Questions[0].Name.Canonical()), uint16(q.Questions[0].Type))
 	}
 	defer tx.Finish()
 	ctx = telemetry.NewContext(ctx, tx)

@@ -18,6 +18,7 @@ import (
 	"dohcost/internal/h1"
 	"dohcost/internal/h2"
 	"dohcost/internal/netsim"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
 	"dohcost/internal/udpio"
@@ -315,15 +316,41 @@ func (s *UDPServer) udpLimit(hasEDNS bool, udpSize uint16) int {
 // without parsing), then wire fast path, then the Message path, all
 // writing from pooled buffers.
 func (s *UDPServer) servePacket(ctx context.Context, w packetWriter, pkt []byte, from net.Addr) {
-	if s.Guard != nil && !s.guardAdmitUDP(w, pkt, from) {
-		return
+	// Guard and parse run before a Transaction exists, so their spans are
+	// timed here and recorded (with slightly negative offsets) once Begin
+	// has created the trace; the clock reads happen only when a tracer is
+	// actually installed.
+	var tGuard, tParse time.Time
+	tracing := s.Telemetry.Tracing()
+	if s.Guard != nil {
+		if tracing {
+			tGuard = time.Now()
+		}
+		if !s.guardAdmitUDP(w, pkt, from) {
+			return
+		}
 	}
 	if wr, ok := s.Handler.(WireResponder); ok {
+		if tracing {
+			tParse = time.Now()
+		}
 		if q, ok := dnswire.ParseQuery(pkt); ok {
 			out := getBuf()
 			tx := s.Telemetry.Begin(telemetry.ProtoUDP)
+			if tx.Traced() {
+				now := time.Now()
+				if !tGuard.IsZero() {
+					tx.TraceSpanBetween(qtrace.PhaseGuard, tGuard, tParse)
+				}
+				tx.TraceSpanBetween(qtrace.PhaseParse, tParse, now)
+				tx.TraceQuery(&q)
+			}
+			tc := tx.TraceStart()
 			if resp, handled := wr.ServeDNSWire(tx, &q, (*out)[:0], s.udpLimit(q.HasEDNS, q.UDPSize)); handled {
+				tx.TraceSpan(qtrace.PhaseCache, tc)
+				tw := tx.TraceStart()
 				w.WriteTo(resp, from)
+				tx.TraceSpan(qtrace.PhaseWrite, tw)
 				tx.SetVerdict(telemetry.VerdictOK)
 				tx.Finish()
 				putBuf(out)
@@ -363,6 +390,10 @@ func (s *UDPServer) guardAdmitUDP(w packetWriter, pkt []byte, from net.Addr) boo
 func (s *UDPServer) serveMessage(ctx context.Context, w packetWriter, pkt []byte, from net.Addr, tx *telemetry.Transaction) {
 	out := getBuf()
 	defer putBuf(out)
+	var tParse time.Time
+	if tx == nil && s.Telemetry.Tracing() {
+		tParse = time.Now()
+	}
 	var q dnswire.Message
 	if err := q.Unpack(pkt); err != nil {
 		// Drop unparseable datagrams, like real servers. ParseQuery is
@@ -376,6 +407,10 @@ func (s *UDPServer) serveMessage(ctx context.Context, w packetWriter, pkt []byte
 	}
 	if tx == nil {
 		tx = s.Telemetry.Begin(telemetry.ProtoUDP)
+		tx.TraceSpanBetween(qtrace.PhaseParse, tParse, time.Now())
+	}
+	if tx.Traced() && len(q.Questions) > 0 {
+		tx.TraceQueryName(string(q.Questions[0].Name.Canonical()), uint16(q.Questions[0].Type))
 	}
 	defer tx.Finish()
 	ctx = telemetry.NewContext(ctx, tx)
@@ -432,7 +467,9 @@ func (s *UDPServer) serveMessage(ctx context.Context, w packetWriter, pkt []byte
 			}
 		}
 	}
+	tw := tx.TraceStart()
 	w.WriteTo(wire, from)
+	tx.TraceSpan(qtrace.PhaseWrite, tw)
 }
 
 // StreamServer serves DNS with two-octet length framing (RFC 1035 §4.2.2)
@@ -510,9 +547,17 @@ func (s *StreamServer) ServeConn(conn net.Conn) error {
 			continue
 		}
 		var tx *telemetry.Transaction
+		var tParse time.Time
+		if s.Telemetry.Tracing() {
+			tParse = time.Now()
+		}
 		if fast {
 			if q, ok := dnswire.ParseQuery(wire); ok {
 				tx = s.Telemetry.Begin(s.Proto)
+				if tx.Traced() {
+					tx.TraceSpanBetween(qtrace.PhaseParse, tParse, time.Now())
+					tx.TraceQuery(&q)
+				}
 				handled, err := s.answerWire(conn, &writeMu, wr, tx, &q)
 				if handled {
 					if err != nil {
@@ -575,11 +620,13 @@ func (s *StreamServer) writeRefusal(conn net.Conn, writeMu *sync.Mutex, wire []b
 // unfinished) for the Message path.
 func (s *StreamServer) answerWire(conn net.Conn, writeMu *sync.Mutex, wr WireResponder, tx *telemetry.Transaction, q *dnswire.Query) (bool, error) {
 	out := getBuf()
+	tc := tx.TraceStart()
 	resp, handled := wr.ServeDNSWire(tx, q, (*out)[2:2], dnswire.MaxMessageLen)
 	if !handled || len(resp) < 12 /* DNS header */ || len(resp) > dnswire.MaxMessageLen {
 		putBuf(out)
 		return false, nil
 	}
+	tx.TraceSpan(qtrace.PhaseCache, tc)
 	if &resp[0] != &(*out)[2] {
 		// The responder reallocated (or returned its own storage); fold
 		// the bytes back behind the prefix — cap suffices, resp fits.
@@ -587,9 +634,11 @@ func (s *StreamServer) answerWire(conn net.Conn, writeMu *sync.Mutex, wr WireRes
 	}
 	frame := (*out)[:2+len(resp)]
 	binary.BigEndian.PutUint16(frame, uint16(len(resp)))
+	tw := tx.TraceStart()
 	writeMu.Lock()
 	_, err := conn.Write(frame)
 	writeMu.Unlock()
+	tx.TraceSpan(qtrace.PhaseWrite, tw)
 	putBuf(out)
 	tx.SetVerdict(telemetry.VerdictOK)
 	tx.Finish()
@@ -601,6 +650,9 @@ func (s *StreamServer) answerWire(conn net.Conn, writeMu *sync.Mutex, wr WireRes
 func (s *StreamServer) answerStream(ctx context.Context, conn net.Conn, writeMu *sync.Mutex, q *dnswire.Message, tx *telemetry.Transaction) error {
 	if tx == nil {
 		tx = s.Telemetry.Begin(s.Proto)
+	}
+	if tx.Traced() && len(q.Questions) > 0 {
+		tx.TraceQueryName(string(q.Questions[0].Name.Canonical()), uint16(q.Questions[0].Type))
 	}
 	defer tx.Finish()
 	ctx = telemetry.NewContext(ctx, tx)
@@ -617,9 +669,11 @@ func (s *StreamServer) answerStream(ctx context.Context, conn net.Conn, writeMu 
 		return err
 	}
 	binary.BigEndian.PutUint16(buf, uint16(len(buf)-2))
+	tw := tx.TraceStart()
 	writeMu.Lock()
 	defer writeMu.Unlock()
 	_, err = conn.Write(buf)
+	tx.TraceSpan(qtrace.PhaseWrite, tw)
 	return err
 }
 

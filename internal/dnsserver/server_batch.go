@@ -18,6 +18,7 @@ import (
 
 	"dohcost/internal/dnswire"
 	"dohcost/internal/guard"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/udpio"
 )
@@ -211,6 +212,7 @@ func (s *UDPServer) serveShard(c udpio.BatchConn, batch int, pool *workPool, sc 
 		s.Telemetry.ObserveUDPBatch(n)
 		sc.reads.Add(1)
 		sc.datagrams.Add(uint64(n))
+		tracing := s.Telemetry.Tracing()
 
 		// Answer the batch: fast-path hits pack into the write vector,
 		// everything else peels off to the worker pool.
@@ -241,10 +243,20 @@ func (s *UDPServer) serveShard(c udpio.BatchConn, batch int, pool *workPool, sc 
 				}
 			}
 			if fast {
+				var tParse time.Time
+				if tracing {
+					tParse = time.Now()
+				}
 				if q, ok := dnswire.ParseQuery(pkt); ok {
 					tx := s.Telemetry.Begin(telemetry.ProtoUDP)
+					if tx.Traced() {
+						tx.TraceSpanBetween(qtrace.PhaseParse, tParse, time.Now())
+						tx.TraceQuery(&q)
+					}
+					tc := tx.TraceStart()
 					dst := (*v.obufs[nw])[:0]
 					if resp, handled := wr.ServeDNSWire(tx, &q, dst, s.udpLimit(q.HasEDNS, q.UDPSize)); handled {
+						tx.TraceSpan(qtrace.PhaseCache, tc)
 						if len(resp) > 0 && &resp[0] != &(*v.obufs[nw])[0] {
 							// The responder reallocated (or returned its
 							// own storage); fold the bytes back into the
@@ -270,10 +282,22 @@ func (s *UDPServer) serveShard(c udpio.BatchConn, batch int, pool *workPool, sc 
 		// fatal to the shard (the kernel can refuse one destination);
 		// the affected clients retry, like any dropped datagram.
 		if nw > 0 {
+			// Traced hits share the flush interval: every response in the
+			// vector left in the same sendmmsg, so each transaction's write
+			// span is the batched syscall itself.
+			var tFlush time.Time
+			if tracing {
+				tFlush = time.Now()
+			}
 			c.WriteBatch(v.out[:nw])
 			sc.flushes.Add(1)
 			sc.flushed.Add(uint64(nw))
+			var flushEnd time.Time
+			if tracing {
+				flushEnd = time.Now()
+			}
 			for _, tx := range v.txs {
+				tx.TraceSpanBetween(qtrace.PhaseWrite, tFlush, flushEnd)
 				tx.SetVerdict(telemetry.VerdictOK)
 				tx.Finish()
 			}

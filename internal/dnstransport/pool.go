@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dohcost/internal/dnswire"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/telemetry"
 )
 
@@ -364,6 +365,11 @@ func (p *Pool) exchangeVia(ctx context.Context, u *poolUpstream, q *dnswire.Mess
 	r, dialed, err := slot.get(ctx, p, u)
 	if dialed {
 		tx.PoolDial()
+		if tx.Traced() {
+			// The dial span separates connection setup from the exchange
+			// itself — the paper's connection-setup vs resolution split.
+			tx.TraceSpanBetween(qtrace.PhaseDial, start, time.Now())
+		}
 	}
 	if err != nil {
 		if errors.Is(err, ErrBackoff) {
@@ -386,6 +392,11 @@ func (p *Pool) exchangeVia(ctx context.Context, u *poolUpstream, q *dnswire.Mess
 	}
 	t0 := time.Now()
 	resp, err := r.Exchange(ctx, q)
+	if tx.Traced() {
+		// Recorded for failures too: a trace of a SERVFAIL query should
+		// show where the time went before the attempt died.
+		tx.TraceSpanBetween(qtrace.PhaseUpstream, t0, time.Now())
+	}
 	if err != nil {
 		if !errors.Is(ctx.Err(), context.Canceled) {
 			tx.PoolFailure()

@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"net"
 	"net/netip"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,7 @@ import (
 	"dohcost/internal/guard"
 	"dohcost/internal/netsim"
 	"dohcost/internal/proxy"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
@@ -193,6 +195,14 @@ type Scenario struct {
 	// upstream's winning-family memory) so the first client queries
 	// never explore a dead combination.
 	BootstrapProbe bool
+	// Trace arms the proxy's per-query lifecycle tracing
+	// (proxy.Config.Tracing): every served query records phase spans and
+	// the tail sampler keeps errored, slow and 1-in-TraceSample baseline
+	// traces. The harvest lands in Result.Trace and Result.SlowTraces.
+	Trace bool
+	// TraceSample is the tracer's baseline keep rate (1-in-N
+	// unremarkable traces; 0 = the qtrace default 64).
+	TraceSample int
 }
 
 // withDefaults fills unset fields.
@@ -344,6 +354,13 @@ type Result struct {
 	// Bootstrap is the reachability prober's verdict table; nil without
 	// Scenario.BootstrapProbe.
 	Bootstrap *dialer.ProbeReport `json:"bootstrap,omitempty"`
+	// Trace is the tail sampler's decision counters and live slow
+	// thresholds; nil without Scenario.Trace.
+	Trace *qtrace.Stats `json:"trace,omitempty"`
+	// SlowTraces is the slow-trace digest: the slowest sampled traces of
+	// the run (up to five), phase spans included, slowest first. Nil
+	// without Scenario.Trace.
+	SlowTraces []qtrace.View `json:"slow_traces,omitempty"`
 }
 
 // Run executes the scenario and returns the harvest.
@@ -455,6 +472,10 @@ func Run(s Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var trcfg *qtrace.Config
+	if s.Trace {
+		trcfg = &qtrace.Config{SampleEvery: s.TraceSample}
+	}
 	maxUDP := 0
 	if prof.Link.MTU > 0 {
 		// Clamp UDP responses to the path MTU so oversized answers come
@@ -478,6 +499,7 @@ func Run(s Scenario) (*Result, error) {
 		Dialer:         he,
 		Bootstrap:      prober,
 		Telemetry:      tel,
+		Tracing:        trcfg,
 	})
 	if err != nil {
 		return nil, err
@@ -562,7 +584,26 @@ func Run(s Scenario) (*Result, error) {
 		br := prober.Report()
 		res.Bootstrap = &br
 	}
+	if tr := p.Tracer(); tr != nil {
+		st := tr.Stats()
+		res.Trace = &st
+		res.SlowTraces = slowestTraces(tr, 5)
+	}
 	return res, nil
+}
+
+// slowestTraces digests the tracer's ring into the n slowest sampled
+// traces of the run, slowest first — the queries worth a human's
+// attention after a scenario, phase spans included.
+func slowestTraces(tr *qtrace.Tracer, n int) []qtrace.View {
+	// Limit well past any ring capacity: the digest wants the global
+	// slowest, not the newest page.
+	views := tr.Traces(qtrace.Filter{Limit: 1 << 20})
+	sort.Slice(views, func(i, j int) bool { return views[i].DurationMs > views[j].DurationMs })
+	if len(views) > n {
+		views = views[:n]
+	}
+	return views
 }
 
 // attackCounters is the flooder population's shared harvest, written by
@@ -923,6 +964,17 @@ func Render(r *Result) string {
 			fmt.Fprintf(&sb, "; %s/%s %s", v.Upstream, v.Proto, state)
 		}
 		sb.WriteString("\n")
+	}
+	if t := r.Trace; t != nil {
+		fmt.Fprintf(&sb, "trace: %d offered, kept %d errored / %d slow / %d baseline, %d ring-dropped\n",
+			t.Offered, t.KeptErrored, t.KeptSlow, t.KeptBaseline, t.RingDropped)
+		for _, v := range r.SlowTraces {
+			fmt.Fprintf(&sb, "slowest: %-4s %-24s %7.1fms verdict=%s", v.Proto, v.QName, v.DurationMs, v.Verdict)
+			for _, sp := range v.Spans {
+				fmt.Fprintf(&sb, " %s=%.1fms", sp.Phase, sp.DurMs)
+			}
+			sb.WriteString("\n")
+		}
 	}
 	fmt.Fprintf(&sb, "\nproxy: %d hits / %d stale / %d misses / %d coalesced (%.1f%% hit rate)",
 		cs.Hits, cs.StaleHits, cs.Misses, cs.Coalesced, ratio)

@@ -18,6 +18,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"dohcost/internal/dnswire"
 	"dohcost/internal/guard"
 	"dohcost/internal/netsim"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/steer"
 	"dohcost/internal/telemetry"
 	"dohcost/internal/tlsx"
@@ -146,6 +149,19 @@ type Config struct {
 	// configured one wins); give each proxy its own sink for per-proxy
 	// callbacks.
 	OnTransaction telemetry.Listener
+	// Tracing, when non-nil, arms per-query lifecycle tracing
+	// (internal/qtrace): every serving layer records monotonic phase
+	// spans into a per-transaction record, and completed records are
+	// tail-sampled — errored always, slower than the adaptive per-class
+	// p99 always, 1-in-SampleEvery otherwise — into a lock-free ring
+	// served on /debug/trace. Zero-valued fields take the qtrace
+	// defaults; nil keeps the untraced zero-overhead path.
+	Tracing *qtrace.Config
+	// Profiling mounts net/http/pprof under /debug/pprof/ on the
+	// Observability handler and appends Go runtime gauges (goroutines,
+	// heap bytes, GC pause p99) to /metrics. Off by default: the ops
+	// plane should opt into exposing profiles.
+	Profiling bool
 }
 
 // Proxy is a forwarding resolver deployment: cache → singleflight →
@@ -176,6 +192,10 @@ type Proxy struct {
 	dialer    *dialer.HappyEyeballs
 	bootstrap *dialer.Prober
 	storm     *dialer.Storm
+
+	// Observability extras (Config.Tracing / Config.Profiling).
+	tracer    *qtrace.Tracer
+	profiling bool
 }
 
 // New builds the forwarding pipeline. Close releases it.
@@ -241,6 +261,11 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.OnTransaction != nil {
 		tel.SetListener(cfg.OnTransaction)
 	}
+	var tracer *qtrace.Tracer
+	if cfg.Tracing != nil {
+		tracer = qtrace.New(*cfg.Tracing)
+		tel.SetTracer(tracer)
+	}
 	st := steer.New(pool, steer.Config{
 		Policy:       policy,
 		HedgeDelay:   cfg.HedgeDelay,
@@ -289,6 +314,8 @@ func New(cfg Config) (*Proxy, error) {
 		dialer:    cfg.Dialer,
 		bootstrap: bootstrap,
 		storm:     storm,
+		tracer:    tracer,
+		profiling: cfg.Profiling,
 	}
 	p.server = &dnsserver.Server{
 		Handler:       p.Handler(),
@@ -314,7 +341,14 @@ type breakerResolver struct {
 }
 
 func (r breakerResolver) Exchange(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
-	if err := r.g.AdmitMiss(ctx); err != nil {
+	// The breaker decision is the guard phase of a forwarded miss; on the
+	// listener side the guard runs before the transaction exists, so this
+	// span is the one place miss admission shows up in a trace.
+	tx := telemetry.FromContext(ctx)
+	tg := tx.TraceStart()
+	err := r.g.AdmitMiss(ctx)
+	tx.TraceSpan(qtrace.PhaseGuard, tg)
+	if err != nil {
 		return nil, err
 	}
 	defer r.g.MissDone()
@@ -484,7 +518,13 @@ func (p *Proxy) Close() error {
 		p.run.Close()
 		p.run = nil
 	}
-	return p.cache.Close() // closes the steerer, and beneath it the pool
+	err := p.cache.Close() // closes the steerer, and beneath it the pool
+	if p.tracer != nil {
+		// After the cache is down no foreground transaction can finish;
+		// closing last means every trace had its chance to reach the log.
+		p.tracer.Close()
+	}
+	return err
 }
 
 // CacheStats snapshots cache effectiveness.
@@ -550,6 +590,9 @@ type CostReport struct {
 	// UDPShards is the batched UDP listener's per-shard serving counters;
 	// omitted when UDP runs the per-packet loop.
 	UDPShards []dnsserver.UDPShardStats `json:"udp_shards,omitempty"`
+	// Trace is the tail sampler's decision counters and live slow
+	// thresholds; omitted without Config.Tracing.
+	Trace *qtrace.Stats `json:"trace,omitempty"`
 }
 
 // CostReport assembles the current cost view of the proxy.
@@ -586,16 +629,28 @@ func (p *Proxy) CostReport() CostReport {
 	if p.storm != nil {
 		report.StormsFired = p.storm.Fired()
 	}
+	if p.tracer != nil {
+		ts := p.tracer.Stats()
+		report.Trace = &ts
+	}
 	return report
 }
+
+// Tracer returns the proxy's query tracer, or nil when Config.Tracing was
+// not set — for embedders that want Traces or Stats without HTTP.
+func (p *Proxy) Tracer() *qtrace.Tracer { return p.tracer }
 
 // Observability returns an HTTP handler exposing the proxy's runtime cost
 // accounting on two paths:
 //
 //   - /metrics — Prometheus text exposition: telemetry counters and
 //     latency summaries plus scrape-time gauges for cache occupancy and
-//     per-upstream health.
+//     per-upstream health (and, with Config.Profiling, Go runtime
+//     gauges).
 //   - /debug/cost — the CostReport as JSON, for humans and scripts.
+//   - /debug/trace — sampled query traces as JSON (Config.Tracing),
+//     filterable with ?verdict=, ?upstream=, ?min_ms= and ?n=.
+//   - /debug/pprof/ — the stdlib profiler (Config.Profiling).
 //
 // The handler is stdlib net/http (the ops plane runs on a real socket,
 // not the simulated network) and is safe to serve while the proxy is
@@ -609,6 +664,9 @@ func (p *Proxy) Observability() http.Handler {
 			return
 		}
 		writeGauges(w, report)
+		if p.profiling {
+			writeRuntimeGauges(w)
+		}
 	})
 	mux.HandleFunc("/debug/cost", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -616,7 +674,55 @@ func (p *Proxy) Observability() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(p.CostReport())
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if p.tracer == nil {
+			http.Error(w, "tracing disabled (set proxy.Config.Tracing)", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		f := qtrace.Filter{
+			Verdict:  q.Get("verdict"),
+			Upstream: q.Get("upstream"),
+		}
+		if v := q.Get("min_ms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, "bad min_ms: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.MinDur = time.Duration(ms * float64(time.Millisecond))
+		}
+		if v := q.Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(TraceReport{Stats: p.tracer.Stats(), Traces: p.tracer.Traces(f)})
+	})
+	if p.profiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// TraceReport is the /debug/trace payload: the tail sampler's counters
+// followed by the sampled traces, newest first.
+type TraceReport struct {
+	// Stats counts offers, keeps by reason, and drops, and reports the
+	// live adaptive slow thresholds per class.
+	Stats qtrace.Stats `json:"stats"`
+	// Traces are the ring's sampled records after filtering.
+	Traces []qtrace.View `json:"traces"`
 }
 
 // writeGauges appends the scrape-time series /metrics can only learn from
@@ -679,6 +785,20 @@ func writeGauges(w io.Writer, report CostReport) error {
 		t.Value("dohcost_guard_inflight_misses", g.InflightMisses)
 		t.Family("dohcost_guard_cookie_epoch", "Current server-cookie rotation epoch (0 when cookies are disabled).", "gauge")
 		t.Value("dohcost_guard_cookie_epoch", g.CookieEpoch)
+	}
+	if tr := report.Trace; tr != nil {
+		t.Family("dohcost_trace_offered_total", "Completed transactions offered to the tail sampler.", "counter")
+		t.Value("dohcost_trace_offered_total", tr.Offered)
+		t.Family("dohcost_trace_kept_total", "Traces kept by the tail sampler, by reason.", "counter")
+		t.LabeledValue("dohcost_trace_kept_total", "reason", "errored", tr.KeptErrored)
+		t.LabeledValue("dohcost_trace_kept_total", "reason", "slow", tr.KeptSlow)
+		t.LabeledValue("dohcost_trace_kept_total", "reason", "baseline", tr.KeptBaseline)
+		t.Family("dohcost_trace_ring_dropped_total", "Kept traces dropped at the ring (slot contended mid-write).", "counter")
+		t.Value("dohcost_trace_ring_dropped_total", tr.RingDropped)
+		t.Family("dohcost_trace_slow_threshold_seconds", "Live adaptive slow threshold per trace class.", "gauge")
+		for _, cl := range [...]string{"error", "cache", "upstream"} {
+			t.LabeledValue("dohcost_trace_slow_threshold_seconds", "class", cl, tr.SlowThresholdMs[cl]/1e3)
+		}
 	}
 	return t.Err()
 }

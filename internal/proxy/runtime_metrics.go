@@ -1,0 +1,90 @@
+package proxy
+
+// Go runtime gauges for /metrics, behind Config.Profiling. Sourced from
+// runtime/metrics — the sampled, allocation-free successor to
+// runtime.ReadMemStats — so a scrape never stops the world.
+
+import (
+	"io"
+	"math"
+	"runtime/metrics"
+
+	"dohcost/internal/telemetry"
+)
+
+// runtimeSamples is the fixed sample set every scrape reads. Package-level
+// so the name→index layout is built once; metrics.Read fills values in
+// place and is safe for concurrent scrapes only with distinct sample
+// slices, so writeRuntimeGauges copies it per call.
+var runtimeSamples = []metrics.Sample{
+	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/gc/pauses:seconds"},
+}
+
+// writeRuntimeGauges appends the Go runtime's health gauges to a /metrics
+// scrape: live goroutines, heap object bytes, and the p99 GC pause from
+// the runtime's own pause histogram.
+func writeRuntimeGauges(w io.Writer) error {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	copy(samples, runtimeSamples)
+	metrics.Read(samples)
+
+	t := telemetry.NewTextWriter(w)
+	t.Family("dohcost_go_goroutines", "Live goroutines.", "gauge")
+	t.Value("dohcost_go_goroutines", sampleValue(samples[0]))
+	t.Family("dohcost_go_heap_bytes", "Bytes of live heap objects.", "gauge")
+	t.Value("dohcost_go_heap_bytes", sampleValue(samples[1]))
+	t.Family("dohcost_go_gc_pause_seconds", "p99 stop-the-world GC pause since process start.", "gauge")
+	if samples[2].Value.Kind() == metrics.KindFloat64Histogram {
+		t.Value("dohcost_go_gc_pause_seconds", histQuantile(samples[2].Value.Float64Histogram(), 0.99))
+	} else {
+		t.Value("dohcost_go_gc_pause_seconds", 0)
+	}
+	return t.Err()
+}
+
+// sampleValue flattens a scalar runtime/metrics sample to float64;
+// unexpected kinds read as 0 rather than panicking a scrape.
+func sampleValue(s metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// histQuantile reads quantile q out of a runtime/metrics cumulative
+// histogram, reporting the upper edge of the bucket the quantile falls in
+// (the conservative answer for a pause-time gauge). Empty histograms
+// report 0.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Buckets[i+1] is this bucket's upper edge; the last bucket's
+			// can be +Inf, where the lower edge is the best finite answer.
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,209 @@
+// Package qtrace is the per-query lifecycle tracer: the layer that turns
+// "p99 spiked" into "these queries spent their time in that phase". The
+// aggregate telemetry (histograms, counters) says how much the population
+// paid; qtrace keeps whole individual queries — each annotated with
+// monotonic phase spans (parse, guard, cache lookup, admission, steering,
+// hedge legs, pool dial, upstream exchange, response write) — so the tail
+// can be explained query by query, the per-phase attribution the source
+// paper performs offline done live in the serving path.
+//
+// The design is built around two constraints:
+//
+//   - The untraced path must cost one nil test per instrumentation point,
+//     and the traced fast path must stay allocation-free: trace records
+//     (Rec) are fixed-size — inline span array, inline qname buffer — and
+//     recycled through a pool, so steady-state tracing allocates nothing.
+//   - Keeping everything is pointless and keeping a uniform sample misses
+//     the tail, so the keep decision is made at Finish (tail-based
+//     sampling): errored queries are always kept, queries slower than an
+//     adaptive per-class threshold (an EWMA-tracked p99 estimate) are
+//     always kept, and a 1-in-N baseline keeps the healthy population
+//     represented. Kept records land in sharded rings whose writers never
+//     block (a contended slot is skipped, not waited on).
+//
+// Consumers read the rings through Tracer.Traces (the /debug/trace JSON),
+// stream kept records to a rotating JSONL query log (QueryLog), or get a
+// one-line console digest per slow query (Config.SlowLog).
+package qtrace
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase identifies one stage of a query's life inside the proxy. Spans are
+// recorded against these phases; their order here is the canonical
+// pipeline order.
+type Phase uint8
+
+// The traced pipeline phases.
+const (
+	// PhaseParse is wire-format query parsing (fast-path probe or full
+	// message decode).
+	PhaseParse Phase = iota
+	// PhaseGuard is the abuse guard's admission decision (per-packet rate
+	// limit, stream check, or the miss-flood breaker).
+	PhaseGuard
+	// PhaseCache is the cache consultation: lookup, and on a hit the
+	// in-place response build.
+	PhaseCache
+	// PhaseAdmit is cache admission after a miss: entry build, admission
+	// filter, insert, evictions.
+	PhaseAdmit
+	// PhaseSteer is the steering layer's upstream ranking decision.
+	PhaseSteer
+	// PhaseHedgeLeg is one racing exchange launched by the hedged policy
+	// (a query can carry one span per leg).
+	PhaseHedgeLeg
+	// PhaseDial is a fresh upstream connection dialed for this query.
+	PhaseDial
+	// PhaseUpstream is the upstream exchange itself (request out to answer
+	// in, connection checkout excluded).
+	PhaseUpstream
+	// PhaseWrite is the response write back toward the client (for the
+	// batched UDP path, the shared batch flush).
+	PhaseWrite
+
+	numPhases
+)
+
+// String returns the phase's label as used in /debug/trace and the query
+// log.
+func (p Phase) String() string {
+	switch p {
+	case PhaseParse:
+		return "parse"
+	case PhaseGuard:
+		return "guard"
+	case PhaseCache:
+		return "cache"
+	case PhaseAdmit:
+		return "admit"
+	case PhaseSteer:
+		return "steer"
+	case PhaseHedgeLeg:
+		return "hedge_leg"
+	case PhaseDial:
+		return "dial"
+	case PhaseUpstream:
+		return "upstream"
+	case PhaseWrite:
+		return "write"
+	}
+	return "unknown"
+}
+
+// MaxSpans is the per-record span capacity. Records are fixed-size so the
+// traced path never allocates; a query that somehow exceeds the capacity
+// drops further spans rather than growing.
+const MaxSpans = 16
+
+// MaxQName is the inline qname buffer size. Presentation-form names longer
+// than this (rare — the DNS ceiling is 255 octets but real names are far
+// shorter) are truncated in the trace, never in the answer.
+const MaxQName = 96
+
+// Span is one recorded phase interval, stored as offsets from the record's
+// Start so a Rec is position-independent. Start may be slightly negative:
+// pre-accept work (guard check, parse) runs before the transaction clock
+// starts.
+type Span struct {
+	// Phase is what the interval covers.
+	Phase Phase
+	// Start is the offset of the interval's beginning from Rec.Start.
+	Start time.Duration
+	// Dur is the interval's length.
+	Dur time.Duration
+}
+
+// Rec is one query's trace record: identity, outcome and the phase spans.
+// It is fixed-size and pooled; instrumented code writes it through the
+// owning telemetry Transaction from a single goroutine, and the tracer
+// copies it into a ring slot at Offer if the sampler keeps it.
+type Rec struct {
+	// Start is when the server accepted the query.
+	Start time.Time
+	// Dur is the accept-to-finish duration, filled at Offer time.
+	Dur time.Duration
+	// Proto, Verdict, Cache and Upstream are the transaction's label
+	// strings (interned by the telemetry layer, so storing them allocates
+	// nothing).
+	Proto, Verdict, Cache, Upstream string
+	// QType is the query type code.
+	QType uint16
+	// Failed marks a query whose verdict was not OK; the sampler always
+	// keeps failed queries.
+	Failed bool
+
+	qnameLen uint8
+	nspans   uint8
+	qname    [MaxQName]byte
+	spans    [MaxSpans]Span
+}
+
+// reset clears the record for reuse without releasing its storage.
+func (r *Rec) reset(start time.Time) {
+	*r = Rec{Start: start}
+}
+
+// AddSpan appends one phase interval (offset start, length dur). Spans
+// beyond MaxSpans are dropped.
+func (r *Rec) AddSpan(p Phase, start, dur time.Duration) {
+	if r == nil || int(r.nspans) >= MaxSpans {
+		return
+	}
+	r.spans[r.nspans] = Span{Phase: p, Start: start, Dur: dur}
+	r.nspans++
+}
+
+// Spans returns the recorded intervals, in recording order. The slice
+// aliases the record's inline array and is only valid while the caller
+// owns the record.
+func (r *Rec) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.spans[:r.nspans]
+}
+
+// QNameBuf returns an empty slice over the record's inline qname buffer;
+// callers append the presentation-form name into it (alloc-free for names
+// up to MaxQName) and hand the result to CommitQName.
+func (r *Rec) QNameBuf() []byte {
+	return r.qname[:0]
+}
+
+// CommitQName stores the query name and type. name may alias the buffer
+// returned by QNameBuf (the common, alloc-free case) or be any other
+// byte slice; over-long names are truncated.
+func (r *Rec) CommitQName(name []byte, qtype uint16) {
+	if r == nil {
+		return
+	}
+	r.qnameLen = uint8(copy(r.qname[:], name))
+	r.QType = qtype
+}
+
+// SetQName stores a presentation-form query name from a string, truncating
+// at MaxQName. The copy out of the string is allocation-free.
+func (r *Rec) SetQName(name string, qtype uint16) {
+	if r == nil {
+		return
+	}
+	r.qnameLen = uint8(copy(r.qname[:], name))
+	r.QType = qtype
+}
+
+// QName returns the stored query name. The returned string allocates; it
+// is meant for view building, not the hot path.
+func (r *Rec) QName() string {
+	if r == nil {
+		return ""
+	}
+	return string(r.qname[:r.qnameLen])
+}
+
+// recPool recycles trace records across all tracers. Package-level rather
+// than per-Tracer so a record acquired before a tracer swap can always be
+// released safely.
+var recPool = sync.Pool{New: func() any { return new(Rec) }}

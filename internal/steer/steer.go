@@ -41,6 +41,7 @@ import (
 
 	"dohcost/internal/dnstransport"
 	"dohcost/internal/dnswire"
+	"dohcost/internal/qtrace"
 	"dohcost/internal/telemetry"
 )
 
@@ -247,6 +248,8 @@ const downPenalty = float64(24 * time.Hour)
 // ranking on failure. Every ExploreEvery-th query instead probes one of
 // the runners-up (rotating, so each gets refreshed in turn).
 func (s *Steerer) exchangeFastest(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	tx := telemetry.FromContext(ctx)
+	ts := tx.TraceStart()
 	order := s.rank()
 	if ee := s.cfg.ExploreEvery; ee > 0 && len(order) > 1 {
 		if n := s.n.Add(1); n%uint64(ee) == 0 {
@@ -260,6 +263,7 @@ func (s *Steerer) exchangeFastest(ctx context.Context, q *dnswire.Message) (*dns
 			order[0] = probed
 		}
 	}
+	tx.TraceSpan(qtrace.PhaseSteer, ts)
 	var lastErr error
 	for _, i := range order {
 		if err := ctx.Err(); err != nil {
@@ -293,11 +297,13 @@ func (s *Steerer) exchangeFastest(ctx context.Context, q *dnswire.Message) (*dns
 // and the caller's record is only attributed the winning upstream's name
 // (plus the hedge counters), never written from a leg goroutine.
 func (s *Steerer) exchangeHedged(ctx context.Context, q *dnswire.Message) (*dnswire.Message, error) {
+	tx := telemetry.FromContext(ctx)
+	ts := tx.TraceStart()
 	order := s.rank()
+	tx.TraceSpan(qtrace.PhaseSteer, ts)
 	if len(order) == 1 {
 		return s.backend.ExchangeUpstream(ctx, order[0], q)
 	}
-	tx := telemetry.FromContext(ctx)
 	hctx, cancel := context.WithCancel(telemetry.DetachContext(ctx))
 	defer cancel()
 
@@ -307,7 +313,19 @@ func (s *Steerer) exchangeHedged(ctx context.Context, q *dnswire.Message) (*dnsw
 		hedge bool
 	}
 	results := make(chan outcome, 2)
+	// Leg launch times live on the serving goroutine: each leg's
+	// PhaseHedgeLeg span is recorded on the caller's trace when its
+	// outcome arrives here, never from a leg goroutine (the caller's
+	// record is single-goroutine property, like its counters).
+	var legStart [2]time.Time
 	launch := func(up int, hedge bool) {
+		if tx.Traced() {
+			idx := 0
+			if hedge {
+				idx = 1
+			}
+			legStart[idx] = time.Now()
+		}
 		legTx := tx.Metrics().BeginBackground()
 		legCtx := telemetry.NewContext(hctx, legTx)
 		go func() {
@@ -337,6 +355,13 @@ func (s *Steerer) exchangeHedged(ctx context.Context, q *dnswire.Message) (*dnsw
 				fireHedge()
 			}
 		case out := <-results:
+			if tx.Traced() {
+				idx := 0
+				if out.hedge {
+					idx = 1
+				}
+				tx.TraceSpanBetween(qtrace.PhaseHedgeLeg, legStart[idx], time.Now())
+			}
 			if out.err == nil {
 				win := order[0]
 				if out.hedge {

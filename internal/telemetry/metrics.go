@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dohcost/internal/qtrace"
 )
 
 // shard is one stripe of the aggregate state. Transactions are spread
@@ -71,6 +73,7 @@ type Metrics struct {
 	shards   []*shard
 	cursor   atomic.Uint64
 	listener atomic.Pointer[listenerBox]
+	tracer   atomic.Pointer[qtrace.Tracer]
 }
 
 // listenerBox keeps atomic.Pointer to one concrete type regardless of the
@@ -132,6 +135,32 @@ func (m *Metrics) SetListener(l Listener) {
 	m.listener.Store(&listenerBox{l: l})
 }
 
+// SetTracer installs (or, with nil, removes) the per-query lifecycle
+// tracer: while installed, every Begin attaches a pooled trace record to
+// the Transaction and every Finish offers it to the tracer's tail
+// sampler. Safe to call while serving.
+func (m *Metrics) SetTracer(tr *qtrace.Tracer) {
+	if m == nil {
+		return
+	}
+	m.tracer.Store(tr)
+}
+
+// Tracer returns the installed lifecycle tracer, or nil. Nil-safe.
+func (m *Metrics) Tracer() *qtrace.Tracer {
+	if m == nil {
+		return nil
+	}
+	return m.tracer.Load()
+}
+
+// Tracing reports whether a lifecycle tracer is installed — the cheap
+// gate servers use to decide whether pre-Begin work (guard checks,
+// parsing) is worth timestamping at all.
+func (m *Metrics) Tracing() bool {
+	return m != nil && m.tracer.Load() != nil
+}
+
 // txPool recycles Transaction records. Beyond saving the allocation, the
 // pool is what makes the shard striping effective: sync.Pool is
 // per-P-local, so a serving goroutine tends to get back a record it (or a
@@ -154,6 +183,9 @@ func (m *Metrics) Begin(proto Proto) *Transaction {
 		sh = m.shards[m.cursor.Add(1)&uint64(len(m.shards)-1)]
 	}
 	*tx = Transaction{m: m, sh: sh, proto: proto, start: time.Now()}
+	if tr := m.tracer.Load(); tr != nil {
+		tx.trace = tr.Acquire(tx.start)
+	}
 	return tx
 }
 
@@ -168,6 +200,12 @@ func (m *Metrics) BeginBackground() *Transaction {
 	tx := m.Begin(ProtoUDP) // proto is irrelevant: a background Finish records none
 	if tx != nil {
 		tx.background = true
+		if tx.trace != nil {
+			// Background records never reach the tail sampler; hand the
+			// trace back immediately instead of carrying dead weight.
+			qtrace.Release(tx.trace)
+			tx.trace = nil
+		}
 	}
 	return tx
 }

@@ -30,6 +30,9 @@ package telemetry
 
 import (
 	"time"
+
+	"dohcost/internal/dnswire"
+	"dohcost/internal/qtrace"
 )
 
 // Proto identifies the listener transport that carried a query into the
@@ -224,6 +227,12 @@ type Transaction struct {
 	udpRetries int
 	background bool
 	finished   bool
+
+	// trace is the query's lifecycle record, attached at Begin when a
+	// tracer is installed on the Metrics and offered to the tracer's
+	// tail sampler at Finish. Nil when tracing is off — every Trace*
+	// method degrades to one pointer test.
+	trace *qtrace.Rec
 }
 
 // Summary is the completed-transaction report delivered to a Listener —
@@ -420,6 +429,67 @@ func (t *Transaction) UDPRetransmit() {
 	}
 }
 
+// Traced reports whether this transaction carries a trace record — the
+// cheap test instrumentation points use to skip clock reads entirely when
+// tracing is off or the query was not selected.
+func (t *Transaction) Traced() bool {
+	return t != nil && t.trace != nil
+}
+
+// TraceStart returns the current time when the transaction is traced and
+// the zero time otherwise, so call sites pay for a clock read only on
+// traced queries:
+//
+//	t0 := tx.TraceStart()
+//	... phase work ...
+//	tx.TraceSpan(qtrace.PhaseCache, t0)
+func (t *Transaction) TraceStart() time.Time {
+	if t == nil || t.trace == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// TraceSpan records a phase interval from t0 to now on the trace. A zero
+// t0 (from TraceStart on an untraced transaction) is a no-op, so the
+// TraceStart/TraceSpan pair needs no branching at the call site.
+func (t *Transaction) TraceSpan(p qtrace.Phase, t0 time.Time) {
+	if t == nil || t.trace == nil || t0.IsZero() {
+		return
+	}
+	t.trace.AddSpan(p, t0.Sub(t.start), time.Since(t0))
+}
+
+// TraceSpanBetween records a phase interval with an explicit end — for
+// work timed before the transaction existed (guard checks and parsing run
+// before Begin; their offsets come out slightly negative) or shared
+// intervals like the batched-UDP flush.
+func (t *Transaction) TraceSpanBetween(p qtrace.Phase, t0, end time.Time) {
+	if t == nil || t.trace == nil || t0.IsZero() {
+		return
+	}
+	t.trace.AddSpan(p, t0.Sub(t.start), end.Sub(t0))
+}
+
+// TraceQuery stamps the trace with the wire fast path's parsed query
+// identity. The canonical name is appended straight into the record's
+// inline buffer, so the traced wire path stays allocation-free.
+func (t *Transaction) TraceQuery(q *dnswire.Query) {
+	if t == nil || t.trace == nil {
+		return
+	}
+	t.trace.CommitQName(q.AppendCanonicalName(t.trace.QNameBuf()), uint16(q.Type))
+}
+
+// TraceQueryName stamps the trace with a query identity already in
+// presentation form (the Message path's question name).
+func (t *Transaction) TraceQueryName(name string, qtype uint16) {
+	if t == nil || t.trace == nil {
+		return
+	}
+	t.trace.SetQName(name, qtype)
+}
+
 // Finish closes the record: the accept-to-now latency lands in the proto's
 // histogram, every counter the transaction accumulated becomes visible in
 // snapshots, and the Listener (if any) receives the Summary. Finish must
@@ -434,10 +504,28 @@ func (t *Transaction) Finish() {
 		// Background work (cache refreshes) annotated its resource
 		// counters as it went; it is not a client query, so no query,
 		// verdict, cache event, latency sample or Listener call.
+		if t.trace != nil {
+			// Defensive: BeginBackground detaches the trace up front.
+			qtrace.Release(t.trace)
+			t.trace = nil
+		}
 		txPool.Put(t)
 		return
 	}
 	d := time.Since(t.start)
+	if rec := t.trace; rec != nil {
+		t.trace = nil
+		rec.Dur = d
+		rec.Proto = t.proto.String()
+		rec.Verdict = t.verdict.String()
+		rec.Cache = t.cache.String()
+		rec.Upstream = t.upstream
+		rec.Failed = t.verdict != VerdictOK
+		// Offer makes the tail-sampling keep decision and releases the
+		// record either way; the tracer may have been swapped since
+		// Begin, in which case the record is simply recycled.
+		t.m.tracer.Load().Offer(rec)
+	}
 	sh := t.sh
 	sh.queries[t.proto].Add(1)
 	sh.verdicts[t.verdict].Add(1)
